@@ -1,0 +1,398 @@
+//! The resized DianNao accelerator model (§9's "Accelerator" baseline).
+
+use crate::dram::DramModel;
+use shidiannao_cnn::{ops, LayerKind, Network};
+
+/// Parameters of the re-implemented DianNao (§9, Table 3).
+///
+/// "We implemented an 8 × 8 DianNao-NFU (8 hardware neurons, each
+/// processes 8 input neurons and 8 synapses per cycle) with a 62.5 GB/s
+/// bandwidth memory model … 1 KB NBin/NBout and 16 KB SB."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DianNaoConfig {
+    /// Hardware output neurons (`Nn = 8`).
+    pub hw_neurons: usize,
+    /// Synapses each hardware neuron consumes per cycle (`Tn = 8`).
+    pub synapses_per_neuron: usize,
+    /// NBin capacity in bytes (1 KB).
+    pub nbin_bytes: usize,
+    /// NBout capacity in bytes (1 KB).
+    pub nbout_bytes: usize,
+    /// SB capacity in bytes (16 KB).
+    pub sb_bytes: usize,
+    /// Clock in GHz.
+    pub frequency_ghz: f64,
+    /// Off-chip memory interface.
+    pub dram: DramModel,
+}
+
+impl DianNaoConfig {
+    /// The §9 configuration.
+    pub fn paper() -> DianNaoConfig {
+        DianNaoConfig {
+            hw_neurons: 8,
+            synapses_per_neuron: 8,
+            nbin_bytes: 1024,
+            nbout_bytes: 1024,
+            sb_bytes: 16 * 1024,
+            frequency_ghz: 1.0,
+            dram: DramModel::vision_sensor(),
+        }
+    }
+
+    /// Peak MACs per cycle (`Nn × Tn = 64`, matching ShiDianNao's 64 PEs —
+    /// the paper resizes DianNao "to have a comparable amount of
+    /// arithmetic operators").
+    pub fn macs_per_cycle(&self) -> usize {
+        self.hw_neurons * self.synapses_per_neuron
+    }
+}
+
+impl Default for DianNaoConfig {
+    fn default() -> DianNaoConfig {
+        DianNaoConfig::paper()
+    }
+}
+
+/// Per-event on-chip energies for the DianNao datapath, in picojoules.
+///
+/// The NFU operator cost matches ShiDianNao's PE cost (same 16-bit
+/// fixed-point multipliers/adders at 65 nm); the SRAM costs differ because
+/// DianNao reads `Nn × Tn` *different* synapses every cycle (§11: it
+/// "does not implement specialized hardware to exploit data locality …
+/// but instead treats them as 1D data vectors") where ShiDianNao
+/// broadcasts one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct DianNaoEnergy {
+    mac_pj: f64,
+    sram_byte_pj: f64,
+    idle_pj_per_cycle: f64,
+}
+
+const ENERGY: DianNaoEnergy = DianNaoEnergy {
+    mac_pj: 5.5,
+    sram_byte_pj: 3.2,
+    idle_pj_per_cycle: 43.0,
+};
+
+/// DRAM row-buffer locality penalty for DianNao's access pattern: its
+/// per-window strided gathers and tile re-streams touch DRAM in short
+/// scattered bursts, paying row activations that ShiDianNao's single
+/// sequential image fetch does not. Applied to DianNao's DRAM *energy*
+/// (the bandwidth figure is the sustained-stream spec).
+const DRAM_SCATTER_ENERGY_FACTOR: f64 = 5.0;
+
+/// Fixed DMA turnaround per 512-byte NBin/NBout refill chunk, in cycles.
+const DMA_CHUNK_LATENCY: u64 = 18;
+
+/// One layer's share of a DianNao inference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineLayer {
+    /// Table 2 style label.
+    pub label: String,
+    /// NFU compute cycles.
+    pub compute_cycles: u64,
+    /// Memory-transfer cycles (serial with compute on the shared channel).
+    pub memory_cycles: u64,
+    /// DRAM bytes moved for this layer.
+    pub dram_bytes: u64,
+}
+
+impl BaselineLayer {
+    /// Total cycles this layer contributes.
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles + self.memory_cycles
+    }
+
+    /// `true` when the layer spends more cycles on memory than compute —
+    /// the §11 "DianNao still needs frequent memory accesses" signature.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_cycles > self.compute_cycles
+    }
+}
+
+/// The timing/energy/traffic outcome of one DianNao inference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRun {
+    layers: Vec<BaselineLayer>,
+    cycles: u64,
+    dram_bytes: u64,
+    onchip_nj: f64,
+    dram_nj: f64,
+    frequency_ghz: f64,
+}
+
+impl BaselineRun {
+    /// Execution cycles (compute and DMA overlapped per layer).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.frequency_ghz * 1e9)
+    }
+
+    /// Bytes moved over the off-chip interface.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_bytes
+    }
+
+    /// Total energy including DRAM (the Fig. 19 "DianNao" series).
+    pub fn energy_nj(&self) -> f64 {
+        self.onchip_nj + self.dram_nj
+    }
+
+    /// Energy with free main memory (the Fig. 19 "DianNao-FreeMem" ideal:
+    /// "we assume that main memory accesses incur no energy cost").
+    pub fn energy_free_mem_nj(&self) -> f64 {
+        self.onchip_nj
+    }
+
+    /// Per-layer breakdown, in execution order.
+    pub fn layers(&self) -> &[BaselineLayer] {
+        &self.layers
+    }
+}
+
+/// The resized DianNao accelerator model.
+///
+/// Timing per layer: the NFU retires `Nn` output neurons in parallel,
+/// each consuming `Tn` synapse-input pairs per cycle, so a layer whose
+/// outputs each need `m` MACs takes `⌈out/Nn⌉ × ⌈m/Tn⌉` cycles (lane
+/// tails are the 1D-vector inefficiency). DMA overlaps compute (DianNao's
+/// three DMAs), so layer time is `max(compute, traffic/bandwidth)`.
+///
+/// Traffic per layer: synapses stream from DRAM when the CNN's synapses
+/// exceed the 16 KB SB (all ten benchmarks except the smallest); layer
+/// inputs re-stream per output tile when they exceed the 1 KB NBin;
+/// every intermediate layer spills to DRAM and returns because neither
+/// 1 KB buffer can hold a feature map (this is exactly the "DianNao still
+/// needs frequent memory accesses to execute a CNN" of §11).
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_baseline::DianNao;
+/// use shidiannao_cnn::zoo;
+///
+/// let net = zoo::lenet5().build(1).unwrap();
+/// let run = DianNao::new(Default::default()).run(&net);
+/// assert!(run.cycles() > 0);
+/// assert!(run.energy_nj() > run.energy_free_mem_nj());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DianNao {
+    config: DianNaoConfig,
+}
+
+impl DianNao {
+    /// Creates the model.
+    pub fn new(config: DianNaoConfig) -> DianNao {
+        DianNao { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DianNaoConfig {
+        &self.config
+    }
+
+    /// Models one inference of `network`.
+    pub fn run(&self, network: &Network) -> BaselineRun {
+        let cfg = &self.config;
+        let nn = cfg.hw_neurons as u64;
+        let tn = cfg.synapses_per_neuron as u64;
+        let total_synapse_bytes: u64 = network
+            .layers()
+            .iter()
+            .map(|l| l.synapse_count() as u64 * 2)
+            .sum();
+        let synapses_fit_sb = total_synapse_bytes <= cfg.sb_bytes as u64;
+
+        let mut layers_out: Vec<BaselineLayer> = Vec::with_capacity(network.layers().len());
+        let mut cycles: u64 = 0;
+        let mut dram_bytes: u64 = 0;
+        let mut onchip_pj: f64 = 0.0;
+
+        for (i, layer) in network.layers().iter().enumerate() {
+            let o = ops::layer_ops(layer);
+            let out = o.out_neurons.max(1);
+            let in_bytes = o.in_neurons * 2;
+            let out_bytes = o.out_neurons * 2;
+            let macs_per_out = o.macs.div_ceil(out);
+            let (ow, oh) = layer.out_dims();
+
+            // --- compute cycles ---
+            // Conv: DianNao parallelises the Nn hardware neurons across
+            // output feature maps at one spatial position (the Tn-wide
+            // input read is shared by broadcast); positions iterate
+            // serially and Tn-lane tails are wasted (the 1D-vector
+            // inefficiency of §11).
+            let compute = match layer.kind() {
+                LayerKind::Conv => {
+                    let positions = (ow * oh) as u64;
+                    let groups = (layer.out_maps() as u64).div_ceil(nn);
+                    positions * groups * macs_per_out.div_ceil(tn)
+                }
+                LayerKind::Fc => out.div_ceil(nn) * macs_per_out.div_ceil(tn),
+                LayerKind::Pool => (o.cmps + o.adds).div_ceil(nn * tn) + o.divs.div_ceil(nn),
+                LayerKind::Lrn | LayerKind::Lcn => {
+                    (o.macs + o.adds).div_ceil(nn * tn) + o.divs.div_ceil(nn)
+                }
+            };
+
+            // --- DRAM traffic ---
+            let mut traffic: u64 = 0;
+            // Inputs: the 1 KB NBin cannot hold a feature map, so every
+            // position-group re-streams its input window (conv) or each
+            // Nn-output tile re-streams its rows (classifier); only
+            // layers that fit NBin outright stream once.
+            let in_traffic = if in_bytes <= cfg.nbin_bytes as u64 {
+                in_bytes
+            } else {
+                match layer.kind() {
+                    LayerKind::Conv => {
+                        let positions = (ow * oh) as u64;
+                        let groups = (layer.out_maps() as u64).div_ceil(nn);
+                        positions * groups * macs_per_out * 2
+                    }
+                    LayerKind::Fc => out.div_ceil(nn) * macs_per_out * 2,
+                    _ => in_bytes,
+                }
+            };
+            traffic += in_traffic;
+            // Synapses stream from DRAM unless the whole CNN fits the SB.
+            if !synapses_fit_sb {
+                traffic += o.synapses * 2;
+            }
+            // Outputs spill unless they fit NBout and this is the final
+            // layer handed to the host.
+            let is_last = i + 1 == network.layers().len();
+            if !is_last || out_bytes > cfg.nbout_bytes as u64 {
+                traffic += out_bytes;
+            }
+
+            dram_bytes += traffic;
+            // A single shared memory channel refills the tiny
+            // double-buffered NBin in 512-byte chunks; each chunk pays a
+            // fixed DMA turnaround on top of the 62.5 B/cycle stream, and
+            // the channel is not overlapped with compute (the three DMAs
+            // of the original design contend on one interface).
+            let mem_cycles =
+                cfg.dram.transfer_cycles(traffic) + traffic.div_ceil(512) * DMA_CHUNK_LATENCY;
+            cycles += compute + mem_cycles;
+            layers_out.push(BaselineLayer {
+                label: layer.label(),
+                compute_cycles: compute,
+                memory_cycles: mem_cycles,
+                dram_bytes: traffic,
+            });
+
+            // --- on-chip energy ---
+            // MAC-equivalent work plus the wide SRAM streams: Nn×Tn
+            // synapses + Tn neurons per compute cycle, plus clock/leakage
+            // on every (stall-extended) cycle.
+            let work = o.macs + o.adds + o.cmps + o.divs + o.acts;
+            let sram_bytes = compute * (nn * tn + tn) * 2 + (in_bytes + out_bytes);
+            onchip_pj += work as f64 * ENERGY.mac_pj
+                + sram_bytes as f64 * ENERGY.sram_byte_pj
+                + (compute + mem_cycles) as f64 * ENERGY.idle_pj_per_cycle;
+        }
+
+        BaselineRun {
+            layers: layers_out,
+            cycles,
+            dram_bytes,
+            onchip_nj: onchip_pj / 1000.0,
+            dram_nj: cfg.dram.transfer_energy_nj(dram_bytes) * DRAM_SCATTER_ENERGY_FACTOR,
+            frequency_ghz: cfg.frequency_ghz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shidiannao_cnn::zoo;
+
+    #[test]
+    fn config_matches_section9() {
+        let c = DianNaoConfig::paper();
+        assert_eq!(c.macs_per_cycle(), 64);
+        assert_eq!(c.nbin_bytes, 1024);
+        assert_eq!(c.sb_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn lenet_fc_layers_are_memory_bound() {
+        // F5 streams 96 KB of synapses at 62.5 B/cycle ≈ 1 572 cycles
+        // against 750 compute cycles: the layer must be memory-bound.
+        let net = zoo::lenet5().build(1).unwrap();
+        let full = DianNao::new(DianNaoConfig::paper()).run(&net);
+        let mut free = DianNaoConfig::paper();
+        free.dram.bytes_per_cycle = f64::INFINITY;
+        let unbound = DianNao::new(free).run(&net);
+        assert!(
+            full.cycles() > unbound.cycles(),
+            "{} vs {}",
+            full.cycles(),
+            unbound.cycles()
+        );
+    }
+
+    #[test]
+    fn free_mem_variant_drops_dram_energy_only() {
+        let net = zoo::cnp().build(1).unwrap();
+        let run = DianNao::new(DianNaoConfig::paper()).run(&net);
+        assert!(run.energy_nj() > run.energy_free_mem_nj());
+        assert!(run.dram_bytes() > 0);
+    }
+
+    #[test]
+    fn dram_traffic_includes_synapses_when_sb_overflows() {
+        // LeNet-5 synapses (118 KB) exceed the 16 KB SB; CFF's (1.7 KB)
+        // do not.
+        let cff = zoo::cff().build(1).unwrap();
+        let cff_syn: u64 = cff.layers().iter().map(|l| l.synapse_count() as u64 * 2).sum();
+        assert!(cff_syn <= 16 * 1024, "CFF fits the SB");
+        let fits = DianNao::new(DianNaoConfig::paper()).run(&cff);
+        let mut tiny_sb = DianNaoConfig::paper();
+        tiny_sb.sb_bytes = 1;
+        let spills = DianNao::new(tiny_sb).run(&cff);
+        // With the SB too small, exactly the synapse bytes are added to
+        // the DRAM traffic.
+        assert_eq!(spills.dram_bytes() - fits.dram_bytes(), cff_syn);
+        // LeNet-5's synapses never fit, so they always stream.
+        let lenet = zoo::lenet5().build(1).unwrap();
+        let lenet_syn: u64 = lenet.layers().iter().map(|l| l.synapse_count() as u64 * 2).sum();
+        assert!(DianNao::new(DianNaoConfig::paper()).run(&lenet).dram_bytes() > lenet_syn);
+    }
+
+    #[test]
+    fn layer_breakdown_sums_to_total() {
+        let net = zoo::lenet5().build(1).unwrap();
+        let run = DianNao::new(DianNaoConfig::paper()).run(&net);
+        let sum: u64 = run.layers().iter().map(BaselineLayer::cycles).sum();
+        assert_eq!(sum, run.cycles());
+        let traffic: u64 = run.layers().iter().map(|l| l.dram_bytes).sum();
+        assert_eq!(traffic, run.dram_bytes());
+        assert_eq!(run.layers().len(), 7);
+        assert_eq!(run.layers()[0].label, "C1");
+    }
+
+    #[test]
+    fn lenet_classifier_layers_are_memory_bound() {
+        // F5 streams 96 KB of synapses: the §11 signature.
+        let net = zoo::lenet5().build(1).unwrap();
+        let run = DianNao::new(DianNaoConfig::paper()).run(&net);
+        let f5 = run.layers().iter().find(|l| l.label == "F5").unwrap();
+        assert!(f5.is_memory_bound(), "{f5:?}");
+    }
+
+    #[test]
+    fn seconds_follow_frequency() {
+        let net = zoo::gabor().build(1).unwrap();
+        let run = DianNao::new(DianNaoConfig::paper()).run(&net);
+        assert!((run.seconds() - run.cycles() as f64 * 1e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,121 @@
+//! The GPU baseline model (§9's NVIDIA K20M + Caffe).
+
+use shidiannao_cnn::{ops, Network};
+
+/// An analytical model of the paper's GPU baseline.
+///
+/// The paper's central GPU observation is architectural, not numeric:
+/// "the GPU cannot take full advantage of its high computational power
+/// because the small computational kernels … map poorly on its 2,496
+/// hardware threads" (§10.2). The model reproduces that mechanism: each
+/// layer is a kernel launch with a fixed overhead, and compute throughput
+/// is peak × occupancy where occupancy is the fraction of the 2,496
+/// threads the layer's output neurons can fill. Launch overhead and board
+/// power are the calibrated constants (fitted to the paper's mean 28.94×
+/// speedup deficit and 4,688× energy ratio; see EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuModel {
+    /// Peak throughput in fixed-point-equivalent GOP/s.
+    pub peak_gops: f64,
+    /// Hardware thread count (K20M: 2,496 CUDA cores).
+    pub hardware_threads: f64,
+    /// Per-kernel-launch overhead in microseconds (driver + PCIe).
+    pub launch_overhead_us: f64,
+    /// Board power in watts while executing (K20M TDP-class).
+    pub board_power_w: f64,
+}
+
+/// Timing and energy of one GPU inference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuRun {
+    seconds: f64,
+    energy_nj: f64,
+}
+
+impl GpuRun {
+    /// Wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Energy in nanojoules (board power × time, including the GDDR5
+    /// traffic the board power subsumes).
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_nj
+    }
+}
+
+impl GpuModel {
+    /// The calibrated K20M model.
+    pub fn k20m() -> GpuModel {
+        GpuModel {
+            // 3.52 TFLOPS single-precision peak (§9).
+            peak_gops: 3520.0,
+            hardware_threads: 2496.0,
+            launch_overhead_us: 40.0,
+            board_power_w: 71.0,
+        }
+    }
+
+    /// Models one inference of `network`.
+    pub fn run(&self, network: &Network) -> GpuRun {
+        let mut seconds = 0.0;
+        for layer in network.layers() {
+            let o = ops::layer_ops(layer);
+            // Occupancy: one thread per output neuron is the natural Caffe
+            // mapping for these tiny layers.
+            let occupancy = (o.out_neurons as f64 / self.hardware_threads).min(1.0);
+            let throughput = self.peak_gops * 1e9 * occupancy;
+            let compute = o.total_fixed_ops() as f64 / throughput;
+            seconds += compute + self.launch_overhead_us * 1e-6;
+        }
+        GpuRun {
+            seconds,
+            energy_nj: self.board_power_w * seconds * 1e9,
+        }
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> GpuModel {
+        GpuModel::k20m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shidiannao_cnn::zoo;
+
+    #[test]
+    fn k20m_matches_section9_peak() {
+        assert_eq!(GpuModel::k20m().peak_gops, 3520.0);
+        assert_eq!(GpuModel::default(), GpuModel::k20m());
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_networks() {
+        let gpu = GpuModel::k20m();
+        let net = zoo::gabor().build(1).unwrap();
+        let run = gpu.run(&net);
+        let overhead = net.layers().len() as f64 * gpu.launch_overhead_us * 1e-6;
+        // At least 90 % of the time is launch overhead for this tiny CNN.
+        assert!(overhead / run.seconds() > 0.9, "{}", overhead / run.seconds());
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let gpu = GpuModel::k20m();
+        let run = gpu.run(&zoo::lenet5().build(1).unwrap());
+        assert!((run.energy_nj() - gpu.board_power_w * run.seconds() * 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn occupancy_penalises_small_layers() {
+        // A layer with few output neurons uses a sliver of the GPU.
+        let gpu = GpuModel::k20m();
+        let small = gpu.run(&zoo::cff().build(1).unwrap());
+        let big = gpu.run(&zoo::convnn().build(1).unwrap());
+        assert!(big.seconds() > small.seconds());
+    }
+}

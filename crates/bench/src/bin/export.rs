@@ -1,0 +1,127 @@
+//! Exports every experiment's data series as CSV files, ready for a
+//! plotting tool to regenerate the paper's figures.
+//!
+//! ```text
+//! export [OUTPUT_DIR]     # default: ./results
+//! ```
+
+use shidiannao_bench::{
+    design_space_sweep, fig18_speedups, fig19_energy, fig7_bandwidth, framerate_report,
+    reuse_report, table1_storage, table4_characteristics,
+};
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn write(dir: &Path, name: &str, contents: String) -> std::io::Result<()> {
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn export(dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+
+    let mut t1 = String::from("cnn,largest_layer_kb,synapses_kb,total_kb\n");
+    for r in table1_storage() {
+        t1 += &format!(
+            "{},{:.2},{:.2},{:.2}\n",
+            r.name, r.largest_layer_kb, r.synapses_kb, r.total_kb
+        );
+    }
+    write(dir, "table1_storage.csv", t1)?;
+
+    let t4 = table4_characteristics();
+    let mut t4csv = String::from("component,area_mm2,power_mw,energy_nj\n");
+    for (i, name) in ["NFU", "NBin", "NBout", "SB", "IB"].iter().enumerate() {
+        t4csv += &format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            name, t4.area_mm2[i], t4.power_mw[i], t4.energy_nj[i]
+        );
+    }
+    write(dir, "table4_characteristics.csv", t4csv)?;
+
+    let mut f7 = String::from("pes,without_propagation_gbps,with_propagation_gbps,reduction\n");
+    for r in fig7_bandwidth() {
+        f7 += &format!(
+            "{},{:.3},{:.3},{:.4}\n",
+            r.pes,
+            r.without_propagation_gbps,
+            r.with_propagation_gbps,
+            r.reduction()
+        );
+    }
+    write(dir, "fig7_bandwidth.csv", f7)?;
+
+    let mut f18 = String::from(
+        "cnn,cpu_s,gpu_s,diannao_s,shidiannao_s,gpu_speedup,diannao_speedup,shidiannao_speedup\n",
+    );
+    for r in fig18_speedups() {
+        f18 += &format!(
+            "{},{:.3e},{:.3e},{:.3e},{:.3e},{:.3},{:.3},{:.3}\n",
+            r.name,
+            r.cpu_s,
+            r.gpu_s,
+            r.diannao_s,
+            r.shidiannao_s,
+            r.gpu_speedup(),
+            r.diannao_speedup(),
+            r.shidiannao_speedup()
+        );
+    }
+    write(dir, "fig18_speedup.csv", f18)?;
+
+    let mut f19 =
+        String::from("cnn,gpu_nj,diannao_nj,diannao_freemem_nj,shidiannao_nj,shidiannao_sensor_nj\n");
+    for r in fig19_energy() {
+        f19 += &format!(
+            "{},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+            r.name, r.gpu_nj, r.diannao_nj, r.diannao_freemem_nj, r.shidiannao_nj,
+            r.shidiannao_sensor_nj
+        );
+    }
+    write(dir, "fig19_energy.csv", f19)?;
+
+    let mut sweep = String::from("side,geomean_cycles,geomean_utilization,area_mm2,geomean_energy_nj,edap\n");
+    for p in design_space_sweep(&[2, 4, 6, 8, 12, 16]) {
+        sweep += &format!(
+            "{},{:.1},{:.4},{:.3},{:.1},{:.4e}\n",
+            p.side, p.geomean_cycles, p.geomean_utilization, p.area_mm2, p.geomean_energy_nj,
+            p.edap()
+        );
+    }
+    write(dir, "design_space.csv", sweep)?;
+
+    let reuse = reuse_report();
+    let fr = framerate_report();
+    write(
+        dir,
+        "claims.csv",
+        format!(
+            "claim,paper,ours\n\
+             toy_reuse_reduction,0.444,{:.4}\n\
+             lenet_c1_reuse_reduction,0.7388,{:.4}\n\
+             regions_per_vga_frame,1073,{}\n\
+             ms_per_convnn_region,0.047,{:.4}\n\
+             fps,20,{:.1}\n",
+            reuse.toy_reduction,
+            reuse.lenet_c1_reduction,
+            fr.regions_per_frame,
+            fr.ms_per_region,
+            fr.fps
+        ),
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    match export(Path::new(&dir)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The reproduction harness: prints any (or every) table and figure of
+//! the ShiDianNao evaluation.
+//!
+//! ```text
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|all]
+//! ```
+
+use shidiannao_bench::report;
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let out = match arg.as_str() {
+        "table1" => report::render_table1(),
+        "table3" => report::render_table3(),
+        "table4" => report::render_table4(),
+        "fig7" => report::render_fig7(),
+        "fig17" => shidiannao_core::area::floorplan_ascii(
+            &shidiannao_core::AcceleratorConfig::paper(),
+        ),
+        "fig18" => report::render_fig18(),
+        "fig19" => report::render_fig19(),
+        "reuse" => report::render_reuse(),
+        "framerate" => report::render_framerate(),
+        "sweep" => report::render_sweep(),
+        "all" => report::render_all(),
+        "calib" => {
+            use shidiannao_baseline::{DianNao, DianNaoConfig, GpuModel, CpuModel};
+            use shidiannao_cnn::zoo;
+            use shidiannao_core::{Accelerator, AcceleratorConfig};
+            let mut s_nj = vec![]; let mut i_bytes = vec![]; let mut t_bytes = vec![]; let mut d_on = vec![];
+            let mut sdn_s = vec![]; let mut dn_s = vec![]; let mut cpu_s = vec![]; let mut gpu_s = vec![];
+            for b in zoo::all() {
+                let net = b.build(2015).unwrap();
+                let run = Accelerator::new(AcceleratorConfig::paper()).run(&net, &net.random_input(2015 ^ 0xABCD)).unwrap();
+                let d = DianNao::new(DianNaoConfig::paper()).run(&net);
+                s_nj.push(run.energy().total_nj());
+                i_bytes.push((net.input_maps() * net.input_dims().0 * net.input_dims().1 * 2) as f64);
+                t_bytes.push(d.dram_bytes() as f64);
+                d_on.push(d.energy_free_mem_nj());
+                sdn_s.push(run.seconds()); dn_s.push(d.seconds());
+                cpu_s.push(CpuModel::xeon_e7_8830().run_seconds(&net));
+                gpu_s.push(GpuModel::k20m().run(&net).seconds());
+            }
+            let g = shidiannao_bench::geomean;
+            format!("geomean S={:.0} nJ, I={:.0} B, T={:.0} B, D_onchip={:.0} nJ\nsdn={:.3e}s dn={:.3e}s cpu={:.3e}s gpu={:.3e}s\n",
+                g(&s_nj), g(&i_bytes), g(&t_bytes), g(&d_on), g(&sdn_s), g(&dn_s), g(&cpu_s), g(&gpu_s))
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep calib all"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{out}");
+    ExitCode::SUCCESS
+}

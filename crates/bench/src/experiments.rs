@@ -1,0 +1,395 @@
+//! The experiment implementations, one per paper artifact.
+
+use shidiannao_baseline::{CpuModel, DianNao, DianNaoConfig, DramModel, GpuModel};
+use shidiannao_cnn::{storage, zoo, Network, NetworkBuilder};
+use shidiannao_core::{Accelerator, AcceleratorConfig, RunOutcome};
+use shidiannao_sensor::{frames_per_second, RegionGrid, RowBuffer};
+
+/// Seed used for every experiment's weights and inputs (results are
+/// deterministic end to end).
+pub const SEED: u64 = 2015;
+
+fn build(b: NetworkBuilder) -> Network {
+    b.build(SEED).expect("benchmark topologies are valid")
+}
+
+fn run_shidiannao(net: &Network, cfg: AcceleratorConfig) -> RunOutcome {
+    let accel = Accelerator::new(cfg);
+    accel
+        .run(net, &net.random_input(SEED ^ 0xABCD))
+        .expect("benchmarks fit the paper configuration")
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// One row of Table 1: per-CNN storage requirements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Largest layer size in KB.
+    pub largest_layer_kb: f64,
+    /// Synapse storage in KB.
+    pub synapses_kb: f64,
+    /// Total storage in KB.
+    pub total_kb: f64,
+}
+
+/// Regenerates Table 1 from the benchmark topologies.
+pub fn table1_storage() -> Vec<Table1Row> {
+    zoo::all()
+        .into_iter()
+        .map(|b| {
+            let r = storage::report(&build(b));
+            Table1Row {
+                name: r.name().to_string(),
+                largest_layer_kb: r.largest_layer_kb(),
+                synapses_kb: r.synapse_kb(),
+                total_kb: r.total_kb(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+/// One point of Fig. 7: internal bandwidth at a PE count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig7Row {
+    /// Number of PEs (square mesh).
+    pub pes: usize,
+    /// GB/s from NBin+SB to the NFU with inter-PE propagation.
+    pub with_propagation_gbps: f64,
+    /// GB/s without inter-PE propagation.
+    pub without_propagation_gbps: f64,
+}
+
+impl Fig7Row {
+    /// Fraction of NBin+SB traffic eliminated by propagation.
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.with_propagation_gbps / self.without_propagation_gbps
+    }
+}
+
+/// Regenerates Fig. 7: the representative LeNet-5 convolutional layer
+/// (32 × 32 input, 5 × 5 kernel) on square PE meshes of 1–64 PEs.
+pub fn fig7_bandwidth() -> Vec<Fig7Row> {
+    let net = build(NetworkBuilder::new("fig7", 1, (32, 32)).conv(
+        shidiannao_cnn::ConvSpec::new(1, (5, 5)),
+    ));
+    (1..=8)
+        .map(|side| {
+            let gbps = |cfg: AcceleratorConfig| {
+                let freq = cfg.frequency_ghz;
+                let run = run_shidiannao(&net, cfg);
+                let conv = &run.stats().layers()[1];
+                conv.internal_bytes_per_cycle() * freq
+            };
+            Fig7Row {
+                pes: side * side,
+                with_propagation_gbps: gbps(AcceleratorConfig::with_pe_grid(side, side)),
+                without_propagation_gbps: gbps(
+                    AcceleratorConfig::with_pe_grid(side, side).without_propagation(),
+                ),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 18
+
+/// One group of Fig. 18 bars: per-benchmark execution times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig18Row {
+    /// Benchmark name.
+    pub name: String,
+    /// CPU baseline seconds.
+    pub cpu_s: f64,
+    /// GPU baseline seconds.
+    pub gpu_s: f64,
+    /// DianNao baseline seconds.
+    pub diannao_s: f64,
+    /// ShiDianNao seconds.
+    pub shidiannao_s: f64,
+}
+
+impl Fig18Row {
+    /// GPU speedup over the CPU.
+    pub fn gpu_speedup(&self) -> f64 {
+        self.cpu_s / self.gpu_s
+    }
+
+    /// DianNao speedup over the CPU.
+    pub fn diannao_speedup(&self) -> f64 {
+        self.cpu_s / self.diannao_s
+    }
+
+    /// ShiDianNao speedup over the CPU.
+    pub fn shidiannao_speedup(&self) -> f64 {
+        self.cpu_s / self.shidiannao_s
+    }
+}
+
+/// Regenerates Fig. 18: per-benchmark speedups of GPU, DianNao, and
+/// ShiDianNao over the CPU.
+pub fn fig18_speedups() -> Vec<Fig18Row> {
+    let cpu = CpuModel::xeon_e7_8830();
+    let gpu = GpuModel::k20m();
+    let diannao = DianNao::new(DianNaoConfig::paper());
+    zoo::all()
+        .into_iter()
+        .map(|b| {
+            let net = build(b);
+            let run = run_shidiannao(&net, AcceleratorConfig::paper());
+            Fig18Row {
+                name: net.name().to_string(),
+                cpu_s: cpu.run_seconds(&net),
+                gpu_s: gpu.run(&net).seconds(),
+                diannao_s: diannao.run(&net).seconds(),
+                shidiannao_s: run.seconds(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 19
+
+/// One group of Fig. 19 bars: per-benchmark energies in nJ.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig19Row {
+    /// Benchmark name.
+    pub name: String,
+    /// GPU energy.
+    pub gpu_nj: f64,
+    /// DianNao energy (with DRAM).
+    pub diannao_nj: f64,
+    /// DianNao with free main memory.
+    pub diannao_freemem_nj: f64,
+    /// ShiDianNao energy, conservatively including the DRAM fetch of the
+    /// input image (the Fig. 19 accounting).
+    pub shidiannao_nj: f64,
+    /// ShiDianNao with frames streamed straight into NBin (the §10.3
+    /// "integrated in an embedded vision sensor" variant).
+    pub shidiannao_sensor_nj: f64,
+}
+
+/// Regenerates Fig. 19: per-benchmark energy of GPU, DianNao,
+/// DianNao-FreeMem, and ShiDianNao.
+pub fn fig19_energy() -> Vec<Fig19Row> {
+    let gpu = GpuModel::k20m();
+    let diannao = DianNao::new(DianNaoConfig::paper());
+    let dram = DramModel::vision_sensor();
+    zoo::all()
+        .into_iter()
+        .map(|b| {
+            let net = build(b);
+            let run = run_shidiannao(&net, AcceleratorConfig::paper());
+            let d = diannao.run(&net);
+            let input_bytes =
+                (net.input_maps() * net.input_dims().0 * net.input_dims().1 * 2) as u64;
+            let own = run.energy().total_nj();
+            Fig19Row {
+                name: net.name().to_string(),
+                gpu_nj: gpu.run(&net).energy_nj(),
+                diannao_nj: d.energy_nj(),
+                diannao_freemem_nj: d.energy_free_mem_nj(),
+                shidiannao_nj: own + dram.transfer_energy_nj(input_bytes),
+                shidiannao_sensor_nj: own,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// Table 4 regenerated: layout characteristics plus power/energy averaged
+/// over the ten benchmarks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table4Report {
+    /// Component areas (NFU, NBin, NBout, SB, IB) in mm².
+    pub area_mm2: [f64; 5],
+    /// Average power per component in mW at 1 GHz.
+    pub power_mw: [f64; 5],
+    /// Average per-inference energy per component in nJ.
+    pub energy_nj: [f64; 5],
+}
+
+impl Table4Report {
+    /// Total area.
+    pub fn total_area_mm2(&self) -> f64 {
+        self.area_mm2.iter().sum()
+    }
+
+    /// Total average power.
+    pub fn total_power_mw(&self) -> f64 {
+        self.power_mw.iter().sum()
+    }
+
+    /// Total average energy.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy_nj.iter().sum()
+    }
+
+    /// Component energy shares (fractions of the total).
+    pub fn energy_shares(&self) -> [f64; 5] {
+        let t = self.total_energy_nj();
+        let mut s = self.energy_nj;
+        for v in &mut s {
+            *v /= t;
+        }
+        s
+    }
+}
+
+/// Regenerates Table 4 by running all ten benchmarks on the paper
+/// configuration and averaging.
+pub fn table4_characteristics() -> Table4Report {
+    let cfg = AcceleratorConfig::paper();
+    let area = shidiannao_core::area::area_of(&cfg);
+    let mut energy = [0.0f64; 5];
+    let mut power = [0.0f64; 5];
+    let n = zoo::all().len() as f64;
+    for b in zoo::all() {
+        let net = build(b);
+        let run = run_shidiannao(&net, cfg.clone());
+        let e = run.energy();
+        let comps = [e.nfu_nj, e.nbin_nj, e.nbout_nj, e.sb_nj, e.ib_nj];
+        let seconds = run.seconds();
+        for (i, c) in comps.iter().enumerate() {
+            energy[i] += c / n;
+            power[i] += (c * 1e-9 / seconds * 1e3) / n;
+        }
+    }
+    Table4Report {
+        area_mm2: [
+            area.nfu_mm2,
+            area.nbin_mm2,
+            area.nbout_mm2,
+            area.sb_mm2,
+            area.ib_mm2,
+        ],
+        power_mw: power,
+        energy_nj: energy,
+    }
+}
+
+// ----------------------------------------------------- design-space sweep
+
+/// One design point of the PE-array sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// Mesh side (square array).
+    pub side: usize,
+    /// Geomean cycles across the ten benchmarks.
+    pub geomean_cycles: f64,
+    /// Geomean PE utilization.
+    pub geomean_utilization: f64,
+    /// Total accelerator area at 65 nm.
+    pub area_mm2: f64,
+    /// Geomean per-inference energy.
+    pub geomean_energy_nj: f64,
+}
+
+impl DesignPoint {
+    /// The energy-delay-area product — the figure of merit the sweep
+    /// minimizes.
+    pub fn edap(&self) -> f64 {
+        self.geomean_energy_nj * self.geomean_cycles * self.area_mm2
+    }
+}
+
+/// Sweeps square PE arrays across all ten benchmarks — the design-space
+/// study behind the paper's 8×8 choice (§10.2 discusses the utilization
+/// side of this trade-off).
+pub fn design_space_sweep(sides: &[usize]) -> Vec<DesignPoint> {
+    sides
+        .iter()
+        .map(|&side| {
+            let cfg = AcceleratorConfig::with_pe_grid(side, side);
+            let area = shidiannao_core::area::area_of(&cfg).total_mm2();
+            let mut cycles = Vec::new();
+            let mut utils = Vec::new();
+            let mut energies = Vec::new();
+            for b in zoo::all() {
+                let net = build(b);
+                let run = run_shidiannao(&net, cfg.clone());
+                cycles.push(run.stats().cycles() as f64);
+                utils.push(run.stats().total().pe_utilization().max(1e-9));
+                energies.push(run.energy().total_nj());
+            }
+            DesignPoint {
+                side,
+                geomean_cycles: crate::geomean(&cycles),
+                geomean_utilization: crate::geomean(&utils),
+                area_mm2: area,
+                geomean_energy_nj: crate::geomean(&energies),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ §8.1 reuse
+
+/// The §8.1 inter-PE reuse measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReuseReport {
+    /// NBin read reduction for the 2×2-PE / 3×3-kernel toy example
+    /// (paper: 44.4 %).
+    pub toy_reduction: f64,
+    /// NBin read reduction for LeNet-5 C1 on 64 PEs (paper: 73.88 %; see
+    /// EXPERIMENTS.md for the discrepancy discussion).
+    pub lenet_c1_reduction: f64,
+}
+
+/// Measures the §8.1 read-reduction claims.
+pub fn reuse_report() -> ReuseReport {
+    let layer_reads = |net: &Network, cfg: AcceleratorConfig, layer: usize| {
+        run_shidiannao(net, cfg).stats().layers()[layer].nbin.read_bytes as f64
+    };
+    let toy = build(NetworkBuilder::new("toy", 1, (4, 4)).conv(shidiannao_cnn::ConvSpec::new(1, (3, 3))));
+    let toy_cfg = AcceleratorConfig::with_pe_grid(2, 2);
+    let toy_reduction = 1.0
+        - layer_reads(&toy, toy_cfg.clone(), 1)
+            / layer_reads(&toy, toy_cfg.without_propagation(), 1);
+    let lenet = build(zoo::lenet5());
+    let lenet_c1_reduction = 1.0
+        - layer_reads(&lenet, AcceleratorConfig::paper(), 1)
+            / layer_reads(&lenet, AcceleratorConfig::paper().without_propagation(), 1);
+    ReuseReport {
+        toy_reduction,
+        lenet_c1_reduction,
+    }
+}
+
+// --------------------------------------------------------- §10.2 framerate
+
+/// The §10.2 real-time streaming analysis for ConvNN on a VGA sensor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FramerateReport {
+    /// Overlapping 64 × 36 regions per 640 × 480 frame (paper: 1 073).
+    pub regions_per_frame: usize,
+    /// Milliseconds to process one region (paper: 0.047 ms).
+    pub ms_per_region: f64,
+    /// Milliseconds per frame (paper: "a little more than 50 ms").
+    pub ms_per_frame: f64,
+    /// Sustained frames per second (paper: 20 fps).
+    pub fps: f64,
+    /// Partial-frame row-buffer footprint in KB (paper: fits 256 KB).
+    pub row_buffer_kb: f64,
+}
+
+/// Regenerates the §10.2 frame-rate analysis.
+pub fn framerate_report() -> FramerateReport {
+    let grid = RegionGrid::paper_convnn();
+    let net = build(zoo::convnn());
+    let run = run_shidiannao(&net, AcceleratorConfig::paper());
+    let per_region = run.seconds();
+    let regions = grid.count();
+    FramerateReport {
+        regions_per_frame: regions,
+        ms_per_region: per_region * 1e3,
+        ms_per_frame: per_region * regions as f64 * 1e3,
+        fps: frames_per_second(regions, per_region),
+        row_buffer_kb: RowBuffer::for_grid(&grid, 2).bytes() as f64 / 1024.0,
+    }
+}

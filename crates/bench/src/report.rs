@@ -1,0 +1,258 @@
+//! Plain-text rendering of the experiment results, in the shape the paper
+//! prints them.
+
+use crate::experiments::{
+    fig18_speedups, fig19_energy, fig7_bandwidth, framerate_report, reuse_report, table1_storage,
+    table4_characteristics,
+};
+use crate::geomean;
+
+const COMPONENTS: [&str; 5] = ["NFU", "NBin", "NBout", "SB", "IB"];
+
+/// Renders Table 1.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table 1: CNN storage requirements\n\
+         CNN          Largest Layer (KB)  Synapses (KB)  Total Storage (KB)\n",
+    );
+    for r in table1_storage() {
+        out += &format!(
+            "{:<12} {:>18.2} {:>14.2} {:>19.2}\n",
+            r.name, r.largest_layer_kb, r.synapses_kb, r.total_kb
+        );
+    }
+    out
+}
+
+/// Renders Table 3 (static configuration comparison).
+pub fn render_table3() -> String {
+    String::from(
+        "Table 3: Parameter settings of ShiDianNao and DianNao\n\
+         Parameter            ShiDianNao   DianNao\n\
+         Data width           16-bit       16-bit\n\
+         # multipliers        64           64\n\
+         NBin SRAM size       64 KB        1 KB\n\
+         NBout SRAM size      64 KB        1 KB\n\
+         SB SRAM size         128 KB       16 KB\n\
+         Inst. SRAM size      32 KB        8 KB\n",
+    )
+}
+
+/// Renders Table 4 (area / power / energy with component breakdown).
+pub fn render_table4() -> String {
+    let t = table4_characteristics();
+    let mut out = String::from(
+        "Table 4: Hardware characteristics of ShiDianNao at 1 GHz\n\
+         Component   Area (mm2)          Power (mW)          Energy (nJ)\n",
+    );
+    let (ta, tp, te) = (t.total_area_mm2(), t.total_power_mw(), t.total_energy_nj());
+    out += &format!(
+        "{:<10} {:>7.2} (100.00%)  {:>8.2} (100.00%)  {:>9.2} (100.00%)\n",
+        "Total", ta, tp, te
+    );
+    for (i, name) in COMPONENTS.iter().enumerate() {
+        out += &format!(
+            "{:<10} {:>7.2} ({:>5.2}%)  {:>8.2} ({:>5.2}%)  {:>9.2} ({:>5.2}%)\n",
+            name,
+            t.area_mm2[i],
+            100.0 * t.area_mm2[i] / ta,
+            t.power_mw[i],
+            100.0 * t.power_mw[i] / tp,
+            t.energy_nj[i],
+            100.0 * t.energy_nj[i] / te,
+        );
+    }
+    out
+}
+
+/// Renders Fig. 7's two series.
+pub fn render_fig7() -> String {
+    let mut out = String::from(
+        "Figure 7: internal bandwidth from NBin+SB to the NFU (GB/s)\n\
+         #PE   without-propagation   with-propagation   reduction\n",
+    );
+    for r in fig7_bandwidth() {
+        out += &format!(
+            "{:>3} {:>21.1} {:>18.1} {:>10.1}%\n",
+            r.pes,
+            r.without_propagation_gbps,
+            r.with_propagation_gbps,
+            100.0 * r.reduction()
+        );
+    }
+    out
+}
+
+/// Renders Fig. 18's bars plus the geometric means.
+pub fn render_fig18() -> String {
+    let rows = fig18_speedups();
+    let mut out = String::from(
+        "Figure 18: speedup over the CPU baseline\n\
+         CNN          GPU      DianNao  ShiDianNao\n",
+    );
+    for r in &rows {
+        out += &format!(
+            "{:<12} {:>7.2}x {:>7.2}x {:>9.2}x\n",
+            r.name,
+            r.gpu_speedup(),
+            r.diannao_speedup(),
+            r.shidiannao_speedup()
+        );
+    }
+    let g = |f: fn(&crate::Fig18Row) -> f64| {
+        geomean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    out += &format!(
+        "{:<12} {:>7.2}x {:>7.2}x {:>9.2}x\n",
+        "GeoMean",
+        g(|r| r.gpu_speedup()),
+        g(|r| r.diannao_speedup()),
+        g(|r| r.shidiannao_speedup())
+    );
+    out
+}
+
+/// Renders Fig. 19's bars (log10 nJ, as the paper plots them) plus the
+/// headline ratios.
+pub fn render_fig19() -> String {
+    let rows = fig19_energy();
+    let mut out = String::from(
+        "Figure 19: energy per inference, log10(nJ)\n\
+         CNN          GPU    DianNao  DN-FreeMem  ShiDianNao\n",
+    );
+    for r in &rows {
+        out += &format!(
+            "{:<12} {:>5.2} {:>8.2} {:>11.2} {:>11.2}\n",
+            r.name,
+            r.gpu_nj.log10(),
+            r.diannao_nj.log10(),
+            r.diannao_freemem_nj.log10(),
+            r.shidiannao_nj.log10()
+        );
+    }
+    let ratio = |f: fn(&crate::Fig19Row) -> f64| {
+        geomean(
+            &rows
+                .iter()
+                .map(|r| f(r) / r.shidiannao_nj)
+                .collect::<Vec<_>>(),
+        )
+    };
+    let sensor_ratio = |f: fn(&crate::Fig19Row) -> f64| {
+        geomean(
+            &rows
+                .iter()
+                .map(|r| f(r) / r.shidiannao_sensor_nj)
+                .collect::<Vec<_>>(),
+        )
+    };
+    out += &format!(
+        "GeoMean energy ratios vs ShiDianNao: GPU {:.0}x, DianNao {:.1}x, DianNao-FreeMem {:.2}x\n",
+        ratio(|r| r.gpu_nj),
+        ratio(|r| r.diannao_nj),
+        ratio(|r| r.diannao_freemem_nj),
+    );
+    out += &format!(
+        "Sensor-integrated variant: DianNao {:.1}x, DianNao-FreeMem {:.2}x\n",
+        sensor_ratio(|r| r.diannao_nj),
+        sensor_ratio(|r| r.diannao_freemem_nj),
+    );
+    out
+}
+
+/// Renders the §8.1 reuse measurements.
+pub fn render_reuse() -> String {
+    let r = reuse_report();
+    format!(
+        "Section 8.1: inter-PE data reuse\n\
+         toy example (2x2 PEs, 3x3 kernel): {:.1}% NBin read reduction (paper: 44.4%)\n\
+         LeNet-5 C1 on 64 PEs:              {:.2}% NBin read reduction (paper: 73.88%)\n",
+        100.0 * r.toy_reduction,
+        100.0 * r.lenet_c1_reduction
+    )
+}
+
+/// Renders the §10.2 frame-rate analysis.
+pub fn render_framerate() -> String {
+    let r = framerate_report();
+    format!(
+        "Section 10.2: streaming ConvNN over a 640x480 sensor\n\
+         regions per frame : {} (paper: 1073)\n\
+         ms per region     : {:.3} (paper: 0.047)\n\
+         ms per frame      : {:.1} (paper: ~50)\n\
+         frames per second : {:.1} (paper: 20)\n\
+         row buffer        : {:.1} KB (fits the 256 KB of commercial image processors)\n",
+        r.regions_per_frame, r.ms_per_region, r.ms_per_frame, r.fps, r.row_buffer_kb
+    )
+}
+
+/// Renders the PE design-space sweep.
+pub fn render_sweep() -> String {
+    let mut out = String::from(
+        "Design-space sweep (geomeans over the ten benchmarks)\n\
+         mesh    cycles   PE util   area mm2   energy nJ       EDAP\n",
+    );
+    for p in crate::design_space_sweep(&[2, 4, 6, 8, 12, 16]) {
+        out += &format!(
+            "{:>2}x{:<3} {:>8.0} {:>8.1}% {:>10.2} {:>11.1} {:>10.2e}\n",
+            p.side,
+            p.side,
+            p.geomean_cycles,
+            100.0 * p.geomean_utilization,
+            p.area_mm2,
+            p.geomean_energy_nj,
+            p.edap()
+        );
+    }
+    out += "the paper's 8x8 point balances utilization against area and energy.\n";
+    out
+}
+
+/// Renders every artifact in paper order.
+pub fn render_all() -> String {
+    [
+        render_table1(),
+        render_table3(),
+        render_table4(),
+        render_fig7(),
+        render_fig18(),
+        render_fig19(),
+        render_reuse(),
+        render_framerate(),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_ten_rows() {
+        let t = render_table1();
+        assert_eq!(t.lines().count(), 12, "{t}");
+        assert!(t.contains("LeNet-5"));
+        assert!(t.contains("136.11"));
+    }
+
+    #[test]
+    fn table3_is_the_static_comparison() {
+        let t = render_table3();
+        assert!(t.contains("64 KB        1 KB"));
+        assert!(t.contains("128 KB       16 KB"));
+    }
+
+    #[test]
+    fn reuse_report_prints_the_toy_percentage() {
+        let r = render_reuse();
+        assert!(r.contains("44.4%"), "{r}");
+        assert!(r.contains("73.88%"));
+    }
+
+    #[test]
+    fn fig7_lists_eight_mesh_sizes() {
+        let f = render_fig7();
+        assert_eq!(f.lines().count(), 10, "{f}");
+        assert!(f.lines().last().unwrap().trim_start().starts_with("64"));
+    }
+}

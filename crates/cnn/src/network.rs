@@ -1,0 +1,986 @@
+//! Network construction, validation, and the forward executors.
+
+use crate::layer::{
+    Activation, Connectivity, ConvSpec, FcSpec, LayerKind, LayerSpec, LcnSpec, LrnSpec, PoolKind,
+    PoolSpec, Rounding,
+};
+use crate::reference;
+use crate::weights::{ConvWeights, FcWeights};
+use crate::ConnectionTable;
+use core::fmt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shidiannao_fixed::Fx;
+use shidiannao_tensor::{FeatureMap, MapStack};
+
+/// Error produced while assembling a [`Network`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The builder holds no layers.
+    Empty,
+    /// A layer's geometry is inconsistent with its input (message explains).
+    Geometry(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Empty => f.write_str("network has no layers"),
+            NetworkError::Geometry(msg) => write!(f, "invalid layer geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Incrementally describes a CNN; [`NetworkBuilder::build`] validates the
+/// geometry, generates deterministic fixed-point weights, and produces a
+/// [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_cnn::{ConvSpec, FcSpec, NetworkBuilder, PoolSpec};
+///
+/// let net = NetworkBuilder::new("tiny", 1, (12, 12))
+///     .conv(ConvSpec::new(4, (3, 3)))
+///     .pool(PoolSpec::max((2, 2)))
+///     .fc(FcSpec::new(10))
+///     .build(1)
+///     .unwrap();
+/// assert_eq!(net.layers().len(), 3);
+/// assert_eq!(net.output_count(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    input_maps: usize,
+    input_dims: (usize, usize),
+    specs: Vec<LayerSpec>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network taking `input_maps` feature maps of
+    /// `input_dims = (width, height)` pixels.
+    pub fn new(name: impl Into<String>, input_maps: usize, input_dims: (usize, usize)) -> NetworkBuilder {
+        NetworkBuilder {
+            name: name.into(),
+            input_maps,
+            input_dims,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends a convolutional layer.
+    pub fn conv(mut self, spec: ConvSpec) -> NetworkBuilder {
+        self.specs.push(LayerSpec::Conv(spec));
+        self
+    }
+
+    /// Appends a pooling layer.
+    pub fn pool(mut self, spec: PoolSpec) -> NetworkBuilder {
+        self.specs.push(LayerSpec::Pool(spec));
+        self
+    }
+
+    /// Appends a classifier layer.
+    pub fn fc(mut self, spec: FcSpec) -> NetworkBuilder {
+        self.specs.push(LayerSpec::Fc(spec));
+        self
+    }
+
+    /// Appends an LRN layer.
+    pub fn lrn(mut self, spec: LrnSpec) -> NetworkBuilder {
+        self.specs.push(LayerSpec::Lrn(spec));
+        self
+    }
+
+    /// Appends an LCN layer.
+    pub fn lcn(mut self, spec: LcnSpec) -> NetworkBuilder {
+        self.specs.push(LayerSpec::Lcn(spec));
+        self
+    }
+
+    /// Appends an arbitrary layer spec.
+    pub fn push(mut self, spec: LayerSpec) -> NetworkBuilder {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The layer specs pushed so far.
+    pub fn specs(&self) -> &[LayerSpec] {
+        &self.specs
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Validates the geometry, generates weights from `seed`, and produces
+    /// the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] when the builder is empty or a layer cannot
+    /// be applied to its input shape.
+    pub fn build(&self, seed: u64) -> Result<Network, NetworkError> {
+        if self.specs.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        if self.input_maps == 0 || self.input_dims.0 == 0 || self.input_dims.1 == 0 {
+            return Err(NetworkError::Geometry("empty input".into()));
+        }
+        let mut layers = Vec::with_capacity(self.specs.len());
+        let mut maps = self.input_maps;
+        let mut dims = self.input_dims;
+        for (index, spec) in self.specs.iter().enumerate() {
+            // One RNG stream per layer: weights do not shift when earlier
+            // layers change shape.
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let layer = resolve_layer(index, maps, dims, spec, &mut rng)?;
+            maps = layer.out_maps;
+            dims = layer.out_dims;
+            layers.push(layer);
+        }
+        Ok(Network {
+            name: self.name.clone(),
+            input_maps: self.input_maps,
+            input_dims: self.input_dims,
+            layers,
+        })
+    }
+}
+
+fn resolve_layer(
+    index: usize,
+    in_maps: usize,
+    in_dims: (usize, usize),
+    spec: &LayerSpec,
+    rng: &mut StdRng,
+) -> Result<Layer, NetworkError> {
+    let geo = |msg: String| NetworkError::Geometry(format!("layer {index}: {msg}"));
+    match spec {
+        LayerSpec::Conv(c) => {
+            if c.kernel.0 == 0 || c.kernel.1 == 0 || c.stride.0 == 0 || c.stride.1 == 0 {
+                return Err(geo("zero kernel or stride".into()));
+            }
+            if c.kernel.0 > in_dims.0 || c.kernel.1 > in_dims.1 {
+                return Err(geo(format!(
+                    "kernel {}x{} exceeds input {}x{}",
+                    c.kernel.0, c.kernel.1, in_dims.0, in_dims.1
+                )));
+            }
+            if c.out_maps == 0 {
+                return Err(geo("zero output maps".into()));
+            }
+            let table = match &c.connectivity {
+                Connectivity::Full => ConnectionTable::full(in_maps, c.out_maps),
+                Connectivity::Pairs(p) => {
+                    if *p == 0 || *p > in_maps * c.out_maps {
+                        return Err(geo(format!("bad pair count {p}")));
+                    }
+                    ConnectionTable::spread(in_maps, c.out_maps, *p)
+                }
+                Connectivity::Table(t) => {
+                    if t.in_maps() != in_maps || t.out_maps() != c.out_maps {
+                        return Err(geo("connection table shape mismatch".into()));
+                    }
+                    t.clone()
+                }
+            };
+            let out_dims = (
+                (in_dims.0 - c.kernel.0) / c.stride.0 + 1,
+                (in_dims.1 - c.kernel.1) / c.stride.1 + 1,
+            );
+            let weights = ConvWeights::generate(&table, c.kernel, rng);
+            Ok(Layer {
+                index,
+                in_maps,
+                in_dims,
+                out_maps: c.out_maps,
+                out_dims,
+                body: LayerBody::Conv {
+                    table,
+                    kernel: c.kernel,
+                    stride: c.stride,
+                    weights,
+                    activation: c.activation,
+                },
+            })
+        }
+        LayerSpec::Pool(p) => {
+            if p.window.0 == 0 || p.window.1 == 0 || p.stride.0 == 0 || p.stride.1 == 0 {
+                return Err(geo("zero window or stride".into()));
+            }
+            if p.window.0 > in_dims.0 || p.window.1 > in_dims.1 {
+                return Err(geo(format!(
+                    "window {}x{} exceeds input {}x{}",
+                    p.window.0, p.window.1, in_dims.0, in_dims.1
+                )));
+            }
+            if p.rounding == Rounding::Ceil && p.stride != p.window {
+                return Err(geo(
+                    "ceiling rounding requires non-overlapping pooling (stride == window)"
+                        .into(),
+                ));
+            }
+            let extent = |n: usize, k: usize, s: usize| match p.rounding {
+                Rounding::Floor => (n - k) / s + 1,
+                Rounding::Ceil => (n - k).div_ceil(s) + 1,
+            };
+            let out_dims = (
+                extent(in_dims.0, p.window.0, p.stride.0),
+                extent(in_dims.1, p.window.1, p.stride.1),
+            );
+            Ok(Layer {
+                index,
+                in_maps,
+                in_dims,
+                out_maps: in_maps,
+                out_dims,
+                body: LayerBody::Pool {
+                    window: p.window,
+                    stride: p.stride,
+                    kind: p.kind,
+                    rounding: p.rounding,
+                    activation: p.activation,
+                },
+            })
+        }
+        LayerSpec::Fc(f) => {
+            if f.out_neurons == 0 {
+                return Err(geo("zero output neurons".into()));
+            }
+            let in_count = in_maps * in_dims.0 * in_dims.1;
+            if let Some(spo) = f.synapses_per_output {
+                if spo == 0 || spo > in_count {
+                    return Err(geo(format!(
+                        "synapses per output {spo} out of range for {in_count} inputs"
+                    )));
+                }
+            }
+            let weights = FcWeights::generate(in_count, f.out_neurons, f.synapses_per_output, rng);
+            Ok(Layer {
+                index,
+                in_maps,
+                in_dims,
+                out_maps: f.out_neurons,
+                out_dims: (1, 1),
+                body: LayerBody::Fc {
+                    weights,
+                    activation: f.activation,
+                },
+            })
+        }
+        LayerSpec::Lrn(l) => {
+            if l.window_maps == 0 {
+                return Err(geo("zero LRN map window".into()));
+            }
+            Ok(Layer {
+                index,
+                in_maps,
+                in_dims,
+                out_maps: in_maps,
+                out_dims: in_dims,
+                body: LayerBody::Lrn(*l),
+            })
+        }
+        LayerSpec::Lcn(l) => {
+            if l.window > in_dims.0 || l.window > in_dims.1 {
+                return Err(geo(format!(
+                    "LCN window {} exceeds input {}x{}",
+                    l.window, in_dims.0, in_dims.1
+                )));
+            }
+            let gauss = gaussian_window(l.window, in_maps);
+            Ok(Layer {
+                index,
+                in_maps,
+                in_dims,
+                out_maps: in_maps,
+                out_dims: in_dims,
+                body: LayerBody::Lcn { spec: *l, gauss },
+            })
+        }
+    }
+}
+
+/// A normalized Gaussian weighting window `ω` (formula (6)): quantized to
+/// fixed point with `Σ_{j,p,q} ω ≈ 1` across all `maps` input maps.
+pub(crate) fn gaussian_window(window: usize, maps: usize) -> FeatureMap<Fx> {
+    let sigma = window as f64 / 4.0;
+    let c = (window / 2) as f64;
+    let raw = FeatureMap::from_fn(window, window, |x, y| {
+        let (dx, dy) = (x as f64 - c, y as f64 - c);
+        (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp()
+    });
+    let total: f64 = raw.iter().sum::<f64>() * maps as f64;
+    raw.map(|v| Fx::from_f64(v / total))
+}
+
+/// A fully resolved layer: geometry plus fixed-point weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layer {
+    index: usize,
+    in_maps: usize,
+    in_dims: (usize, usize),
+    out_maps: usize,
+    out_dims: (usize, usize),
+    body: LayerBody,
+}
+
+/// The kind-specific contents of a resolved [`Layer`]. Fields are public:
+/// the simulator's layer executors consume them directly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerBody {
+    /// Convolutional layer (formula (1)).
+    Conv {
+        /// Which input maps feed each output map.
+        table: ConnectionTable,
+        /// Kernel `(Kx, Ky)`.
+        kernel: (usize, usize),
+        /// Stride `(Sx, Sy)`.
+        stride: (usize, usize),
+        /// Kernels and biases.
+        weights: ConvWeights,
+        /// ALU activation.
+        activation: Activation,
+    },
+    /// Pooling layer (formula (2)).
+    Pool {
+        /// Window `(Kx, Ky)`.
+        window: (usize, usize),
+        /// Stride `(Sx, Sy)`.
+        stride: (usize, usize),
+        /// Max or average.
+        kind: PoolKind,
+        /// Edge rounding convention.
+        rounding: Rounding,
+        /// ALU activation.
+        activation: Activation,
+    },
+    /// Classifier layer (formula (7)).
+    Fc {
+        /// Synapse rows and biases.
+        weights: FcWeights,
+        /// ALU activation.
+        activation: Activation,
+    },
+    /// Local Response Normalization (formula (3)).
+    Lrn(LrnSpec),
+    /// Local Contrast Normalization (formulae (4)–(6)).
+    Lcn {
+        /// Parameters.
+        spec: LcnSpec,
+        /// Quantized Gaussian window `ω`.
+        gauss: FeatureMap<Fx>,
+    },
+}
+
+impl Layer {
+    /// Assembles a resolved layer (the deserialization path).
+    pub(crate) fn from_parts(
+        index: usize,
+        in_maps: usize,
+        in_dims: (usize, usize),
+        out_maps: usize,
+        out_dims: (usize, usize),
+        body: LayerBody,
+    ) -> Layer {
+        Layer {
+            index,
+            in_maps,
+            in_dims,
+            out_maps,
+            out_dims,
+            body,
+        }
+    }
+
+    /// Position of the layer within its network (0-based).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Input map count.
+    #[inline]
+    pub fn in_maps(&self) -> usize {
+        self.in_maps
+    }
+
+    /// Input map dimensions `(width, height)`.
+    #[inline]
+    pub fn in_dims(&self) -> (usize, usize) {
+        self.in_dims
+    }
+
+    /// Output map count (for classifiers: output neurons).
+    #[inline]
+    pub fn out_maps(&self) -> usize {
+        self.out_maps
+    }
+
+    /// Output map dimensions (classifiers: `(1, 1)`).
+    #[inline]
+    pub fn out_dims(&self) -> (usize, usize) {
+        self.out_dims
+    }
+
+    /// The kind-specific contents.
+    #[inline]
+    pub fn body(&self) -> &LayerBody {
+        &self.body
+    }
+
+    /// The layer family.
+    pub fn kind(&self) -> LayerKind {
+        match self.body {
+            LayerBody::Conv { .. } => LayerKind::Conv,
+            LayerBody::Pool { .. } => LayerKind::Pool,
+            LayerBody::Fc { .. } => LayerKind::Fc,
+            LayerBody::Lrn(_) => LayerKind::Lrn,
+            LayerBody::Lcn { .. } => LayerKind::Lcn,
+        }
+    }
+
+    /// A Table 2 style label such as `C1`, `S2`, `F5` (1-based index).
+    pub fn label(&self) -> String {
+        let letter = match self.kind() {
+            LayerKind::Conv => 'C',
+            LayerKind::Pool => 'S',
+            LayerKind::Fc => 'F',
+            LayerKind::Lrn | LayerKind::Lcn => 'N',
+        };
+        format!("{letter}{}", self.index + 1)
+    }
+
+    /// Total input neurons.
+    #[inline]
+    pub fn in_neurons(&self) -> usize {
+        self.in_maps * self.in_dims.0 * self.in_dims.1
+    }
+
+    /// Total output neurons.
+    #[inline]
+    pub fn out_neurons(&self) -> usize {
+        self.out_maps * self.out_dims.0 * self.out_dims.1
+    }
+
+    /// Number of synaptic weights held for this layer (0 for pooling and
+    /// normalization, matching Table 1's accounting).
+    pub fn synapse_count(&self) -> usize {
+        match &self.body {
+            LayerBody::Conv { weights, .. } => weights.synapse_count(),
+            LayerBody::Fc { weights, .. } => weights.synapse_count(),
+            _ => 0,
+        }
+    }
+}
+
+/// A validated CNN with deterministic fixed-point weights.
+///
+/// See [`NetworkBuilder`] for construction and [`crate::zoo`] for the ten
+/// paper benchmarks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Network {
+    name: String,
+    input_maps: usize,
+    input_dims: (usize, usize),
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Assembles a network from resolved layers (the deserialization
+    /// path; geometry is assumed validated by the caller).
+    pub(crate) fn from_parts(
+        name: String,
+        input_maps: usize,
+        input_dims: (usize, usize),
+        layers: Vec<Layer>,
+    ) -> Network {
+        Network {
+            name,
+            input_maps,
+            input_dims,
+            layers,
+        }
+    }
+
+    /// The network's name (e.g. `"LeNet-5"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input feature maps.
+    #[inline]
+    pub fn input_maps(&self) -> usize {
+        self.input_maps
+    }
+
+    /// Input map dimensions `(width, height)`.
+    #[inline]
+    pub fn input_dims(&self) -> (usize, usize) {
+        self.input_dims
+    }
+
+    /// The resolved layers, in execution order.
+    #[inline]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of output values the final layer produces.
+    pub fn output_count(&self) -> usize {
+        self.layers.last().map_or(0, Layer::out_neurons)
+    }
+
+    /// A deterministic pseudo-random input stack with values in `[-1, 1]`.
+    pub fn random_input(&self, seed: u64) -> MapStack<Fx> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MapStack::from_fn(
+            self.input_dims.0,
+            self.input_dims.1,
+            self.input_maps,
+            |_| {
+                FeatureMap::from_fn(self.input_dims.0, self.input_dims.1, |_, _| {
+                    Fx::from_f32(rng.gen_range(-1.0..1.0))
+                })
+            },
+        )
+    }
+
+    /// Replaces a convolution kernel with explicit (e.g. trained) weights:
+    /// output map `o`'s `j`-th connected input of layer `layer_index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::Geometry`] if the indices do not name a
+    /// convolution kernel or the dimensions differ.
+    pub fn set_conv_kernel(
+        &mut self,
+        layer_index: usize,
+        o: usize,
+        j: usize,
+        kernel: FeatureMap<Fx>,
+    ) -> Result<(), NetworkError> {
+        let geo = |msg: &str| NetworkError::Geometry(format!("layer {layer_index}: {msg}"));
+        let layer = self
+            .layers
+            .get_mut(layer_index)
+            .ok_or_else(|| geo("no such layer"))?;
+        let LayerBody::Conv { table, weights, kernel: dims, .. } = &mut layer.body else {
+            return Err(geo("not a convolutional layer"));
+        };
+        if o >= table.out_maps() || j >= table.inputs_of(o).len() {
+            return Err(geo("kernel index out of range"));
+        }
+        if kernel.dims() != *dims {
+            return Err(geo("kernel dimensions differ"));
+        }
+        weights.set_kernel(o, j, kernel);
+        Ok(())
+    }
+
+    /// Sets a convolution output map's bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::Geometry`] on a bad index.
+    pub fn set_conv_bias(
+        &mut self,
+        layer_index: usize,
+        o: usize,
+        bias: Fx,
+    ) -> Result<(), NetworkError> {
+        let geo = |msg: &str| NetworkError::Geometry(format!("layer {layer_index}: {msg}"));
+        let layer = self
+            .layers
+            .get_mut(layer_index)
+            .ok_or_else(|| geo("no such layer"))?;
+        let LayerBody::Conv { weights, .. } = &mut layer.body else {
+            return Err(geo("not a convolutional layer"));
+        };
+        if o >= weights.out_maps() {
+            return Err(geo("output map out of range"));
+        }
+        weights.set_bias(o, bias);
+        Ok(())
+    }
+
+    /// Replaces a classifier output's weights (one value per existing
+    /// synapse, ascending input order) and bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::Geometry`] on a bad index or a length
+    /// mismatch.
+    pub fn set_fc_row(
+        &mut self,
+        layer_index: usize,
+        n: usize,
+        values: &[Fx],
+        bias: Fx,
+    ) -> Result<(), NetworkError> {
+        let geo = |msg: &str| NetworkError::Geometry(format!("layer {layer_index}: {msg}"));
+        let layer = self
+            .layers
+            .get_mut(layer_index)
+            .ok_or_else(|| geo("no such layer"))?;
+        let LayerBody::Fc { weights, .. } = &mut layer.body else {
+            return Err(geo("not a classifier layer"));
+        };
+        if n >= weights.out_count() {
+            return Err(geo("output neuron out of range"));
+        }
+        if values.len() != weights.row(n).len() {
+            return Err(geo("row length differs"));
+        }
+        weights.set_row_weights(n, values);
+        weights.set_bias(n, bias);
+        Ok(())
+    }
+
+    /// Returns a copy with every synaptic weight and bias requantized to
+    /// `Q(total_bits).(frac_bits)` storage — the weight-precision knob of
+    /// the §5 accuracy/storage trade-off (narrower weights would shrink
+    /// the SB proportionally). The datapath stays 16-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported format (see
+    /// [`Fx::quantized`](shidiannao_fixed::Fx::quantized)).
+    pub fn quantize_weights(&self, total_bits: u32, frac_bits: u32) -> Network {
+        let mut out = self.clone();
+        for i in 0..out.layers.len() {
+            match out.layers[i].body.clone() {
+                LayerBody::Conv { table, kernel, weights, .. } => {
+                    for o in 0..table.out_maps() {
+                        out.set_conv_bias(i, o, weights.bias(o).quantized(total_bits, frac_bits))
+                            .expect("same geometry");
+                        for j in 0..table.inputs_of(o).len() {
+                            let k = weights
+                                .kernel(o, j)
+                                .map(|v| v.quantized(total_bits, frac_bits));
+                            out.set_conv_kernel(i, o, j, k).expect("same geometry");
+                        }
+                    }
+                    let _ = kernel;
+                }
+                LayerBody::Fc { weights, .. } => {
+                    for n in 0..weights.out_count() {
+                        let row: Vec<Fx> = weights
+                            .row(n)
+                            .iter()
+                            .map(|&(_, w)| w.quantized(total_bits, frac_bits))
+                            .collect();
+                        out.set_fc_row(i, n, &row, weights.bias(n).quantized(total_bits, frac_bits))
+                            .expect("same geometry");
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Runs the fixed-point golden reference, recording every layer's
+    /// output. This is the semantics the cycle-level simulator must
+    /// reproduce bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input shape.
+    pub fn forward_fixed(&self, input: &MapStack<Fx>) -> ForwardTrace {
+        assert_eq!(
+            (input.len(), input.map_dims()),
+            (self.input_maps, self.input_dims),
+            "input shape mismatch for network {}",
+            self.name
+        );
+        let mut activations = Vec::with_capacity(self.layers.len());
+        let mut current = input.clone();
+        for layer in &self.layers {
+            let next = reference::forward_layer_fixed(layer, &current);
+            activations.push(next.clone());
+            current = next;
+        }
+        ForwardTrace { activations }
+    }
+
+    /// Runs a 32-bit floating-point forward pass with the same (quantized)
+    /// weights, for accuracy comparisons against the fixed-point path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input shape.
+    pub fn forward_f32(&self, input: &MapStack<f32>) -> Vec<MapStack<f32>> {
+        assert_eq!(
+            (input.len(), input.map_dims()),
+            (self.input_maps, self.input_dims),
+            "input shape mismatch for network {}",
+            self.name
+        );
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut current = input.clone();
+        for layer in &self.layers {
+            let next = reference::forward_layer_f32(layer, &current);
+            outs.push(next.clone());
+            current = next;
+        }
+        outs
+    }
+}
+
+/// The per-layer outputs of a fixed-point forward pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForwardTrace {
+    activations: Vec<MapStack<Fx>>,
+}
+
+impl ForwardTrace {
+    /// The output of layer `i` (0-based), or `None` when out of range.
+    pub fn layer_output(&self, i: usize) -> Option<&MapStack<Fx>> {
+        self.activations.get(i)
+    }
+
+    /// Number of recorded layer outputs.
+    pub fn len(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// `true` when no layers were executed.
+    pub fn is_empty(&self) -> bool {
+        self.activations.is_empty()
+    }
+
+    /// The final layer's output, flattened map-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn output(&self) -> Vec<Fx> {
+        self.activations
+            .last()
+            .expect("forward trace is never empty for a built network")
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+
+    fn tiny() -> NetworkBuilder {
+        NetworkBuilder::new("tiny", 1, (12, 12))
+            .conv(ConvSpec::new(4, (3, 3)))
+            .pool(PoolSpec::max((2, 2)))
+            .fc(FcSpec::new(10))
+    }
+
+    #[test]
+    fn build_resolves_geometry() {
+        let net = tiny().build(1).unwrap();
+        let l = net.layers();
+        assert_eq!(l[0].out_dims(), (10, 10));
+        assert_eq!(l[1].out_dims(), (5, 5));
+        assert_eq!(l[1].out_maps(), 4);
+        assert_eq!(l[2].out_neurons(), 10);
+        assert_eq!(l[2].in_neurons(), 100);
+        assert_eq!(net.output_count(), 10);
+    }
+
+    #[test]
+    fn labels_follow_table2_style() {
+        let net = tiny().build(1).unwrap();
+        let labels: Vec<_> = net.layers().iter().map(Layer::label).collect();
+        assert_eq!(labels, ["C1", "S2", "F3"]);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let err = NetworkBuilder::new("none", 1, (4, 4)).build(0);
+        assert_eq!(err.unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        let err = NetworkBuilder::new("bad", 1, (4, 4))
+            .conv(ConvSpec::new(2, (5, 5)))
+            .build(0)
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::Geometry(_)));
+        assert!(err.to_string().contains("exceeds input"));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = tiny().build(7).unwrap();
+        let b = tiny().build(7).unwrap();
+        assert_eq!(a, b);
+        let c = tiny().build(8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weight_streams_are_per_layer() {
+        // Changing an earlier layer's own randomness draw must not shift
+        // later layers' weights: the conv kernel sizes differ (different
+        // numbers of samples drawn for layer 0) while the FC layer keeps
+        // the same shape — its weights must be identical.
+        let a = NetworkBuilder::new("a", 1, (13, 13))
+            .conv(ConvSpec::new(4, (4, 4)).with_stride((3, 3)))
+            .fc(FcSpec::new(5))
+            .build(3)
+            .unwrap();
+        let b = NetworkBuilder::new("b", 1, (13, 13))
+            .conv(ConvSpec::new(4, (2, 2)).with_stride((3, 3)))
+            .fc(FcSpec::new(5))
+            .build(3)
+            .unwrap();
+        assert_eq!(a.layers()[1].out_neurons(), b.layers()[1].out_neurons());
+        assert_eq!(a.layers()[1].in_neurons(), b.layers()[1].in_neurons());
+        let (LayerBody::Fc { weights: wa, .. }, LayerBody::Fc { weights: wb, .. }) =
+            (a.layers()[1].body(), b.layers()[1].body())
+        else {
+            panic!("expected classifiers");
+        };
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn forward_shapes_match_geometry() {
+        let net = tiny().build(1).unwrap();
+        let input = net.random_input(2);
+        let trace = net.forward_fixed(&input);
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.layer_output(0).unwrap().map_dims(), (10, 10));
+        assert_eq!(trace.layer_output(1).unwrap().map_dims(), (5, 5));
+        assert_eq!(trace.output().len(), 10);
+        assert!(trace.layer_output(3).is_none());
+    }
+
+    #[test]
+    fn random_input_is_deterministic_and_bounded() {
+        let net = tiny().build(1).unwrap();
+        let a = net.random_input(5);
+        let b = net.random_input(5);
+        assert_eq!(a, b);
+        for m in &a {
+            for v in m {
+                assert!(v.to_f32().abs() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_and_fixed_paths_agree_loosely() {
+        let net = tiny().build(4).unwrap();
+        let input = net.random_input(9);
+        let fixed = net.forward_fixed(&input);
+        let f32_in = input.map(|v| v.to_f32());
+        let float = net.forward_f32(&f32_in);
+        let out_fixed = fixed.output();
+        let out_float = float.last().unwrap().flatten();
+        for (a, b) in out_fixed.iter().zip(&out_float) {
+            assert!(
+                (a.to_f32() - b).abs() < 0.1,
+                "fixed {} vs float {b}",
+                a.to_f32()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_fc_builds() {
+        let net = NetworkBuilder::new("sparse", 1, (6, 6))
+            .fc(FcSpec::new(4).with_synapses_per_output(9))
+            .build(0)
+            .unwrap();
+        assert_eq!(net.layers()[0].synapse_count(), 36);
+    }
+
+    #[test]
+    fn lrn_and_lcn_preserve_shape() {
+        let net = NetworkBuilder::new("norm", 3, (8, 8))
+            .lrn(LrnSpec::new())
+            .lcn(LcnSpec::new(5))
+            .build(0)
+            .unwrap();
+        let input = net.random_input(1);
+        let trace = net.forward_fixed(&input);
+        assert_eq!(trace.layer_output(0).unwrap().map_dims(), (8, 8));
+        assert_eq!(trace.layer_output(1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn weight_editing_round_trips() {
+        use shidiannao_tensor::FeatureMap;
+        let mut net = tiny().build(1).unwrap();
+        let k = FeatureMap::filled(3, 3, Fx::from_f32(0.25));
+        net.set_conv_kernel(0, 1, 0, k.clone()).unwrap();
+        net.set_conv_bias(0, 1, Fx::from_f32(0.5)).unwrap();
+        let LayerBody::Conv { weights, .. } = net.layers()[0].body() else {
+            panic!()
+        };
+        assert_eq!(weights.kernel(1, 0), &k);
+        assert_eq!(weights.bias(1), Fx::from_f32(0.5));
+        // FC row: 100 inputs → row length 100.
+        let row = vec![Fx::EPSILON; 100];
+        net.set_fc_row(2, 3, &row, Fx::ZERO).unwrap();
+        let LayerBody::Fc { weights, .. } = net.layers()[2].body() else {
+            panic!()
+        };
+        assert!(weights.row(3).iter().all(|&(_, w)| w == Fx::EPSILON));
+    }
+
+    #[test]
+    fn weight_editing_rejects_bad_targets() {
+        use shidiannao_tensor::FeatureMap;
+        let mut net = tiny().build(1).unwrap();
+        let k3 = FeatureMap::filled(3, 3, Fx::ZERO);
+        let k5 = FeatureMap::filled(5, 5, Fx::ZERO);
+        assert!(net.set_conv_kernel(1, 0, 0, k3.clone()).is_err(), "pool layer");
+        assert!(net.set_conv_kernel(0, 9, 0, k3.clone()).is_err(), "bad map");
+        assert!(net.set_conv_kernel(0, 0, 0, k5).is_err(), "wrong dims");
+        assert!(net.set_conv_kernel(7, 0, 0, k3).is_err(), "no such layer");
+        assert!(net.set_conv_bias(2, 0, Fx::ZERO).is_err(), "fc not conv");
+        assert!(net.set_fc_row(0, 0, &[], Fx::ZERO).is_err(), "conv not fc");
+        assert!(net.set_fc_row(2, 0, &[Fx::ZERO; 3], Fx::ZERO).is_err(), "length");
+        assert!(net.set_fc_row(2, 99, &[Fx::ZERO; 100], Fx::ZERO).is_err(), "index");
+    }
+
+    #[test]
+    fn weight_quantization_degrades_gracefully() {
+        let net = tiny().build(3).unwrap();
+        let input = net.random_input(4);
+        let full = net.forward_fixed(&input).output();
+        // Identity quantization changes nothing.
+        let same = net.quantize_weights(16, 8);
+        assert_eq!(same.forward_fixed(&input).output(), full);
+        // 8-bit weights stay close; 4-bit weights drift further.
+        let err = |n: &Network| {
+            let out = n.forward_fixed(&input).output();
+            full.iter()
+                .zip(&out)
+                .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let e8 = err(&net.quantize_weights(8, 7));
+        let e4 = err(&net.quantize_weights(4, 3));
+        assert!(e8 < 0.2, "8-bit error {e8}");
+        assert!(e8 <= e4, "coarser weights cannot be more accurate: {e8} vs {e4}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NetworkError::Empty.to_string(), "network has no layers");
+        let g = NetworkError::Geometry("oops".into());
+        assert_eq!(g.to_string(), "invalid layer geometry: oops");
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-layer operation counts.
+//!
+//! The CPU, GPU, and DianNao performance models (and the paper's GOP/s
+//! accounting) consume arithmetic-operation counts per layer. Counts follow
+//! the fixed-point datapath: one MAC per synapse-input product, comparisons
+//! for max pooling, ALU divisions for average pooling / normalization, one
+//! ALU activation per activated output neuron.
+
+use crate::layer::{LayerKind, PoolKind};
+use crate::network::{Layer, LayerBody, Network};
+use crate::Activation;
+use core::fmt;
+
+/// Operation counts for one layer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LayerOps {
+    /// Table 2 style label (`C1`, `S2`, …).
+    pub label: String,
+    /// Layer family.
+    pub kind: Option<LayerKind>,
+    /// Multiply-accumulates.
+    pub macs: u64,
+    /// Plain additions (average pooling sums, normalization adds).
+    pub adds: u64,
+    /// Comparisons (max pooling).
+    pub cmps: u64,
+    /// ALU divisions.
+    pub divs: u64,
+    /// ALU activation evaluations.
+    pub acts: u64,
+    /// Input neuron count.
+    pub in_neurons: u64,
+    /// Output neuron count.
+    pub out_neurons: u64,
+    /// Synaptic weights held by this layer.
+    pub synapses: u64,
+}
+
+impl LayerOps {
+    /// Total fixed-point operations, counting a MAC as two (multiply +
+    /// add), matching the paper's GOP metric ("billions of fixed-point
+    /// OPerations").
+    pub fn total_fixed_ops(&self) -> u64 {
+        2 * self.macs + self.adds + self.cmps + self.divs + self.acts
+    }
+
+    /// Element-wise sum of two counts.
+    pub fn merge(&self, other: &LayerOps) -> LayerOps {
+        LayerOps {
+            label: String::new(),
+            kind: None,
+            macs: self.macs + other.macs,
+            adds: self.adds + other.adds,
+            cmps: self.cmps + other.cmps,
+            divs: self.divs + other.divs,
+            acts: self.acts + other.acts,
+            in_neurons: self.in_neurons + other.in_neurons,
+            out_neurons: self.out_neurons + other.out_neurons,
+            synapses: self.synapses + other.synapses,
+        }
+    }
+}
+
+impl fmt::Display for LayerOps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} MACs, {} adds, {} cmps, {} divs, {} acts",
+            if self.label.is_empty() {
+                "total"
+            } else {
+                &self.label
+            },
+            self.macs,
+            self.adds,
+            self.cmps,
+            self.divs,
+            self.acts
+        )
+    }
+}
+
+fn act_count(activation: Activation, outputs: u64) -> u64 {
+    match activation {
+        Activation::None => 0,
+        _ => outputs,
+    }
+}
+
+/// Counts the operations one forward pass of `layer` performs.
+pub fn layer_ops(layer: &Layer) -> LayerOps {
+    let mut ops = LayerOps {
+        label: layer.label(),
+        kind: Some(layer.kind()),
+        in_neurons: layer.in_neurons() as u64,
+        out_neurons: layer.out_neurons() as u64,
+        synapses: layer.synapse_count() as u64,
+        ..LayerOps::default()
+    };
+    let (ow, oh) = layer.out_dims();
+    match layer.body() {
+        LayerBody::Conv {
+            table,
+            kernel,
+            activation,
+            ..
+        } => {
+            let per_neuron: u64 = (kernel.0 * kernel.1) as u64;
+            for o in 0..layer.out_maps() {
+                ops.macs += (ow * oh) as u64 * per_neuron * table.inputs_of(o).len() as u64;
+            }
+            ops.acts = act_count(*activation, ops.out_neurons);
+        }
+        LayerBody::Pool {
+            window,
+            stride,
+            kind,
+            activation,
+            ..
+        } => {
+            let (iw, ih) = layer.in_dims();
+            // Clipped trailing windows (ceiling rounding) contribute fewer
+            // elements; count exactly.
+            let mut elems: u64 = 0;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let x1 = (ox * stride.0 + window.0).min(iw);
+                    let y1 = (oy * stride.1 + window.1).min(ih);
+                    elems += ((x1 - ox * stride.0) * (y1 - oy * stride.1)) as u64;
+                }
+            }
+            elems *= layer.out_maps() as u64;
+            match kind {
+                PoolKind::Max => ops.cmps = elems,
+                PoolKind::Avg => {
+                    ops.adds = elems;
+                    ops.divs = ops.out_neurons;
+                }
+            }
+            ops.acts = act_count(*activation, ops.out_neurons);
+        }
+        LayerBody::Fc {
+            weights,
+            activation,
+        } => {
+            ops.macs = weights.synapse_count() as u64;
+            ops.acts = act_count(*activation, ops.out_neurons);
+        }
+        LayerBody::Lrn(spec) => {
+            let half = (spec.window_maps / 2) as u64;
+            let maps = layer.in_maps() as u64;
+            let per_pos: u64 = (0..maps)
+                .map(|mi| {
+                    let lo = mi.saturating_sub(half);
+                    let hi = (mi + half).min(maps - 1);
+                    hi - lo + 1
+                })
+                .sum();
+            let positions = (ow * oh) as u64;
+            ops.macs = positions * (per_pos + maps); // squares + α scale
+            ops.adds = positions * maps; // k + …
+            ops.divs = ops.out_neurons;
+        }
+        LayerBody::Lcn { gauss, .. } => {
+            let maps = layer.in_maps() as u64;
+            let positions = (ow * oh) as u64;
+            let win = (gauss.width() * gauss.height()) as u64;
+            // μ pass + weighted-variance pass (weight MAC and square MAC).
+            ops.macs = positions * maps * win * 3;
+            // subtraction, plus the mean-of-δ running sum.
+            ops.adds = positions * maps + positions;
+            ops.acts = positions; // √ via PLA
+            ops.divs = ops.out_neurons + 1;
+        }
+    }
+    ops
+}
+
+/// Counts the operations of a full forward pass, layer by layer.
+pub fn network_ops(network: &Network) -> Vec<LayerOps> {
+    network.layers().iter().map(layer_ops).collect()
+}
+
+/// Sums [`network_ops`] into a single total.
+pub fn network_total(network: &Network) -> LayerOps {
+    network_ops(network)
+        .iter()
+        .fold(LayerOps::default(), |acc, l| acc.merge(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+    use crate::network::NetworkBuilder;
+    use crate::zoo;
+
+    #[test]
+    fn conv_macs_follow_formula() {
+        // LeNet-5 C1: 6 maps × 28×28 × 25 MACs = 117 600.
+        let net = zoo::lenet5().build(0).unwrap();
+        let ops = layer_ops(&net.layers()[0]);
+        assert_eq!(ops.macs, 6 * 28 * 28 * 25);
+        assert_eq!(ops.acts, 6 * 28 * 28);
+        assert_eq!(ops.label, "C1");
+    }
+
+    #[test]
+    fn partial_conv_macs_follow_table() {
+        // LeNet-5 C3: 60 kernel pairs × 10×10 × 25 = 150 000 MACs.
+        let net = zoo::lenet5().build(0).unwrap();
+        let ops = layer_ops(&net.layers()[2]);
+        assert_eq!(ops.macs, 60 * 100 * 25);
+    }
+
+    #[test]
+    fn pool_counts() {
+        let net = NetworkBuilder::new("t", 2, (4, 4))
+            .pool(PoolSpec::max((2, 2)))
+            .build(0)
+            .unwrap();
+        let ops = layer_ops(&net.layers()[0]);
+        assert_eq!(ops.cmps, 2 * 4 * 4);
+        assert_eq!(ops.divs, 0);
+        let avg = NetworkBuilder::new("t", 2, (4, 4))
+            .pool(PoolSpec::avg((2, 2)))
+            .build(0)
+            .unwrap();
+        let aops = layer_ops(&avg.layers()[0]);
+        assert_eq!(aops.adds, 32);
+        assert_eq!(aops.divs, 8);
+    }
+
+    #[test]
+    fn fc_macs_equal_synapses() {
+        let net = NetworkBuilder::new("t", 1, (4, 4))
+            .fc(FcSpec::new(10))
+            .build(0)
+            .unwrap();
+        let ops = layer_ops(&net.layers()[0]);
+        assert_eq!(ops.macs, 160);
+        assert_eq!(ops.synapses, 160);
+    }
+
+    #[test]
+    fn total_fixed_ops_weighs_macs_double() {
+        let ops = LayerOps {
+            macs: 10,
+            adds: 3,
+            cmps: 2,
+            divs: 1,
+            acts: 4,
+            ..LayerOps::default()
+        };
+        assert_eq!(ops.total_fixed_ops(), 30);
+    }
+
+    #[test]
+    fn merge_and_network_total() {
+        let net = NetworkBuilder::new("t", 1, (8, 8))
+            .conv(ConvSpec::new(2, (3, 3)))
+            .pool(PoolSpec::max((2, 2)))
+            .build(0)
+            .unwrap();
+        let per = network_ops(&net);
+        let total = network_total(&net);
+        assert_eq!(total.macs, per[0].macs);
+        assert_eq!(total.cmps, per[1].cmps);
+        assert_eq!(per.len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let net = zoo::lenet5().build(0).unwrap();
+        let s = layer_ops(&net.layers()[0]).to_string();
+        assert!(s.starts_with("C1:"));
+        assert!(s.contains("MACs"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Weight containers and deterministic initialisation.
+//!
+//! The paper evaluates layer *shapes*, not trained weights; recognition
+//! accuracy comes from the cited CNN papers (Table 1). We therefore
+//! generate weights pseudo-randomly from a seed — scaled by `1/√fan_in` so
+//! activations stay inside the Q7.8 range — and quantize them once to
+//! [`Fx`]. Both the golden reference and the simulator then operate on the
+//! identical fixed-point weights.
+
+use crate::ConnectionTable;
+use rand::rngs::StdRng;
+use rand::Rng;
+use shidiannao_fixed::Fx;
+use shidiannao_tensor::FeatureMap;
+
+/// Kernels and biases of a convolutional layer.
+///
+/// One `Kx × Ky` kernel exists per connected (input, output) map pair of
+/// the layer's [`ConnectionTable`]; kernels for output map `o` are stored
+/// in the order of `table.inputs_of(o)`. Each output map has one bias
+/// (`β^{mi,mo}` is folded to a per-output-map bias, as in LeNet-5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvWeights {
+    kernels: Vec<Vec<FeatureMap<Fx>>>,
+    biases: Vec<Fx>,
+}
+
+impl ConvWeights {
+    /// Assembles weights from explicit kernels and biases (the
+    /// deserialization path; `kernels[o][j]` pairs with
+    /// `table.inputs_of(o)[j]`).
+    pub(crate) fn from_parts(kernels: Vec<Vec<FeatureMap<Fx>>>, biases: Vec<Fx>) -> ConvWeights {
+        assert_eq!(kernels.len(), biases.len(), "one bias per output map");
+        ConvWeights { kernels, biases }
+    }
+
+    /// Generates deterministic weights for the given connectivity and
+    /// kernel size.
+    pub fn generate(
+        table: &ConnectionTable,
+        kernel: (usize, usize),
+        rng: &mut StdRng,
+    ) -> ConvWeights {
+        let mut kernels = Vec::with_capacity(table.out_maps());
+        let mut biases = Vec::with_capacity(table.out_maps());
+        for o in 0..table.out_maps() {
+            let fan_in = (table.inputs_of(o).len() * kernel.0 * kernel.1).max(1);
+            let scale = 1.0 / (fan_in as f32).sqrt();
+            let maps = table
+                .inputs_of(o)
+                .iter()
+                .map(|_| {
+                    FeatureMap::from_fn(kernel.0, kernel.1, |_, _| {
+                        Fx::from_f32(rng.gen_range(-scale..scale))
+                    })
+                })
+                .collect();
+            kernels.push(maps);
+            biases.push(Fx::from_f32(rng.gen_range(-0.1..0.1) * scale));
+        }
+        ConvWeights { kernels, biases }
+    }
+
+    /// The kernel between output map `o` and its `j`-th connected input map
+    /// (in `ConnectionTable::inputs_of(o)` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` or `j` is out of range.
+    #[inline]
+    pub fn kernel(&self, o: usize, j: usize) -> &FeatureMap<Fx> {
+        &self.kernels[o][j]
+    }
+
+    /// The bias of output map `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    #[inline]
+    pub fn bias(&self, o: usize) -> Fx {
+        self.biases[o]
+    }
+
+    pub(crate) fn set_kernel(&mut self, o: usize, j: usize, kernel: FeatureMap<Fx>) {
+        assert_eq!(
+            kernel.dims(),
+            self.kernels[o][j].dims(),
+            "replacement kernel must keep its dimensions"
+        );
+        self.kernels[o][j] = kernel;
+    }
+
+    pub(crate) fn set_bias(&mut self, o: usize, bias: Fx) {
+        self.biases[o] = bias;
+    }
+
+    /// Number of output maps.
+    #[inline]
+    pub fn out_maps(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Total number of synaptic weights (kernels × kernel area), the value
+    /// Table 1 reports as "Synapses Size" (×2 bytes).
+    pub fn synapse_count(&self) -> usize {
+        self.kernels
+            .iter()
+            .flatten()
+            .map(FeatureMap::len)
+            .sum()
+    }
+}
+
+/// Synapse rows and biases of a classifier layer.
+///
+/// Each output neuron stores its (input index, weight) pairs in ascending
+/// input order. Fully-connected rows cover every input; sparse rows (e.g.
+/// MPCNN F6) cover a deterministic contiguous wrapping block starting at
+/// `(n × in_count) / out_count`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FcWeights {
+    rows: Vec<Vec<(usize, Fx)>>,
+    biases: Vec<Fx>,
+    in_count: usize,
+}
+
+impl FcWeights {
+    /// Assembles weights from explicit rows and biases (the
+    /// deserialization path; rows must be sorted by input index).
+    pub(crate) fn from_parts(
+        rows: Vec<Vec<(usize, Fx)>>,
+        biases: Vec<Fx>,
+        in_count: usize,
+    ) -> FcWeights {
+        assert_eq!(rows.len(), biases.len(), "one bias per output");
+        for row in &rows {
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "rows must be sorted");
+        }
+        FcWeights {
+            rows,
+            biases,
+            in_count,
+        }
+    }
+
+    /// Generates deterministic weights for `out_count` outputs over
+    /// `in_count` inputs, each output reading `synapses_per_output` inputs
+    /// (or all of them when `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_count` or `out_count` is zero, or
+    /// `synapses_per_output` exceeds `in_count`.
+    pub fn generate(
+        in_count: usize,
+        out_count: usize,
+        synapses_per_output: Option<usize>,
+        rng: &mut StdRng,
+    ) -> FcWeights {
+        assert!(in_count > 0 && out_count > 0, "degenerate classifier");
+        let spo = synapses_per_output.unwrap_or(in_count);
+        assert!(
+            spo > 0 && spo <= in_count,
+            "synapses per output {spo} out of range for {in_count} inputs"
+        );
+        let scale = 1.0 / (spo as f32).sqrt();
+        let mut rows = Vec::with_capacity(out_count);
+        let mut biases = Vec::with_capacity(out_count);
+        for n in 0..out_count {
+            let start = (n * in_count) / out_count;
+            let mut row: Vec<(usize, Fx)> = (0..spo)
+                .map(|j| {
+                    (
+                        (start + j) % in_count,
+                        Fx::from_f32(rng.gen_range(-scale..scale)),
+                    )
+                })
+                .collect();
+            row.sort_unstable_by_key(|&(i, _)| i);
+            rows.push(row);
+            biases.push(Fx::from_f32(rng.gen_range(-0.1..0.1) * scale));
+        }
+        FcWeights {
+            rows,
+            biases,
+            in_count,
+        }
+    }
+
+    /// The (input index, weight) pairs of output neuron `n`, ascending by
+    /// input index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn row(&self, n: usize) -> &[(usize, Fx)] {
+        &self.rows[n]
+    }
+
+    /// The bias of output neuron `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn bias(&self, n: usize) -> Fx {
+        self.biases[n]
+    }
+
+    pub(crate) fn set_row_weights(&mut self, n: usize, values: &[Fx]) {
+        assert_eq!(values.len(), self.rows[n].len(), "row length is fixed");
+        for (slot, &v) in self.rows[n].iter_mut().zip(values) {
+            slot.1 = v;
+        }
+    }
+
+    pub(crate) fn set_bias(&mut self, n: usize, bias: Fx) {
+        self.biases[n] = bias;
+    }
+
+    /// Number of input neurons.
+    #[inline]
+    pub fn in_count(&self) -> usize {
+        self.in_count
+    }
+
+    /// Number of output neurons.
+    #[inline]
+    pub fn out_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total synapse count across all outputs.
+    pub fn synapse_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when every output reads every input.
+    pub fn is_fully_connected(&self) -> bool {
+        self.synapse_count() == self.in_count * self.out_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn conv_weights_follow_table_shape() {
+        let table = ConnectionTable::lenet_c3();
+        let w = ConvWeights::generate(&table, (5, 5), &mut rng());
+        assert_eq!(w.out_maps(), 16);
+        assert_eq!(w.synapse_count(), 60 * 25);
+        assert_eq!(w.kernel(0, 0).dims(), (5, 5));
+        assert_eq!(w.kernel(15, 5).dims(), (5, 5));
+    }
+
+    #[test]
+    fn conv_weights_are_deterministic() {
+        let table = ConnectionTable::full(2, 2);
+        let a = ConvWeights::generate(&table, (3, 3), &mut rng());
+        let b = ConvWeights::generate(&table, (3, 3), &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_weights_bounded_by_fan_in_scale() {
+        let table = ConnectionTable::full(6, 1);
+        let w = ConvWeights::generate(&table, (5, 5), &mut rng());
+        let bound = 1.0 / (150.0f32).sqrt() + 1.0 / 256.0;
+        for j in 0..6 {
+            for v in w.kernel(0, j).iter() {
+                assert!(v.to_f32().abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn fc_full_rows_cover_all_inputs() {
+        let w = FcWeights::generate(400, 120, None, &mut rng());
+        assert_eq!(w.synapse_count(), 48_000);
+        assert!(w.is_fully_connected());
+        let row = w.row(0);
+        assert_eq!(row.len(), 400);
+        assert!(row.windows(2).all(|p| p[0].0 < p[1].0));
+    }
+
+    #[test]
+    fn fc_sparse_rows_have_exact_synapses() {
+        // MPCNN F6: 180 inputs, 300 outputs, 6 000 synapses = 20 each.
+        let w = FcWeights::generate(180, 300, Some(20), &mut rng());
+        assert_eq!(w.synapse_count(), 6_000);
+        assert!(!w.is_fully_connected());
+        for n in 0..300 {
+            let row = w.row(n);
+            assert_eq!(row.len(), 20);
+            assert!(row.windows(2).all(|p| p[0].0 < p[1].0));
+            assert!(row.iter().all(|&(i, _)| i < 180));
+        }
+    }
+
+    #[test]
+    fn fc_sparse_blocks_shift_with_output_index() {
+        let w = FcWeights::generate(100, 10, Some(10), &mut rng());
+        assert_eq!(w.row(0)[0].0, 0);
+        assert_eq!(w.row(5)[0].0, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fc_rejects_oversized_spo() {
+        let _ = FcWeights::generate(10, 2, Some(11), &mut rng());
+    }
+}

@@ -1,0 +1,434 @@
+//! The ten benchmark CNNs of Table 2.
+//!
+//! Each function returns a [`NetworkBuilder`] encoding the paper's layer
+//! shapes and kernel counts. The reconstructions were cross-validated
+//! against Table 1's storage numbers: eight of the ten reproduce the
+//! printed KB figures to ±0.01 KB. Two rows of the paper are internally
+//! inconsistent and are reconstructed best-effort (documented per function
+//! and in EXPERIMENTS.md):
+//!
+//! * **Face Recog.** — our topology reproduces the largest-layer and
+//!   synapse columns exactly; the total column only fits if the paper's
+//!   30.05 is a digit transposition of 39.05.
+//! * **NEO** — Table 1's 4.50 / 3.63 / 16.03 row cannot be produced by any
+//!   Garcia-style topology we could construct; we encode a plausible
+//!   neocognitron-flavoured network matching the largest-layer column.
+
+use crate::connect::ConnectionTable;
+use crate::layer::{Activation, ConvSpec, FcSpec, PoolSpec};
+use crate::network::NetworkBuilder;
+
+/// CNP (Poulet, Han & LeCun, FPL 2009): 42×42 face detection.
+pub fn cnp() -> NetworkBuilder {
+    NetworkBuilder::new("CNP", 1, (42, 42))
+        .conv(ConvSpec::new(6, (7, 7)))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(16, (7, 7)).with_pairs(61))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(80, (6, 6)).with_pairs(305))
+        .fc(FcSpec::new(2))
+}
+
+/// MPCNN (Nagi et al., ICSIPA 2011): max-pooling CNN for hand-gesture
+/// recognition, 32×32 input.
+pub fn mpcnn() -> NetworkBuilder {
+    NetworkBuilder::new("MPCNN", 1, (32, 32))
+        .conv(ConvSpec::new(20, (5, 5)))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(20, (5, 5)).with_pairs(400))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(20, (3, 3)).with_pairs(400))
+        .fc(FcSpec::new(300).with_synapses_per_output(20))
+        .fc(FcSpec::new(6))
+}
+
+/// Face Recog. (Lawrence et al., IEEE TNN 1997): 23×28 face recognition.
+///
+/// Reproduces Table 1's largest-layer (21.33 KB) and synapse (4.50 KB)
+/// columns exactly; our total is 39.05 KB where the paper prints 30.05
+/// (apparent digit transposition).
+pub fn face_recog() -> NetworkBuilder {
+    NetworkBuilder::new("FaceRecog", 1, (23, 28))
+        .conv(ConvSpec::new(20, (3, 3)))
+        .pool(PoolSpec::max((2, 2)).with_ceil())
+        .conv(ConvSpec::new(25, (3, 3)).with_pairs(125))
+        .pool(PoolSpec::max((2, 2)).with_ceil())
+        .fc(FcSpec::new(40).with_synapses_per_output(25))
+}
+
+/// LeNet-5 (LeCun et al., Proc. IEEE 1998): 32×32 digit recognition, the
+/// paper's running example. Uses the classic C3 connection table and
+/// average pooling.
+pub fn lenet5() -> NetworkBuilder {
+    NetworkBuilder::new("LeNet-5", 1, (32, 32))
+        .conv(ConvSpec::new(6, (5, 5)))
+        .pool(PoolSpec::avg((2, 2)))
+        .conv(ConvSpec::new(16, (5, 5)).with_table(ConnectionTable::lenet_c3()))
+        .pool(PoolSpec::avg((2, 2)))
+        .fc(FcSpec::new(120))
+        .fc(FcSpec::new(84))
+        .fc(FcSpec::new(10).with_activation(Activation::None))
+}
+
+/// Simple Conv (Simard, Steinkraus & Platt, ICDAR 2003): 29×29 document
+/// analysis with stride-2 convolutions. Its C2 layer produces 5×5 output
+/// maps — smaller than an 8×8 PE array — which is why ShiDianNao loses to
+/// DianNao on this single benchmark (§10.2).
+pub fn simple_conv() -> NetworkBuilder {
+    NetworkBuilder::new("SimpleConv", 1, (29, 29))
+        .conv(ConvSpec::new(5, (5, 5)).with_stride((2, 2)))
+        .conv(ConvSpec::new(50, (5, 5)).with_stride((2, 2)).with_pairs(250))
+        .fc(FcSpec::new(100).with_synapses_per_output(50))
+        .fc(FcSpec::new(10))
+}
+
+/// CFF (Garcia & Delakis, IEEE PAMI 2004): the convolutional face finder,
+/// 32×36 input.
+pub fn cff() -> NetworkBuilder {
+    NetworkBuilder::new("CFF", 1, (32, 36))
+        .conv(ConvSpec::new(4, (5, 5)))
+        .pool(PoolSpec::avg((2, 2)))
+        .conv(ConvSpec::new(14, (3, 3)).with_pairs(20))
+        .pool(PoolSpec::avg((2, 2)))
+        .conv(ConvSpec::new(14, (6, 7)).with_pairs(14))
+        .fc(FcSpec::new(1))
+}
+
+/// NEO (Nebauer, IEEE TNN 1998): neocognitron-style evaluation network.
+///
+/// Best-effort reconstruction (see module docs): matches Table 1's
+/// largest-layer column (4.50 KB); synapses compute to 8.63 KB against the
+/// printed 3.63 KB.
+pub fn neo() -> NetworkBuilder {
+    NetworkBuilder::new("NEO", 1, (28, 28))
+        .conv(ConvSpec::new(4, (5, 5)))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(16, (3, 3)).with_pairs(20))
+        .pool(PoolSpec::max((2, 2)))
+        .fc(FcSpec::new(10))
+        .fc(FcSpec::new(14))
+}
+
+/// ConvNN (Delakis & Garcia, VISAPP 2008): text detection over 64×36 RGB
+/// regions — the benchmark §10.2 uses for the 20 fps frame-rate analysis.
+pub fn convnn() -> NetworkBuilder {
+    NetworkBuilder::new("ConvNN", 3, (64, 36))
+        .conv(ConvSpec::new(12, (5, 5)).with_pairs(12))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(14, (3, 3)).with_pairs(60))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(14, (14, 7)).with_pairs(14))
+        .fc(FcSpec::new(1))
+}
+
+/// Gabor (Kwolek, ICANN 2005): face detection over 20×20 Gabor-filtered
+/// windows.
+pub fn gabor() -> NetworkBuilder {
+    NetworkBuilder::new("Gabor", 1, (20, 20))
+        .conv(ConvSpec::new(4, (5, 5)))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(14, (3, 3)).with_pairs(20))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(14, (3, 3)).with_pairs(14))
+        .fc(FcSpec::new(1))
+}
+
+/// Face align. (Duffner & Garcia, VISAPP 2008): 46×56 face alignment.
+pub fn face_align() -> NetworkBuilder {
+    NetworkBuilder::new("FaceAlign", 1, (46, 56))
+        .conv(ConvSpec::new(4, (7, 7)))
+        .pool(PoolSpec::max((2, 2)))
+        .conv(ConvSpec::new(3, (5, 5)).with_pairs(6))
+        .pool(PoolSpec::max((2, 2)))
+        .fc(FcSpec::new(60))
+        .fc(FcSpec::new(4))
+}
+
+/// Networks beyond Table 2, exercising the layer types the benchmarks do
+/// not: LRN and LCN normalization (§3, §8.4) and a pure classifier stack
+/// (the DNN contrast of §1). All fit the paper's 288 KB on-chip SRAM.
+pub mod extended {
+    use super::*;
+    use crate::layer::{LcnSpec, LrnSpec};
+
+    /// An AlexNet-flavoured small CNN: convolutions followed by LRN
+    /// layers (the §3 "recent studies also suggest the use of
+    /// normalization layers" case), sized for the 32×32 sensor window.
+    pub fn alexnet_lite() -> NetworkBuilder {
+        NetworkBuilder::new("AlexNet-lite", 1, (32, 32))
+            .conv(ConvSpec::new(8, (5, 5)))
+            .lrn(LrnSpec {
+                window_maps: 5,
+                k: 2.0,
+                alpha: 0.25,
+            })
+            .pool(PoolSpec::max((2, 2)))
+            .conv(ConvSpec::new(16, (5, 5)).with_pairs(64))
+            .lrn(LrnSpec {
+                window_maps: 5,
+                k: 2.0,
+                alpha: 0.25,
+            })
+            .pool(PoolSpec::max((2, 2)))
+            .fc(FcSpec::new(32))
+            .fc(FcSpec::new(10).with_activation(Activation::None))
+    }
+
+    /// A Jarrett-style architecture with local contrast normalization
+    /// after each filter bank (the Fig. 16 decomposition's workload).
+    pub fn jarrett_lcn() -> NetworkBuilder {
+        NetworkBuilder::new("Jarrett-LCN", 1, (24, 24))
+            .conv(ConvSpec::new(6, (5, 5)))
+            .lcn(LcnSpec::new(5))
+            .pool(PoolSpec::avg((2, 2)))
+            .conv(ConvSpec::new(12, (3, 3)).with_pairs(24))
+            .lcn(LcnSpec::new(3))
+            .pool(PoolSpec::max((2, 2)))
+            .fc(FcSpec::new(10))
+    }
+
+    /// A pure classifier stack — the DNN-style network §1 contrasts with
+    /// CNNs (no weight sharing; every synapse independent). Small enough
+    /// that even its dense layers fit the SB.
+    pub fn mlp_digits() -> NetworkBuilder {
+        NetworkBuilder::new("MLP-digits", 1, (16, 16))
+            .fc(FcSpec::new(64))
+            .fc(FcSpec::new(32))
+            .fc(FcSpec::new(10).with_activation(Activation::None))
+    }
+
+    /// All extended networks.
+    pub fn all() -> Vec<NetworkBuilder> {
+        vec![alexnet_lite(), jarrett_lcn(), mlp_digits()]
+    }
+}
+
+/// All ten benchmarks in Table 1 / Figure 18 order.
+pub fn all() -> Vec<NetworkBuilder> {
+    vec![
+        cnp(),
+        mpcnn(),
+        face_recog(),
+        lenet5(),
+        simple_conv(),
+        cff(),
+        neo(),
+        convnn(),
+        gabor(),
+        face_align(),
+    ]
+}
+
+/// Looks a benchmark up by its Table 1 name (case-insensitive).
+pub fn by_name(name: &str) -> Option<NetworkBuilder> {
+    all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage;
+
+    #[test]
+    fn all_ten_build() {
+        for b in all() {
+            let net = b.build(1).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert!(net.output_count() >= 1, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn layer_shapes_match_table2() {
+        let net = cnp().build(0).unwrap();
+        let dims: Vec<_> = net
+            .layers()
+            .iter()
+            .map(|l| (l.out_maps(), l.out_dims()))
+            .collect();
+        assert_eq!(
+            dims,
+            vec![
+                (6, (36, 36)),
+                (6, (18, 18)),
+                (16, (12, 12)),
+                (16, (6, 6)),
+                (80, (1, 1)),
+                (2, (1, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn convnn_matches_table2() {
+        let net = convnn().build(0).unwrap();
+        let dims: Vec<_> = net
+            .layers()
+            .iter()
+            .map(|l| (l.out_maps(), l.out_dims()))
+            .collect();
+        assert_eq!(
+            dims,
+            vec![
+                (12, (60, 32)),
+                (12, (30, 16)),
+                (14, (28, 14)),
+                (14, (14, 7)),
+                (14, (1, 1)),
+                (1, (1, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn face_recog_uses_ceiling_pooling() {
+        let net = face_recog().build(0).unwrap();
+        assert_eq!(net.layers()[1].out_dims(), (11, 13));
+        assert_eq!(net.layers()[3].out_dims(), (5, 6));
+    }
+
+    #[test]
+    fn simple_conv_c2_is_five_by_five() {
+        // The §10.2 under-utilisation case: C2 output maps are 5×5.
+        let net = simple_conv().build(0).unwrap();
+        assert_eq!(net.layers()[1].out_dims(), (5, 5));
+        assert_eq!(net.layers()[1].out_maps(), 50);
+    }
+
+    #[test]
+    fn synapse_counts_match_table1() {
+        let expect: &[(&str, usize)] = &[
+            ("CNP", 14_423),
+            ("MPCNN", 21_900),
+            ("FaceRecog", 2_305),
+            ("LeNet-5", 60_570),
+            ("SimpleConv", 12_375),
+            ("CFF", 882),
+            ("ConvNN", 2_226),
+            ("Gabor", 420),
+            ("FaceAlign", 14_986),
+        ];
+        for &(name, syn) in expect {
+            let net = by_name(name).unwrap().build(0).unwrap();
+            let total: usize = net.layers().iter().map(|l| l.synapse_count()).sum();
+            assert_eq!(total, syn, "{name}");
+        }
+    }
+
+    #[test]
+    fn storage_totals_match_table1_where_consistent() {
+        let expect: &[(&str, f64, f64, f64)] = &[
+            ("CNP", 15.19, 28.17, 56.38),
+            ("MPCNN", 30.63, 42.77, 88.89),
+            ("LeNet-5", 9.19, 118.30, 136.11),
+            ("SimpleConv", 2.44, 24.17, 30.12),
+            ("CFF", 7.00, 1.72, 18.49),
+            ("ConvNN", 45.00, 4.35, 87.53),
+            ("Gabor", 2.00, 0.82, 5.36),
+            ("FaceAlign", 15.63, 29.27, 56.39),
+        ];
+        for &(name, largest, syn, total) in expect {
+            let r = storage::report(&by_name(name).unwrap().build(0).unwrap());
+            assert!(
+                (r.largest_layer_kb() - largest).abs() < 0.01,
+                "{name} largest {} vs {largest}",
+                r.largest_layer_kb()
+            );
+            assert!(
+                (r.synapse_kb() - syn).abs() < 0.01,
+                "{name} syn {} vs {syn}",
+                r.synapse_kb()
+            );
+            assert!(
+                (r.total_kb() - total).abs() < 0.01,
+                "{name} total {} vs {total}",
+                r.total_kb()
+            );
+        }
+    }
+
+    #[test]
+    fn face_recog_partial_columns_match() {
+        let r = storage::report(&face_recog().build(0).unwrap());
+        assert!((r.largest_layer_kb() - 21.33).abs() < 0.01);
+        assert!((r.synapse_kb() - 4.50).abs() < 0.01);
+        // Documented discrepancy: paper prints 30.05, consistent topologies
+        // give 39.05 (digit transposition).
+        assert!((r.total_kb() - 39.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn neo_matches_largest_layer_column() {
+        let r = storage::report(&neo().build(0).unwrap());
+        assert!((r.largest_layer_kb() - 4.50).abs() < 0.01);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("lenet-5").is_some());
+        assert!(by_name("LENET-5").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_fits_288kb_sram() {
+        // §6: 288 KB on-chip SRAM "is sufficient for all 10 practical CNNs".
+        for b in all() {
+            let r = storage::report(&b.build(0).unwrap());
+            assert!(
+                r.total_kb() < 288.0,
+                "{} needs {} KB",
+                r.name(),
+                r.total_kb()
+            );
+        }
+    }
+
+    #[test]
+    fn extended_networks_build_and_fit_on_chip() {
+        for b in extended::all() {
+            let net = b.build(2).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            let r = storage::report(&net);
+            assert!(r.total_kb() < 288.0, "{} needs {} KB", net.name(), r.total_kb());
+            let out = net.forward_fixed(&net.random_input(3));
+            assert_eq!(out.output().len(), net.output_count());
+        }
+        assert_eq!(extended::all().len(), 3);
+    }
+
+    #[test]
+    fn extended_networks_exercise_normalization() {
+        use crate::layer::LayerKind;
+        let kinds: Vec<LayerKind> = extended::alexnet_lite()
+            .build(1)
+            .unwrap()
+            .layers()
+            .iter()
+            .map(|l| l.kind())
+            .collect();
+        assert!(kinds.contains(&LayerKind::Lrn));
+        let kinds: Vec<LayerKind> = extended::jarrett_lcn()
+            .build(1)
+            .unwrap()
+            .layers()
+            .iter()
+            .map(|l| l.kind())
+            .collect();
+        assert!(kinds.contains(&LayerKind::Lcn));
+        let mlp = extended::mlp_digits().build(1).unwrap();
+        assert!(mlp.layers().iter().all(|l| l.kind() == LayerKind::Fc));
+        // DNN-style: no weight sharing, synapses = full dense count.
+        assert_eq!(mlp.layers()[0].synapse_count(), 256 * 64);
+    }
+
+    #[test]
+    fn forward_pass_runs_on_every_benchmark() {
+        for b in all() {
+            let net = b.build(3).unwrap();
+            let input = net.random_input(1);
+            let out = net.forward_fixed(&input);
+            assert_eq!(out.output().len(), net.output_count(), "{}", net.name());
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The top-level accelerator: compile, load, execute, report.
+
+use crate::alu::Alu;
+use crate::buffer::{CapacityError, InstructionBuffer, NeuronBuffer, SynapseBuffer};
+use crate::compiler::{self, CompileError, Program};
+use crate::config::{AcceleratorConfig, ConfigError};
+use crate::energy::{EnergyModel, EnergyReport};
+use crate::exec::Engine;
+use crate::hfsm::{FirstState, Hfsm};
+use crate::nfu::Nfu;
+use crate::sb::SynapseStore;
+use crate::stats::{LayerStats, RunStats};
+use core::fmt;
+use shidiannao_cnn::Network;
+use shidiannao_fixed::Fx;
+use shidiannao_tensor::MapStack;
+
+/// Error produced by [`Accelerator::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The configuration is invalid.
+    Config(ConfigError),
+    /// A layer or the CNN as a whole does not fit on chip (§6's sizing
+    /// constraint).
+    Capacity(CapacityError),
+    /// The network cannot be lowered to the 61-bit ISA.
+    Compile(CompileError),
+    /// The input stack does not match the network's input shape.
+    InputShape {
+        /// What the network expects: `(maps, width, height)`.
+        expected: (usize, usize, usize),
+        /// What was provided.
+        got: (usize, usize, usize),
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Config(e) => e.fmt(f),
+            RunError::Capacity(e) => e.fmt(f),
+            RunError::Compile(e) => e.fmt(f),
+            RunError::InputShape { expected, got } => write!(
+                f,
+                "input shape {got:?} does not match the network's {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> RunError {
+        RunError::Config(e)
+    }
+}
+
+impl From<CapacityError> for RunError {
+    fn from(e: CapacityError) -> RunError {
+        RunError::Capacity(e)
+    }
+}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> RunError {
+        RunError::Compile(e)
+    }
+}
+
+/// The ShiDianNao accelerator simulator.
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_cnn::zoo;
+/// use shidiannao_core::{Accelerator, AcceleratorConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = zoo::gabor().build(1)?;
+/// let accel = Accelerator::new(AcceleratorConfig::paper());
+/// let run = accel.run(&net, &net.random_input(7))?;
+/// assert_eq!(run.output().len(), net.output_count());
+/// assert!(run.stats().cycles() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    energy_model: EnergyModel,
+}
+
+impl Accelerator {
+    /// Creates an accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`AcceleratorConfig::validate`] to check first.
+    pub fn new(config: AcceleratorConfig) -> Accelerator {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid accelerator configuration: {e}"));
+        Accelerator {
+            config,
+            energy_model: EnergyModel::paper_65nm(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// Replaces the energy model (e.g. a different process node).
+    pub fn set_energy_model(&mut self, model: EnergyModel) {
+        self.energy_model = model;
+    }
+
+    /// Compiles a network to its control program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Compile`] if a dimension exceeds the ISA's
+    /// field widths.
+    pub fn compile(&self, network: &Network) -> Result<Program, RunError> {
+        let program = compiler::compile(network)?;
+        compiler::validate(&program, network)?;
+        Ok(program)
+    }
+
+    /// Checks that a network fits on chip: every layer's neurons within
+    /// NBin/NBout, all synapses within SB, the program within IB (§6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Capacity`] naming the overflowing buffer.
+    pub fn check_capacity(&self, network: &Network) -> Result<(), RunError> {
+        let nb_cap = self.config.nbin_bytes.min(self.config.nbout_bytes);
+        let input_bytes =
+            network.input_maps() * network.input_dims().0 * network.input_dims().1 * 2;
+        let mut max_layer = input_bytes;
+        let mut synapse_bytes = 0;
+        for layer in network.layers() {
+            max_layer = max_layer.max(layer.out_neurons() * 2);
+            // Synapses plus the per-output biases the SB image also holds.
+            synapse_bytes += layer.synapse_count() * 2;
+            synapse_bytes += match layer.body() {
+                shidiannao_cnn::LayerBody::Conv { .. }
+                | shidiannao_cnn::LayerBody::Fc { .. } => layer.out_maps() * 2,
+                _ => 0,
+            };
+        }
+        if max_layer > nb_cap {
+            return Err(CapacityError {
+                buffer: "NBin/NBout",
+                needed: max_layer,
+                available: nb_cap,
+            }
+            .into());
+        }
+        if synapse_bytes > self.config.sb_bytes {
+            return Err(CapacityError {
+                buffer: "SB",
+                needed: synapse_bytes,
+                available: self.config.sb_bytes,
+            }
+            .into());
+        }
+        let program = self.compile(network)?;
+        if program.bytes() > self.config.ib_bytes {
+            return Err(CapacityError {
+                buffer: "IB",
+                needed: program.bytes(),
+                available: self.config.ib_bytes,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Executes one inference cycle-by-cycle.
+    ///
+    /// The input is streamed into NBin (charged as the Load phase), each
+    /// layer runs under its §8 mapping, and NBin/NBout swap roles between
+    /// layers. The result is bit-identical to
+    /// [`Network::forward_fixed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] when the input shape mismatches or the network
+    /// does not fit on chip.
+    pub fn run(&self, network: &Network, input: &MapStack<Fx>) -> Result<RunOutcome, RunError> {
+        let expected = (
+            network.input_maps(),
+            network.input_dims().0,
+            network.input_dims().1,
+        );
+        let got = (input.len(), input.width(), input.height());
+        if expected != got {
+            return Err(RunError::InputShape { expected, got });
+        }
+        self.check_capacity(network)?;
+        let program = self.compile(network)?;
+
+        let cfg = &self.config;
+        let mut buf_a = NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbin_bytes);
+        let mut buf_b = NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbout_bytes);
+        let mut sb = SynapseBuffer::new(cfg.sb_bytes);
+        let mut ib = InstructionBuffer::new(cfg.ib_bytes);
+        let mut nfu = Nfu::new(cfg.pe_cols, cfg.pe_rows);
+        let alu = Alu::new(cfg.alu_lanes);
+        let mut hfsm = Hfsm::new();
+        let mut stats = RunStats::new();
+
+        let store = SynapseStore::load(network, cfg.sb_bytes)?
+            .with_banking(cfg.pe_cols, cfg.pe_rows);
+        sb.load(store.bytes())?;
+        ib.load(program.bytes())?;
+
+        // Load phase: the sensor/host streams the image into NBin at one
+        // bank-width write per cycle.
+        let mut load = LayerStats::new("Load");
+        hfsm.enter(FirstState::Load).expect("HFSM: load");
+        ib.fetch(&mut load);
+        let input_bytes = input.neuron_count() * 2;
+        let load_cycles = input_bytes.div_ceil(cfg.nb_bank_width_bytes()) as u64;
+        load.cycles = load_cycles;
+        load.nbin.write(input_bytes as u64);
+        buf_a.load(input.clone())?;
+        stats.push_layer(load);
+
+        let mut layer_outputs = Vec::with_capacity(network.layers().len());
+        for (i, layer) in network.layers().iter().enumerate() {
+            let mut layer_stats = LayerStats::new(layer.label());
+            let (ow, oh) = layer.out_dims();
+            buf_b.begin_output(ow, oh, layer.out_maps())?;
+            for _ in 0..program.layer_instruction_count(network, i) {
+                ib.fetch(&mut layer_stats);
+            }
+            {
+                let mut engine = Engine {
+                    cfg,
+                    nbin: &buf_a,
+                    nbout: &mut buf_b,
+                    sb: &sb,
+                    store: &store,
+                    layer_index: i,
+                    nfu: &mut nfu,
+                    alu: &alu,
+                    hfsm: &mut hfsm,
+                    stats: &mut layer_stats,
+                };
+                engine.run_layer(layer);
+            }
+            if cfg.model_bank_conflicts {
+                // Conflicting banked requests serialize: the stall cycles
+                // extend the layer with the whole mesh idle.
+                layer_stats.cycles += layer_stats.bank_conflict_cycles;
+                layer_stats.pe_total_slots +=
+                    layer_stats.bank_conflict_cycles * cfg.pe_count() as u64;
+            }
+            let output = buf_b.finish_output();
+            layer_outputs.push(output.clone());
+            buf_a.load(output)?;
+            stats.push_layer(layer_stats);
+        }
+        hfsm.enter(FirstState::End).expect("HFSM: end");
+
+        let energy = self.energy_model.charge_run(&stats);
+        Ok(RunOutcome {
+            layer_outputs,
+            stats,
+            energy,
+            frequency_ghz: cfg.frequency_ghz,
+        })
+    }
+}
+
+impl Default for Accelerator {
+    fn default() -> Accelerator {
+        Accelerator::new(AcceleratorConfig::paper())
+    }
+}
+
+/// The result of one accelerator execution.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    layer_outputs: Vec<MapStack<Fx>>,
+    stats: RunStats,
+    energy: EnergyReport,
+    frequency_ghz: f64,
+}
+
+impl RunOutcome {
+    /// The final layer's output, flattened map-major (comparable to
+    /// [`shidiannao_cnn::ForwardTrace::output`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network had no layers (impossible for built
+    /// networks).
+    pub fn output(&self) -> Vec<Fx> {
+        self.layer_outputs
+            .last()
+            .expect("networks have at least one layer")
+            .flatten()
+    }
+
+    /// Every layer's output stack, in execution order.
+    pub fn layer_outputs(&self) -> &[MapStack<Fx>] {
+        &self.layer_outputs
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Energy charged by the accelerator's model.
+    pub fn energy(&self) -> &EnergyReport {
+        &self.energy
+    }
+
+    /// Per-layer energy breakdown (same order as
+    /// [`RunStats::layers`](crate::RunStats::layers), Load phase first),
+    /// charged with the paper's 65 nm model.
+    pub fn layer_energies(&self) -> Vec<EnergyReport> {
+        let model = crate::energy::EnergyModel::paper_65nm();
+        self.stats.layers().iter().map(|l| model.charge(l)).collect()
+    }
+
+    /// Wall-clock seconds for this inference.
+    pub fn seconds(&self) -> f64 {
+        self.stats.seconds_at(self.frequency_ghz)
+    }
+
+    /// Average power in milliwatts.
+    pub fn average_power_mw(&self) -> f64 {
+        self.energy
+            .average_power_mw(self.stats.cycles(), self.frequency_ghz)
+    }
+
+    /// Sustained fixed-point GOP/s over the run: PE multiplies, adds, and
+    /// comparisons plus ALU operations, divided by wall-clock time.
+    /// Compare with [`AcceleratorConfig::peak_gops`] — the gap is the
+    /// measured utilization loss.
+    pub fn effective_gops(&self) -> f64 {
+        let t = self.stats.total();
+        let ops = t.pe_muls + t.pe_adds + t.pe_cmps + t.alu_acts + t.alu_divs;
+        ops as f64 / self.seconds() / 1e9
+    }
+}

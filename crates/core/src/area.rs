@@ -1,0 +1,183 @@
+//! The component area model (Table 4, 65 nm).
+//!
+//! Anchored to the paper's layout: 4.86 mm² total at 65 nm, split into
+//! NFU 0.66 mm² (64 PEs), NBin/NBout 1.12 mm² each (64 KB), SB 1.65 mm²
+//! (128 KB — the §6 "cost of 128 KB SRAM is moderate: 1.65 mm²" figure),
+//! and IB 0.31 mm² (32 KB). Components scale linearly in their capacity /
+//! PE count, which is how we regenerate Table 4's area column and explore
+//! other design points.
+
+use crate::config::AcceleratorConfig;
+use core::fmt;
+
+/// Per-component silicon area in mm².
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaReport {
+    /// PE mesh + ALU.
+    pub nfu_mm2: f64,
+    /// Input-neuron buffer.
+    pub nbin_mm2: f64,
+    /// Output-neuron buffer.
+    pub nbout_mm2: f64,
+    /// Synapse buffer.
+    pub sb_mm2: f64,
+    /// Instruction buffer + decoder.
+    pub ib_mm2: f64,
+}
+
+/// NFU area per PE: 0.66 mm² / 64 PEs (Table 4).
+pub const NFU_MM2_PER_PE: f64 = 0.66 / 64.0;
+/// NB area per KB: 1.12 mm² / 64 KB (Table 4).
+pub const NB_MM2_PER_KB: f64 = 1.12 / 64.0;
+/// SB area per KB: 1.65 mm² / 128 KB (Table 4, §6).
+pub const SB_MM2_PER_KB: f64 = 1.65 / 128.0;
+/// IB area per KB: 0.31 mm² / 32 KB (Table 4).
+pub const IB_MM2_PER_KB: f64 = 0.31 / 32.0;
+
+impl AreaReport {
+    /// Total accelerator area.
+    pub fn total_mm2(&self) -> f64 {
+        self.nfu_mm2 + self.nbin_mm2 + self.nbout_mm2 + self.sb_mm2 + self.ib_mm2
+    }
+
+    /// Component shares of the total, in Table 4 order (NFU, NBin, NBout,
+    /// SB, IB), as fractions.
+    pub fn shares(&self) -> [f64; 5] {
+        let t = self.total_mm2();
+        [
+            self.nfu_mm2 / t,
+            self.nbin_mm2 / t,
+            self.nbout_mm2 / t,
+            self.sb_mm2 / t,
+            self.ib_mm2 / t,
+        ]
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.2} mm² (NFU {:.2}, NBin {:.2}, NBout {:.2}, SB {:.2}, IB {:.2})",
+            self.total_mm2(),
+            self.nfu_mm2,
+            self.nbin_mm2,
+            self.nbout_mm2,
+            self.sb_mm2,
+            self.ib_mm2
+        )
+    }
+}
+
+/// Estimates the silicon area of a configuration at 65 nm.
+pub fn area_of(cfg: &AcceleratorConfig) -> AreaReport {
+    let kb = |bytes: usize| bytes as f64 / 1024.0;
+    AreaReport {
+        nfu_mm2: NFU_MM2_PER_PE * cfg.pe_count() as f64,
+        nbin_mm2: NB_MM2_PER_KB * kb(cfg.nbin_bytes),
+        nbout_mm2: NB_MM2_PER_KB * kb(cfg.nbout_bytes),
+        sb_mm2: SB_MM2_PER_KB * kb(cfg.sb_bytes),
+        ib_mm2: IB_MM2_PER_KB * kb(cfg.ib_bytes),
+    }
+}
+
+/// Renders a Fig. 17 style floorplan sketch: component rectangles whose
+/// areas are proportional to the model's mm², arranged like the paper's
+/// layout (SB across the top, NBin/NBout flanking the NFU, IB at the
+/// bottom).
+pub fn floorplan_ascii(cfg: &AcceleratorConfig) -> String {
+    let a = area_of(cfg);
+    let total = a.total_mm2();
+    let width = 40usize;
+    // Rows proportional to area within a fixed 20-row die sketch.
+    let rows_of = |mm2: f64| ((mm2 / total * 20.0).round() as usize).max(1);
+    let band = |label: &str, mm2: f64| {
+        let rows = rows_of(mm2);
+        let mut out = String::new();
+        for r in 0..rows {
+            let text = if r == rows / 2 {
+                format!("{label} {mm2:.2} mm2")
+            } else {
+                String::new()
+            };
+            out += &format!("|{text:^width$}|
+");
+        }
+        out
+    };
+    let mut out = format!("+{}+
+", "-".repeat(width));
+    out += &band("SB", a.sb_mm2);
+    out += &format!("+{}+
+", "-".repeat(width));
+    // Middle band: NBin | NFU | NBout, proportional columns.
+    let mid = a.nbin_mm2 + a.nfu_mm2 + a.nbout_mm2;
+    let cols = |mm2: f64| ((mm2 / mid * (width - 2) as f64).round() as usize).max(3);
+    let (c1, c3) = (cols(a.nbin_mm2), cols(a.nbout_mm2));
+    let c2 = (width - 2).saturating_sub(c1 + c3).max(3);
+    let mid_rows = rows_of(mid);
+    for r in 0..mid_rows {
+        let (l, m, rr) = if r == mid_rows / 2 {
+            ("NBin".to_string(), "NFU".to_string(), "NBout".to_string())
+        } else {
+            (String::new(), String::new(), String::new())
+        };
+        out += &format!("|{l:^c1$}|{m:^c2$}|{rr:^c3$}|
+");
+    }
+    out += &format!("+{}+
+", "-".repeat(width));
+    out += &band("IB", a.ib_mm2);
+    out += &format!("+{}+
+", "-".repeat(width));
+    out += &format!("total: {total:.2} mm2 at 65 nm
+");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_table4_area() {
+        let a = area_of(&AcceleratorConfig::paper());
+        assert!((a.total_mm2() - 4.86).abs() < 0.001, "{}", a.total_mm2());
+        assert!((a.nfu_mm2 - 0.66).abs() < 1e-9);
+        assert!((a.nbin_mm2 - 1.12).abs() < 1e-9);
+        assert!((a.sb_mm2 - 1.65).abs() < 1e-9);
+        assert!((a.ib_mm2 - 0.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_match_table4_percentages() {
+        let a = area_of(&AcceleratorConfig::paper());
+        let s = a.shares();
+        assert!((s[0] - 0.1358).abs() < 0.001); // NFU 13.58 %
+        assert!((s[3] - 0.3395).abs() < 0.001); // SB 33.95 %
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_design_point() {
+        let small = area_of(&AcceleratorConfig::with_pe_grid(4, 4));
+        let big = area_of(&AcceleratorConfig::paper());
+        assert!(small.nfu_mm2 < big.nfu_mm2);
+        assert_eq!(small.sb_mm2, big.sb_mm2);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let a = area_of(&AcceleratorConfig::paper());
+        assert!(a.to_string().contains("4.86"));
+    }
+
+    #[test]
+    fn floorplan_sketch_names_every_component() {
+        let plan = floorplan_ascii(&AcceleratorConfig::paper());
+        for name in ["SB", "NFU", "NBin", "NBout", "IB"] {
+            assert!(plan.contains(name), "missing {name}\n{plan}");
+        }
+        assert!(plan.contains("total: 4.86 mm2"));
+    }
+}

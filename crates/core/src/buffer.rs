@@ -1,0 +1,622 @@
+//! The on-chip SRAM buffers: NBin/NBout neuron buffers with the six-mode
+//! NB controller (Figs. 9–11), the synapse buffer, and the instruction
+//! buffer.
+
+use crate::stats::{LayerStats, ReadMode};
+use core::fmt;
+use shidiannao_fixed::Fx;
+use shidiannao_tensor::MapStack;
+
+/// Error raised when data does not fit an on-chip buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Which buffer overflowed.
+    pub buffer: &'static str,
+    /// Bytes required.
+    pub needed: usize,
+    /// Bytes available.
+    pub available: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} overflow: need {} bytes but only {} available",
+            self.buffer, self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// A neuron buffer (NBin or NBout) with its controller.
+///
+/// The physical organisation follows §6 / Fig. 11: `2 × Py` banks of
+/// `Px × 2` bytes width; a feature-map row is striped across one bank group
+/// with `Px`-column segments alternating between group 0 and group 1, and
+/// bank index `y mod Py` within the group. The controller exposes the six
+/// read modes of Fig. 10 and the block write mode of §7.1; every access is
+/// tallied into [`LayerStats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct NeuronBuffer {
+    px: usize,
+    py: usize,
+    capacity_bytes: usize,
+    stack: Option<MapStack<Fx>>,
+    // Output under construction: map dims + write coverage tracking.
+    out: Option<MapStack<Fx>>,
+    out_written: u64,
+    // Bank-group usage histogram for the Fig. 11 write-parity invariant.
+    write_groups: [u64; 2],
+}
+
+/// Serialization penalty of one banked access: the distinct
+/// `(column segment, row)` SRAM words a request touches are served in
+/// parallel across banks, but words mapping to the same bank — same
+/// segment parity (bank group) and same `row mod Py` — share a port and
+/// serialize. Returns the extra cycles beyond the first.
+fn bank_extra_cycles(
+    py: usize,
+    words: impl Iterator<Item = (usize, usize)>,
+) -> u64 {
+    let mut distinct: Vec<(usize, usize)> = words.collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut loads = std::collections::HashMap::new();
+    for (seg, y) in distinct {
+        *loads.entry((seg % 2, y % py)).or_insert(0u64) += 1;
+    }
+    loads.values().copied().max().unwrap_or(1).saturating_sub(1)
+}
+
+impl NeuronBuffer {
+    /// Creates an empty buffer for a `Px × Py` NFU.
+    pub fn new(px: usize, py: usize, capacity_bytes: usize) -> NeuronBuffer {
+        NeuronBuffer {
+            px,
+            py,
+            capacity_bytes,
+            stack: None,
+            out: None,
+            out_written: 0,
+            write_groups: [0, 0],
+        }
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Loads a whole layer's neurons (role handoff or sensor streaming).
+    /// No access cost is charged — charging the producer is the caller's
+    /// job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the stack exceeds capacity.
+    pub fn load(&mut self, stack: MapStack<Fx>) -> Result<(), CapacityError> {
+        let needed = stack.neuron_count() * 2;
+        if needed > self.capacity_bytes {
+            return Err(CapacityError {
+                buffer: "NB",
+                needed,
+                available: self.capacity_bytes,
+            });
+        }
+        self.stack = Some(stack);
+        Ok(())
+    }
+
+    /// The currently loaded layer, if any.
+    pub fn contents(&self) -> Option<&MapStack<Fx>> {
+        self.stack.as_ref()
+    }
+
+    /// Removes and returns the loaded layer.
+    pub fn take(&mut self) -> Option<MapStack<Fx>> {
+        self.stack.take()
+    }
+
+    fn neuron(&self, map: usize, x: usize, y: usize) -> Fx {
+        self.stack.as_ref().expect("NB read before load")[map][(x, y)]
+    }
+
+    /// The bank group (0 or 1) a column index belongs to (Fig. 11).
+    #[inline]
+    pub fn bank_group_of(&self, x: usize) -> usize {
+        (x / self.px) % 2
+    }
+
+    /// Mode (a)/(b) (or (e) when strided): read a `w × h` tile of neurons
+    /// whose top-left input coordinate is `(x0, y0)`, consecutive PEs
+    /// `stride` apart. Returns row-major values.
+    pub fn read_tile(
+        &self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+        (sx, sy): (usize, usize),
+        stats: &mut LayerStats,
+    ) -> Vec<Fx> {
+        let mode = if sx == 1 && sy == 1 {
+            if self.bank_group_of(x0) == 0 {
+                ReadMode::A
+            } else {
+                ReadMode::B
+            }
+        } else {
+            ReadMode::E
+        };
+        stats.nbin_read(mode, (w * h * 2) as u64);
+        stats.bank_conflict_cycles += bank_extra_cycles(
+            self.py,
+            (0..h).flat_map(|j| (0..w).map(move |i| (i, j))).map(|(i, j)| {
+                ((x0 + i * sx) / self.px, y0 + j * sy)
+            }),
+        );
+        let mut out = Vec::with_capacity(w * h);
+        for j in 0..h {
+            for i in 0..w {
+                out.push(self.neuron(map, x0 + i * sx, y0 + j * sy));
+            }
+        }
+        out
+    }
+
+    /// Mode (c): read up to `Px` neurons of one row from a single bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the bank width `Px`.
+    pub fn read_row(
+        &self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        n: usize,
+        sx: usize,
+        stats: &mut LayerStats,
+    ) -> Vec<Fx> {
+        assert!(n <= self.px, "mode (c) reads at most Px={} neurons", self.px);
+        let mode = if sx == 1 { ReadMode::C } else { ReadMode::E };
+        stats.nbin_read(mode, (n * 2) as u64);
+        stats.bank_conflict_cycles +=
+            bank_extra_cycles(self.py, (0..n).map(|i| ((x0 + i * sx) / self.px, y0)));
+        (0..n).map(|i| self.neuron(map, x0 + i * sx, y0)).collect()
+    }
+
+    /// Mode (f): read one neuron per bank — a column of up to `Py` neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the bank-group height `Py`.
+    pub fn read_col(
+        &self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        n: usize,
+        sy: usize,
+        stats: &mut LayerStats,
+    ) -> Vec<Fx> {
+        assert!(n <= self.py, "mode (f) reads at most Py={} neurons", self.py);
+        let mode = if sy == 1 { ReadMode::F } else { ReadMode::E };
+        stats.nbin_read(mode, (n * 2) as u64);
+        stats.bank_conflict_cycles +=
+            bank_extra_cycles(self.py, (0..n).map(|j| (x0 / self.px, y0 + j * sy)));
+        (0..n).map(|j| self.neuron(map, x0, y0 + j * sy)).collect()
+    }
+
+    /// Mode (d): read a single neuron by flat (map-major, row-major) index
+    /// — the classifier-layer broadcast read.
+    pub fn read_single(&self, flat: usize, stats: &mut LayerStats) -> Fx {
+        let stack = self.stack.as_ref().expect("NB read before load");
+        let per_map = stack.width() * stack.height();
+        let map = flat / per_map;
+        let rem = flat % per_map;
+        stats.nbin_read(ReadMode::D, 2);
+        self.neuron(map, rem % stack.width(), rem / stack.width())
+    }
+
+    /// Mode (e): gather arbitrary strided coordinates (pooling windows);
+    /// one access delivering `coords.len()` neurons.
+    pub fn read_gather(
+        &self,
+        map: usize,
+        coords: &[(usize, usize)],
+        stats: &mut LayerStats,
+    ) -> Vec<Fx> {
+        stats.nbin_read(ReadMode::E, (coords.len() * 2) as u64);
+        stats.bank_conflict_cycles +=
+            bank_extra_cycles(self.py, coords.iter().map(|&(x, y)| (x / self.px, y)));
+        coords
+            .iter()
+            .map(|&(x, y)| self.neuron(map, x, y))
+            .collect()
+    }
+
+    /// Starts collecting a new output layer of `count` maps of `w × h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the output layer exceeds capacity.
+    pub fn begin_output(
+        &mut self,
+        w: usize,
+        h: usize,
+        count: usize,
+    ) -> Result<(), CapacityError> {
+        let needed = w * h * count * 2;
+        if needed > self.capacity_bytes {
+            return Err(CapacityError {
+                buffer: "NB (output)",
+                needed,
+                available: self.capacity_bytes,
+            });
+        }
+        self.out = Some(MapStack::filled(w, h, count, Fx::ZERO));
+        self.out_written = 0;
+        self.write_groups = [0, 0];
+        Ok(())
+    }
+
+    /// Block write (§7.1): stores an `w × h` block of results whose
+    /// top-left output coordinate is `(x0, y0)` — the output register array
+    /// flushing after all `Px × Py` PEs finish. The block lands in the bank
+    /// group given by its column parity (Fig. 11), which is recorded for
+    /// invariant checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output is begun or the block exceeds the output map.
+    pub fn write_block(
+        &mut self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+        values: &[Fx],
+        stats: &mut LayerStats,
+    ) {
+        assert_eq!(values.len(), w * h, "block payload mismatch");
+        let group = self.bank_group_of(x0);
+        self.write_groups[group] += 1;
+        let out = self.out.as_mut().expect("write before begin_output");
+        let target = out.get_mut(map).expect("output map out of range");
+        for j in 0..h {
+            for i in 0..w {
+                target[(x0 + i, y0 + j)] = values[j * w + i];
+            }
+        }
+        self.out_written += (w * h) as u64;
+        stats.nbout.write((w * h * 2) as u64);
+    }
+
+    /// Scalar-group write: stores one value into each of `values.len()`
+    /// consecutive `1 × 1` output maps starting at `start_map` — how a
+    /// classifier layer's output register array flushes a PE group's
+    /// results in a single write (§8.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output is begun, a map index is out of range, or the
+    /// output maps are not `1 × 1`.
+    pub fn write_scalar_group(&mut self, start_map: usize, values: &[Fx], stats: &mut LayerStats) {
+        let out = self.out.as_mut().expect("write before begin_output");
+        assert_eq!(out.map_dims(), (1, 1), "scalar writes need 1x1 maps");
+        for (i, &v) in values.iter().enumerate() {
+            out.get_mut(start_map + i).expect("output map out of range")[(0, 0)] = v;
+        }
+        self.out_written += values.len() as u64;
+        self.write_groups[0] += 1;
+        stats.nbout.write((values.len() * 2) as u64);
+    }
+
+    /// Finishes the output layer and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not every output neuron was written exactly once in
+    /// aggregate (coverage check).
+    pub fn finish_output(&mut self) -> MapStack<Fx> {
+        let out = self.out.take().expect("finish before begin_output");
+        assert_eq!(
+            self.out_written as usize,
+            out.neuron_count(),
+            "output coverage mismatch"
+        );
+        out
+    }
+
+    /// Block-write counts per bank group `(group 0, group 1)` since the
+    /// last [`NeuronBuffer::begin_output`].
+    pub fn write_group_histogram(&self) -> [u64; 2] {
+        self.write_groups
+    }
+}
+
+/// The synapse buffer: `Py` banks holding every kernel and classifier
+/// weight of the CNN (§6).
+///
+/// Weight *values* live in the [`shidiannao_cnn::Network`] the accelerator
+/// executes; `SynapseBuffer` enforces the capacity constraint and meters
+/// the read traffic the NFU generates, which is what the energy model
+/// charges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynapseBuffer {
+    capacity_bytes: usize,
+    loaded_bytes: usize,
+}
+
+impl SynapseBuffer {
+    /// Creates an empty synapse buffer.
+    pub fn new(capacity_bytes: usize) -> SynapseBuffer {
+        SynapseBuffer {
+            capacity_bytes,
+            loaded_bytes: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Registers the CNN's full synapse footprint (all layers at once, §6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the synapses exceed capacity.
+    pub fn load(&mut self, synapse_bytes: usize) -> Result<(), CapacityError> {
+        if synapse_bytes > self.capacity_bytes {
+            return Err(CapacityError {
+                buffer: "SB",
+                needed: synapse_bytes,
+                available: self.capacity_bytes,
+            });
+        }
+        self.loaded_bytes = synapse_bytes;
+        Ok(())
+    }
+
+    /// Bytes currently resident.
+    #[inline]
+    pub fn loaded_bytes(&self) -> usize {
+        self.loaded_bytes
+    }
+
+    /// One broadcast kernel-value read (convolutional layers read a single
+    /// synapse per cycle and share it across all PEs, §8.1).
+    #[inline]
+    pub fn read_broadcast(&self, stats: &mut LayerStats) {
+        stats.sb.read(2);
+    }
+
+    /// One wide read of `n` synapses (classifier layers read `Px × Py`
+    /// different weights per cycle, §8.3).
+    #[inline]
+    pub fn read_wide(&self, n: usize, stats: &mut LayerStats) {
+        stats.sb.read((n * 2) as u64);
+    }
+}
+
+/// The instruction buffer and decoder front-end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstructionBuffer {
+    capacity_bytes: usize,
+    loaded_bytes: usize,
+}
+
+impl InstructionBuffer {
+    /// Creates an empty instruction buffer.
+    pub fn new(capacity_bytes: usize) -> InstructionBuffer {
+        InstructionBuffer {
+            capacity_bytes,
+            loaded_bytes: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Registers a compiled program's footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the program exceeds capacity.
+    pub fn load(&mut self, program_bytes: usize) -> Result<(), CapacityError> {
+        if program_bytes > self.capacity_bytes {
+            return Err(CapacityError {
+                buffer: "IB",
+                needed: program_bytes,
+                available: self.capacity_bytes,
+            });
+        }
+        self.loaded_bytes = program_bytes;
+        Ok(())
+    }
+
+    /// One instruction fetch (8 bytes holds the 61-bit word).
+    #[inline]
+    pub fn fetch(&self, stats: &mut LayerStats) {
+        stats.ib.read(8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shidiannao_tensor::FeatureMap;
+
+    fn stack_4x4() -> MapStack<Fx> {
+        MapStack::from_fn(4, 4, 2, |m| {
+            FeatureMap::from_fn(4, 4, move |x, y| Fx::from_int((m * 100 + y * 10 + x) as i32 % 60))
+        })
+    }
+
+    fn nb() -> NeuronBuffer {
+        let mut nb = NeuronBuffer::new(2, 2, 4096);
+        nb.load(stack_4x4()).unwrap();
+        nb
+    }
+
+    #[test]
+    fn load_respects_capacity() {
+        let mut small = NeuronBuffer::new(2, 2, 8);
+        let err = small.load(stack_4x4()).unwrap_err();
+        assert_eq!(err.needed, 64);
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn tile_read_is_row_major_and_counted() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        let tile = nb.read_tile(0, (1, 1), (2, 2), (1, 1), &mut s);
+        assert_eq!(
+            tile,
+            vec![
+                Fx::from_int(11),
+                Fx::from_int(12),
+                Fx::from_int(21),
+                Fx::from_int(22)
+            ]
+        );
+        assert_eq!(s.nbin.read_bytes, 8);
+        assert_eq!(s.reads_by_mode[ReadMode::A as usize], 1);
+    }
+
+    #[test]
+    fn tile_mode_depends_on_group_and_stride() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        nb.read_tile(0, (2, 0), (2, 2), (1, 1), &mut s); // x0=2, px=2 → group 1
+        assert_eq!(s.reads_by_mode[ReadMode::B as usize], 1);
+        nb.read_tile(0, (0, 0), (2, 2), (2, 2), &mut s); // strided
+        assert_eq!(s.reads_by_mode[ReadMode::E as usize], 1);
+    }
+
+    #[test]
+    fn strided_tile_gathers_correctly() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        let tile = nb.read_tile(0, (0, 0), (2, 2), (2, 2), &mut s);
+        assert_eq!(
+            tile,
+            vec![
+                Fx::from_int(0),
+                Fx::from_int(2),
+                Fx::from_int(20),
+                Fx::from_int(22)
+            ]
+        );
+    }
+
+    #[test]
+    fn row_and_col_reads() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        let row = nb.read_row(1, (0, 2), 2, 1, &mut s);
+        assert_eq!(row, vec![Fx::from_int(0), Fx::from_int(1)]); // 120%60, 121%60
+        let col = nb.read_col(0, (3, 0), 2, 1, &mut s);
+        assert_eq!(col, vec![Fx::from_int(3), Fx::from_int(13)]);
+        assert_eq!(s.reads_by_mode[ReadMode::C as usize], 1);
+        assert_eq!(s.reads_by_mode[ReadMode::F as usize], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most Px")]
+    fn row_read_bounded_by_bank_width() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        let _ = nb.read_row(0, (0, 0), 3, 1, &mut s);
+    }
+
+    #[test]
+    fn single_read_uses_flat_index() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        // flat 17 → map 1, position (1, 0) → value (100+1)%60 = 41.
+        assert_eq!(nb.read_single(17, &mut s), Fx::from_int(41));
+        assert_eq!(s.reads_by_mode[ReadMode::D as usize], 1);
+        assert_eq!(s.nbin.read_bytes, 2);
+    }
+
+    #[test]
+    fn gather_counts_one_access() {
+        let nb = nb();
+        let mut s = LayerStats::new("t");
+        let vals = nb.read_gather(0, &[(0, 0), (3, 3)], &mut s);
+        assert_eq!(vals, vec![Fx::from_int(0), Fx::from_int(33)]);
+        assert_eq!(s.nbin.read_accesses, 1);
+        assert_eq!(s.nbin.read_bytes, 4);
+    }
+
+    #[test]
+    fn write_blocks_cover_output_and_track_groups() {
+        let mut nb = NeuronBuffer::new(2, 2, 4096);
+        nb.begin_output(4, 2, 1).unwrap();
+        let mut s = LayerStats::new("t");
+        let vals: Vec<Fx> = (0..4).map(Fx::from_int).collect();
+        nb.write_block(0, (0, 0), (2, 2), &vals, &mut s);
+        nb.write_block(0, (2, 0), (2, 2), &vals, &mut s);
+        assert_eq!(nb.write_group_histogram(), [1, 1]);
+        let out = nb.finish_output();
+        assert_eq!(out[0][(0, 0)], Fx::from_int(0));
+        assert_eq!(out[0][(3, 1)], Fx::from_int(3));
+        assert_eq!(s.nbout.write_bytes, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage mismatch")]
+    fn finish_requires_full_coverage() {
+        let mut nb = NeuronBuffer::new(2, 2, 4096);
+        nb.begin_output(4, 4, 1).unwrap();
+        let mut s = LayerStats::new("t");
+        nb.write_block(0, (0, 0), (2, 2), &[Fx::ZERO; 4], &mut s);
+        let _ = nb.finish_output();
+    }
+
+    #[test]
+    fn output_capacity_enforced() {
+        let mut nb = NeuronBuffer::new(2, 2, 8);
+        assert!(nb.begin_output(4, 4, 1).is_err());
+    }
+
+    #[test]
+    fn sb_meters_reads_and_capacity() {
+        let mut sb = SynapseBuffer::new(64);
+        assert!(sb.load(64).is_ok());
+        assert_eq!(sb.loaded_bytes(), 64);
+        assert!(sb.load(65).is_err());
+        let mut s = LayerStats::new("t");
+        sb.read_broadcast(&mut s);
+        sb.read_wide(64, &mut s);
+        assert_eq!(s.sb.read_accesses, 2);
+        assert_eq!(s.sb.read_bytes, 130);
+    }
+
+    #[test]
+    fn ib_meters_fetches() {
+        let mut ib = InstructionBuffer::new(16);
+        assert!(ib.load(16).is_ok());
+        assert!(ib.load(17).is_err());
+        let mut s = LayerStats::new("t");
+        ib.fetch(&mut s);
+        assert_eq!(s.ib.read_bytes, 8);
+        assert_eq!(ib.capacity_bytes(), 16);
+    }
+
+    #[test]
+    fn take_and_contents() {
+        let mut nb = nb();
+        assert!(nb.contents().is_some());
+        let s = nb.take().unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(nb.contents().is_none());
+    }
+}

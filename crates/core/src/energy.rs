@@ -1,0 +1,241 @@
+//! The per-event energy model (Table 4, 65 nm).
+//!
+//! Energy is charged per microarchitectural event counted in
+//! [`LayerStats`]: PE operations and idle clocking (NFU), bytes and
+//! accesses moved through each SRAM (NBin, NBout, SB, IB). The constants
+//! are calibrated so the ten Table 2 benchmarks reproduce Table 4's
+//! averaged power (320.10 mW at 1 GHz) and component breakdown (NFU
+//! 83.98 %, NBin 11.10 %, NBout 2.06 %, SB 2.11 %, IB 0.74 %); the
+//! calibration is asserted by `tests/table4.rs`.
+
+use crate::stats::{LayerStats, RunStats};
+use core::fmt;
+
+/// Per-event energies in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// One busy PE slot (multiplier + adder + FIFO activity).
+    pub pe_busy_pj: f64,
+    /// One idle PE slot (clock + leakage while the mesh is powered).
+    pub pe_idle_pj: f64,
+    /// One ALU operation (activation segment evaluation or division).
+    pub alu_op_pj: f64,
+    /// One byte read from an NB (bank access amortized).
+    pub nb_read_byte_pj: f64,
+    /// Fixed cost per NB read access (decoder + wordline).
+    pub nb_read_access_pj: f64,
+    /// One byte written to an NB (writes cost more than reads in these
+    /// SRAM macros).
+    pub nb_write_byte_pj: f64,
+    /// Fixed cost per NB write access.
+    pub nb_write_access_pj: f64,
+    /// One byte read from SB.
+    pub sb_byte_pj: f64,
+    /// Fixed cost per SB access.
+    pub sb_access_pj: f64,
+    /// One byte fetched from IB.
+    pub ib_byte_pj: f64,
+}
+
+impl EnergyModel {
+    /// The calibrated 65 nm model.
+    pub fn paper_65nm() -> EnergyModel {
+        EnergyModel {
+            pe_busy_pj: 4.88,
+            pe_idle_pj: 0.553,
+            alu_op_pj: 2.46,
+            nb_read_byte_pj: 1.91,
+            nb_read_access_pj: 4.92,
+            nb_write_byte_pj: 2.34,
+            nb_write_access_pj: 6.03,
+            sb_byte_pj: 0.66,
+            sb_access_pj: 0.46,
+            ib_byte_pj: 23.8,
+        }
+    }
+
+    /// Charges one layer's (or an aggregate's) events.
+    pub fn charge(&self, s: &LayerStats) -> EnergyReport {
+        let pe_ops = s.pe_muls + s.pe_adds + s.pe_cmps;
+        // Busy slots already count one op per slot; multi-op cycles (MAC =
+        // mul + add) charge the extra op at half weight.
+        let extra_ops = pe_ops.saturating_sub(s.pe_busy_slots);
+        let idle = s.pe_total_slots.saturating_sub(s.pe_busy_slots);
+        let nfu = self.pe_busy_pj * s.pe_busy_slots as f64
+            + 0.5 * self.pe_busy_pj * extra_ops as f64
+            + self.pe_idle_pj * idle as f64
+            + self.alu_op_pj * (s.alu_acts + s.alu_divs) as f64;
+        let nb = |t: &crate::stats::BufferTraffic| {
+            self.nb_read_byte_pj * t.read_bytes as f64
+                + self.nb_read_access_pj * t.read_accesses as f64
+                + self.nb_write_byte_pj * t.write_bytes as f64
+                + self.nb_write_access_pj * t.write_accesses as f64
+        };
+        let nbin = nb(&s.nbin);
+        let nbout = nb(&s.nbout);
+        let sb = self.sb_byte_pj * s.sb.total_bytes() as f64
+            + self.sb_access_pj * (s.sb.read_accesses + s.sb.write_accesses) as f64;
+        let ib = self.ib_byte_pj * s.ib.total_bytes() as f64;
+        EnergyReport {
+            nfu_nj: nfu / 1000.0,
+            nbin_nj: nbin / 1000.0,
+            nbout_nj: nbout / 1000.0,
+            sb_nj: sb / 1000.0,
+            ib_nj: ib / 1000.0,
+        }
+    }
+
+    /// Charges a whole run.
+    pub fn charge_run(&self, stats: &RunStats) -> EnergyReport {
+        self.charge(&stats.total())
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::paper_65nm()
+    }
+}
+
+/// Per-component energy of one execution, in nanojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyReport {
+    /// PE mesh + ALU.
+    pub nfu_nj: f64,
+    /// Input-neuron buffer.
+    pub nbin_nj: f64,
+    /// Output-neuron buffer.
+    pub nbout_nj: f64,
+    /// Synapse buffer.
+    pub sb_nj: f64,
+    /// Instruction buffer.
+    pub ib_nj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total_nj(&self) -> f64 {
+        self.nfu_nj + self.nbin_nj + self.nbout_nj + self.sb_nj + self.ib_nj
+    }
+
+    /// Component shares in Table 4 order (NFU, NBin, NBout, SB, IB), as
+    /// fractions of the total.
+    pub fn shares(&self) -> [f64; 5] {
+        let t = self.total_nj();
+        if t == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.nfu_nj / t,
+            self.nbin_nj / t,
+            self.nbout_nj / t,
+            self.sb_nj / t,
+            self.ib_nj / t,
+        ]
+    }
+
+    /// Average power in milliwatts over an execution of `cycles` at
+    /// `frequency_ghz`.
+    pub fn average_power_mw(&self, cycles: u64, frequency_ghz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let seconds = cycles as f64 / (frequency_ghz * 1e9);
+        self.total_nj() * 1e-9 / seconds * 1e3
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            nfu_nj: self.nfu_nj + other.nfu_nj,
+            nbin_nj: self.nbin_nj + other.nbin_nj,
+            nbout_nj: self.nbout_nj + other.nbout_nj,
+            sb_nj: self.sb_nj + other.sb_nj,
+            ib_nj: self.ib_nj + other.ib_nj,
+        }
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} nJ (NFU {:.2}, NBin {:.2}, NBout {:.2}, SB {:.2}, IB {:.2})",
+            self.total_nj(),
+            self.nfu_nj,
+            self.nbin_nj,
+            self.nbout_nj,
+            self.sb_nj,
+            self.ib_nj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> LayerStats {
+        let mut s = LayerStats::new("C1");
+        s.cycles = 1000;
+        s.pe_busy_slots = 50_000;
+        s.pe_total_slots = 64_000;
+        s.pe_muls = 50_000;
+        s.pe_adds = 50_000;
+        s.alu_acts = 800;
+        s.nbin.read(8_000);
+        s.nbout.write(2_000);
+        s.sb.read(2_000);
+        s.ib.read(80);
+        s
+    }
+
+    #[test]
+    fn charge_is_positive_and_additive() {
+        let m = EnergyModel::paper_65nm();
+        let r = m.charge(&sample_stats());
+        assert!(r.total_nj() > 0.0);
+        let merged = r.merge(&r);
+        assert!((merged.total_nj() - 2.0 * r.total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let m = EnergyModel::paper_65nm();
+        let r = m.charge(&sample_stats());
+        let s: f64 = r.shares().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(EnergyReport::default().shares(), [0.0; 5]);
+    }
+
+    #[test]
+    fn power_conversion() {
+        let r = EnergyReport {
+            nfu_nj: 320.0,
+            ..EnergyReport::default()
+        };
+        // 320 nJ over 1000 cycles at 1 GHz = 320 mW.
+        assert!((r.average_power_mw(1000, 1.0) - 320.0).abs() < 1e-9);
+        assert_eq!(r.average_power_mw(0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn idle_pes_cost_less_than_busy() {
+        let m = EnergyModel::paper_65nm();
+        assert!(m.pe_idle_pj < m.pe_busy_pj);
+        let mut busy = LayerStats::new("b");
+        busy.pe_busy_slots = 1000;
+        busy.pe_total_slots = 1000;
+        let mut idle = LayerStats::new("i");
+        idle.pe_total_slots = 1000;
+        assert!(m.charge(&busy).nfu_nj > m.charge(&idle).nfu_nj);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let m = EnergyModel::paper_65nm();
+        let s = m.charge(&sample_stats()).to_string();
+        assert!(s.contains("NFU"));
+        assert!(s.contains("IB"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Classifier-layer executor (§8.3).
+
+use super::Engine;
+use shidiannao_cnn::{Layer, LayerBody};
+use shidiannao_fixed::Fx;
+use std::collections::BTreeSet;
+
+/// Executes a (fully or partially connected) classifier layer.
+///
+/// "Each cycle of a classifier layer reads `Px × Py` different synaptic
+/// weights and a single input neuron for all `Px × Py` PEs" — the input
+/// neuron arrives through read mode (d) and is broadcast; each PE owns one
+/// output neuron until it completes. Sparse classifiers (Table 2's
+/// sub-full kernel counts) iterate the *union* of the group's input
+/// indices; PEs whose row skips an index idle that cycle.
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+    let LayerBody::Fc {
+        weights,
+        activation,
+    } = layer.body()
+    else {
+        unreachable!("classifier executor fed a non-classifier layer");
+    };
+    let pe_count = eng.cfg.pe_count();
+    let px = eng.cfg.pe_cols;
+    let out_count = layer.out_maps();
+    let (store, layer_index) = (eng.store, eng.layer_index);
+
+    for group_start in (0..out_count).step_by(pe_count) {
+        let group_len = pe_count.min(out_count - group_start);
+
+        // Load the group's biases (one wide SB read).
+        eng.sb.read_wide(group_len, eng.stats);
+        for i in 0..group_len {
+            eng.nfu
+                .pe_mut(i % px, i / px)
+                .reset_accumulator(store.bias(layer_index, group_start + i));
+        }
+
+        // The distinct input indices any PE in the group needs, ascending
+        // (rows are sorted, so per-PE cursors advance monotonically).
+        let union: BTreeSet<usize> = (0..group_len)
+            .flat_map(|i| weights.row(group_start + i).iter().map(|&(idx, _)| idx))
+            .collect();
+        let mut cursors = vec![0usize; group_len];
+
+        for &idx in &union {
+            // One broadcast neuron (mode (d)) + one wide synapse read.
+            let neuron = eng.nbin.read_single(idx, eng.stats);
+            eng.sb.read_wide(pe_count, eng.stats);
+            let mut busy = 0;
+            for (i, cursor) in cursors.iter_mut().enumerate() {
+                let row = weights.row(group_start + i);
+                if *cursor < row.len() && row[*cursor].0 == idx {
+                    // The row's sparsity pattern is decoder metadata; the
+                    // weight itself streams from the SB image.
+                    let w = store.fc_weight(layer_index, group_start + i, *cursor);
+                    eng.nfu.pe_mut(i % px, i / px).mac(neuron, w);
+                    eng.stats.pe_muls += 1;
+                    eng.stats.pe_adds += 1;
+                    *cursor += 1;
+                    busy += 1;
+                }
+            }
+            eng.tick(busy);
+        }
+
+        // Epilogue: activation through the ALU, then one grouped write.
+        let mut vals: Vec<Fx> = (0..group_len)
+            .map(|i| eng.nfu.pe(i % px, i / px).accumulator())
+            .collect();
+        // Pipelined ALU: activation latency hides behind the next
+        // group's MAC stream; one flush cycle remains.
+        let _ = eng.alu.activate(&mut vals, *activation, eng.stats);
+        eng.tick_idle(1);
+        eng.nbout.write_scalar_group(group_start, &vals, eng.stats);
+    }
+}

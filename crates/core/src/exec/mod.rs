@@ -1,0 +1,88 @@
+//! Cycle-level layer executors.
+//!
+//! Each executor drives the NFU mesh cycle by cycle, issuing NB controller
+//! reads in the modes §7.1 assigns to its layer type, propagating data
+//! between PEs through the FIFOs, and producing output neurons that are
+//! **bit-identical** to the golden reference in `shidiannao-cnn`.
+
+mod conv;
+mod fc;
+mod norm;
+mod packed;
+mod pool;
+mod window;
+
+pub(crate) use window::WindowOp;
+
+use crate::alu::Alu;
+use crate::buffer::{NeuronBuffer, SynapseBuffer};
+use crate::config::AcceleratorConfig;
+use crate::hfsm::{FirstState, Hfsm};
+use crate::nfu::Nfu;
+use crate::sb::SynapseStore;
+use crate::stats::LayerStats;
+use shidiannao_cnn::{Layer, LayerBody};
+
+/// Mutable execution context threaded through the layer executors.
+pub(crate) struct Engine<'a> {
+    pub cfg: &'a AcceleratorConfig,
+    pub nbin: &'a NeuronBuffer,
+    pub nbout: &'a mut NeuronBuffer,
+    pub sb: &'a SynapseBuffer,
+    pub store: &'a SynapseStore,
+    pub layer_index: usize,
+    pub nfu: &'a mut Nfu,
+    pub alu: &'a Alu,
+    pub hfsm: &'a mut Hfsm,
+    pub stats: &'a mut LayerStats,
+}
+
+impl Engine<'_> {
+    /// Executes one layer; results are collected in `nbout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on HFSM scheduling violations (internal invariants).
+    pub(crate) fn run_layer(&mut self, layer: &Layer) {
+        match layer.body() {
+            LayerBody::Conv { .. } => {
+                self.hfsm.enter(FirstState::Conv).expect("HFSM: conv entry");
+                if packed::applies(self, layer) {
+                    packed::run_conv(self, layer);
+                } else {
+                    conv::run(self, layer);
+                }
+            }
+            LayerBody::Pool { .. } => {
+                self.hfsm.enter(FirstState::Pool).expect("HFSM: pool entry");
+                pool::run(self, layer);
+            }
+            LayerBody::Fc { .. } => {
+                self.hfsm
+                    .enter(FirstState::Classifier)
+                    .expect("HFSM: classifier entry");
+                fc::run(self, layer);
+            }
+            LayerBody::Lrn(_) | LayerBody::Lcn { .. } => {
+                self.hfsm.enter(FirstState::Norm).expect("HFSM: norm entry");
+                norm::run(self, layer);
+            }
+        }
+    }
+
+    /// Charges one compute cycle with `busy` active PEs.
+    #[inline]
+    pub(crate) fn tick(&mut self, busy: usize) {
+        self.stats.cycles += 1;
+        self.stats.pe_busy_slots += busy as u64;
+        self.stats.pe_total_slots += self.cfg.pe_count() as u64;
+    }
+
+    /// Charges `n` pure-latency cycles (ALU drain, write-back) with no PE
+    /// activity.
+    #[inline]
+    pub(crate) fn tick_idle(&mut self, n: u64) {
+        self.stats.cycles += n;
+        self.stats.pe_total_slots += n * self.cfg.pe_count() as u64;
+    }
+}

@@ -1,0 +1,237 @@
+//! Normalization-layer executors (§8.4, Figs. 15–16).
+//!
+//! LRN and LCN layers are decomposed into NFU primitives (element-wise
+//! square, matrix addition, convolution-like weighted sums) plus ALU
+//! operations (division, square root via the PLA), exactly mirroring the
+//! golden reference's operation ordering so results stay bit-identical.
+
+use super::window::blocks;
+use super::Engine;
+use shidiannao_cnn::{Layer, LayerBody, LrnSpec};
+use shidiannao_fixed::{Accum, Fx};
+use shidiannao_tensor::FeatureMap;
+
+/// Dispatches a normalization layer.
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+    match layer.body() {
+        LayerBody::Lrn(spec) => run_lrn(eng, layer, spec),
+        LayerBody::Lcn { gauss, .. } => run_lcn(eng, layer, gauss),
+        _ => unreachable!("norm executor fed a non-normalization layer"),
+    }
+}
+
+/// LRN (formula (3), Fig. 15): per position, square-accumulate the
+/// cross-map window in the PEs, apply the `k + α·s` scale in the NFU, and
+/// divide in the ALU.
+fn run_lrn(eng: &mut Engine<'_>, layer: &Layer, spec: &LrnSpec) {
+    let dims = layer.in_dims();
+    let maps = layer.in_maps();
+    let half = spec.window_maps / 2;
+    let (k, alpha) = (spec.k_fx(), spec.alpha_fx());
+    let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
+
+    for mi in 0..maps {
+        let lo = mi.saturating_sub(half);
+        let hi = (mi + half).min(maps - 1);
+        for (origin, active) in blocks(dims, pe_dims) {
+            let (aw, ah) = active;
+            for py in 0..ah {
+                for px in 0..aw {
+                    eng.nfu.pe_mut(px, py).reset_accumulator(Fx::ZERO);
+                }
+            }
+            // Square-accumulate pass: one tile read + one square MAC per
+            // window map per cycle.
+            for j in lo..=hi {
+                let vals = eng.nbin.read_tile(j, origin, active, (1, 1), eng.stats);
+                for py in 0..ah {
+                    for px in 0..aw {
+                        let v = vals[py * aw + px];
+                        eng.nfu.pe_mut(px, py).mac(v, v);
+                        eng.stats.pe_muls += 1;
+                        eng.stats.pe_adds += 1;
+                    }
+                }
+                eng.tick(aw * ah);
+            }
+            // Scale-and-offset in the NFU (one cycle): denom = k + α·s.
+            let mut denoms: Vec<Fx> = Vec::with_capacity(aw * ah);
+            for py in 0..ah {
+                for px in 0..aw {
+                    denoms.push(k + alpha * eng.nfu.pe(px, py).accumulator());
+                }
+            }
+            eng.stats.pe_muls += (aw * ah) as u64;
+            eng.stats.pe_adds += (aw * ah) as u64;
+            eng.tick(aw * ah);
+            // Divide the layer's own neurons in the ALU and flush.
+            let mut own = eng.nbin.read_tile(mi, origin, active, (1, 1), eng.stats);
+            let div_cycles = eng.alu.divide_elementwise(&mut own, &denoms, eng.stats);
+            eng.tick_idle(div_cycles.max(1));
+            eng.nbout.write_block(mi, origin, active, &own, eng.stats);
+        }
+    }
+}
+
+/// LCN (formulae (4)–(6), Fig. 16): Gaussian subtractive pass, weighted
+/// variance, ALU square root, mean, and divisive pass.
+///
+/// Intermediate maps (μ, v, δ) are staged through NBout like the paper's
+/// decomposed sub-layers; their traffic is charged to NBout.
+fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
+    let (w, h) = layer.in_dims();
+    let maps = layer.in_maps();
+    let win = gauss.width();
+    let half = win / 2;
+    let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
+
+    // Pass 1: μ = Σ_{j,p,q} ω(p,q) · I_j (clipped at edges), computed
+    // blockwise with one gather + one MAC per (j, p, q) cycle.
+    let mut mu = FeatureMap::filled(w, h, Fx::ZERO);
+    for (origin, active) in blocks((w, h), pe_dims) {
+        let (aw, ah) = active;
+        for py in 0..ah {
+            for px in 0..aw {
+                eng.nfu.pe_mut(px, py).reset_accumulator(Fx::ZERO);
+            }
+        }
+        for j in 0..maps {
+            for q in 0..win {
+                for p in 0..win {
+                    let wgt = gauss[(p, q)];
+                    let mut coords = Vec::new();
+                    let mut lanes = Vec::new();
+                    for py in 0..ah {
+                        for px in 0..aw {
+                            let (x, y) = (origin.0 + px, origin.1 + py);
+                            let (xx, yy) = (x + p, y + q);
+                            if xx < half || yy < half || xx - half >= w || yy - half >= h {
+                                continue;
+                            }
+                            coords.push((xx - half, yy - half));
+                            lanes.push((px, py));
+                        }
+                    }
+                    let vals = eng.nbin.read_gather(j, &coords, eng.stats);
+                    for (&(px, py), v) in lanes.iter().zip(vals) {
+                        eng.nfu.pe_mut(px, py).mac(wgt, v);
+                        eng.stats.pe_muls += 1;
+                        eng.stats.pe_adds += 1;
+                    }
+                    eng.tick(lanes.len());
+                }
+            }
+        }
+        for py in 0..ah {
+            for px in 0..aw {
+                mu[(origin.0 + px, origin.1 + py)] = eng.nfu.pe(px, py).accumulator();
+            }
+        }
+        // Stage μ through NBout (decomposed sub-layer write).
+        eng.stats.nbout.write((aw * ah * 2) as u64);
+        eng.tick_idle(1);
+    }
+
+    // Pass 2: v_j = I_j − μ (matrix subtraction in the NFU).
+    let mut v: Vec<FeatureMap<Fx>> = Vec::with_capacity(maps);
+    for j in 0..maps {
+        let mut vj = FeatureMap::filled(w, h, Fx::ZERO);
+        for (origin, active) in blocks((w, h), pe_dims) {
+            let (aw, ah) = active;
+            let own = eng.nbin.read_tile(j, origin, active, (1, 1), eng.stats);
+            // μ arrives back from NBout.
+            eng.stats.nbout.read((aw * ah * 2) as u64);
+            for py in 0..ah {
+                for px in 0..aw {
+                    let (x, y) = (origin.0 + px, origin.1 + py);
+                    vj[(x, y)] = own[py * aw + px] - mu[(x, y)];
+                }
+            }
+            eng.stats.pe_adds += (aw * ah) as u64;
+            eng.tick(aw * ah);
+            eng.stats.nbout.write((aw * ah * 2) as u64);
+        }
+        v.push(vj);
+    }
+
+    // Pass 3: δ = √(Σ ω v²), squares in the NFU, root in the ALU.
+    let mut delta = FeatureMap::filled(w, h, Fx::ZERO);
+    for (origin, active) in blocks((w, h), pe_dims) {
+        let (aw, ah) = active;
+        for py in 0..ah {
+            for px in 0..aw {
+                eng.nfu.pe_mut(px, py).reset_accumulator(Fx::ZERO);
+            }
+        }
+        for vj in &v {
+            for q in 0..win {
+                for p in 0..win {
+                    let wgt = gauss[(p, q)];
+                    let mut busy = 0;
+                    for py in 0..ah {
+                        for px in 0..aw {
+                            let (x, y) = (origin.0 + px, origin.1 + py);
+                            let (xx, yy) = (x + p, y + q);
+                            if xx < half || yy < half || xx - half >= w || yy - half >= h {
+                                continue;
+                            }
+                            // v is staged in NBout; charge the re-read.
+                            let s = vj[(xx - half, yy - half)].squared();
+                            eng.nfu.pe_mut(px, py).mac(wgt, s);
+                            eng.stats.pe_muls += 2; // square + weight
+                            eng.stats.pe_adds += 1;
+                            busy += 1;
+                        }
+                    }
+                    eng.stats.nbout.read((busy * 2) as u64);
+                    eng.tick(busy);
+                }
+            }
+        }
+        let mut vals: Vec<Fx> = Vec::with_capacity(aw * ah);
+        for py in 0..ah {
+            for px in 0..aw {
+                vals.push(eng.nfu.pe(px, py).accumulator());
+            }
+        }
+        let cycles = eng.alu.sqrt(&mut vals, eng.stats);
+        eng.tick_idle(cycles.max(1));
+        for py in 0..ah {
+            for px in 0..aw {
+                delta[(origin.0 + px, origin.1 + py)] = vals[py * aw + px];
+            }
+        }
+        eng.stats.nbout.write((aw * ah * 2) as u64);
+    }
+
+    // Mean of δ (running sum in the NFU, one ALU division).
+    let mut sum = Accum::new();
+    for d in delta.iter() {
+        sum.add_fx(*d);
+    }
+    eng.stats.pe_adds += (w * h) as u64;
+    eng.tick_idle(((w * h).div_ceil(eng.cfg.pe_count())) as u64);
+    let mean_delta = sum.mean(w * h);
+    eng.stats.alu_divs += 1;
+    eng.tick_idle(1);
+
+    // Pass 4: O = v / max(mean(δ), δ) in the ALU, flushed per block.
+    for (j, vj) in v.iter().enumerate() {
+        for (origin, active) in blocks((w, h), pe_dims) {
+            let (aw, ah) = active;
+            let mut vals = Vec::with_capacity(aw * ah);
+            for py in 0..ah {
+                for px in 0..aw {
+                    let (x, y) = (origin.0 + px, origin.1 + py);
+                    let d = mean_delta.max(delta[(x, y)]);
+                    let vv = vj[(x, y)];
+                    vals.push(if d == Fx::ZERO { vv } else { vv / d });
+                }
+            }
+            eng.stats.nbout.read((aw * ah * 2) as u64);
+            eng.stats.alu_divs += (aw * ah) as u64;
+            eng.tick_idle(eng.alu.cycles_for(aw * ah).max(1));
+            eng.nbout.write_block(j, origin, active, &vals, eng.stats);
+        }
+    }
+}

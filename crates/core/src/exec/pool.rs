@@ -1,0 +1,128 @@
+//! Pooling-layer executor (§8.2, Fig. 14).
+
+use super::window::{blocks, run_pass, Pass};
+use super::{Engine, WindowOp};
+use shidiannao_cnn::{Layer, LayerBody, PoolKind};
+use shidiannao_fixed::Fx;
+
+/// Executes a pooling layer.
+///
+/// In the common non-overlapping case (stride = window) "at each cycle,
+/// each PE reads an input neuron (row-first and left-first in the pooling
+/// window) from NBin (with Read Mode (e)); PEs do not mutually propagate
+/// data because there is no data reuse between PEs". Overlapping pooling
+/// "can be treated in a way similar to a convolutional layer, except that
+/// there is no synapse" — it routes through the shared window sweep with
+/// inter-PE propagation.
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+    let LayerBody::Pool {
+        window,
+        stride,
+        kind,
+        activation,
+        ..
+    } = layer.body()
+    else {
+        unreachable!("pool executor fed a non-pool layer");
+    };
+    let out_dims = layer.out_dims();
+    let in_dims = layer.in_dims();
+    let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
+    let overlapping = stride.0 < window.0 || stride.1 < window.1;
+
+    for m in 0..layer.out_maps() {
+        for (origin, active) in blocks(out_dims, pe_dims) {
+            // Reset PE state for the new output neurons.
+            for py in 0..active.1 {
+                for px in 0..active.0 {
+                    let pe = eng.nfu.pe_mut(px, py);
+                    match kind {
+                        PoolKind::Max => pe.reset_comparator(),
+                        PoolKind::Avg => pe.reset_accumulator(Fx::ZERO),
+                    }
+                }
+            }
+
+            if overlapping {
+                run_pass(
+                    eng,
+                    Pass {
+                        map: m,
+                        block: origin,
+                        active,
+                        kernel: *window,
+                        stride: *stride,
+                    },
+                    match kind {
+                        PoolKind::Max => WindowOp::Max,
+                        PoolKind::Avg => WindowOp::Add,
+                    },
+                    |_, _| Fx::ZERO,
+                );
+            } else {
+                // Fig. 14 flow: one gather per window element, mode (e).
+                for wy in 0..window.1 {
+                    for wx in 0..window.0 {
+                        // PEs whose (ceiling-rounded) window is clipped at
+                        // the input edge idle on out-of-bounds elements.
+                        let mut coords = Vec::with_capacity(active.0 * active.1);
+                        let mut lanes = Vec::with_capacity(active.0 * active.1);
+                        for py in 0..active.1 {
+                            for px in 0..active.0 {
+                                let x = (origin.0 + px) * stride.0 + wx;
+                                let y = (origin.1 + py) * stride.1 + wy;
+                                if x < in_dims.0 && y < in_dims.1 {
+                                    coords.push((x, y));
+                                    lanes.push((px, py));
+                                }
+                            }
+                        }
+                        let vals = eng.nbin.read_gather(m, &coords, eng.stats);
+                        for (&(px, py), v) in lanes.iter().zip(vals) {
+                            let pe = eng.nfu.pe_mut(px, py);
+                            match kind {
+                                PoolKind::Max => {
+                                    pe.compare(v);
+                                    eng.stats.pe_cmps += 1;
+                                }
+                                PoolKind::Avg => {
+                                    pe.add(v);
+                                    eng.stats.pe_adds += 1;
+                                }
+                            }
+                        }
+                        eng.tick(lanes.len());
+                    }
+                }
+            }
+
+            // Epilogue: read out, divide (average) through the ALU, apply
+            // the optional activation, flush the block.
+            let mut vals: Vec<Fx> = Vec::with_capacity(active.0 * active.1);
+            for py in 0..active.1 {
+                for px in 0..active.0 {
+                    let v = match kind {
+                        PoolKind::Max => eng.nfu.pe(px, py).comparator(),
+                        PoolKind::Avg => {
+                            let x0 = (origin.0 + px) * stride.0;
+                            let y0 = (origin.1 + py) * stride.1;
+                            let w = (x0 + window.0).min(in_dims.0) - x0;
+                            let h = (y0 + window.1).min(in_dims.1) - y0;
+                            eng.nfu.pe(px, py).accumulator_mean(w * h)
+                        }
+                    };
+                    vals.push(v);
+                }
+            }
+            if *kind == PoolKind::Avg {
+                // The mean read-out is the ALU division of formula (2)'s
+                // average variant; charge the ops (latency overlaps the
+                // next block, as for conv epilogues).
+                eng.stats.alu_divs += vals.len() as u64;
+            }
+            let _ = eng.alu.activate(&mut vals, *activation, eng.stats);
+            eng.tick_idle(1);
+            eng.nbout.write_block(m, origin, active, &vals, eng.stats);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The two-level hierarchical control finite state machine (§7.2, Fig. 12).
+
+use core::fmt;
+
+/// First-level HFSM states: the abstract task the accelerator is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FirstState {
+    /// Waiting for work.
+    Idle,
+    /// Streaming the input image into NBin ("Load"/"Fill").
+    Load,
+    /// Convolutional layer ("Conv").
+    Conv,
+    /// Pooling layer ("Pooling").
+    Pool,
+    /// Classifier layer ("Classifer" in Fig. 12).
+    Classifier,
+    /// Normalization primitives (square, matrix ops — Fig. 12's
+    /// "Square"/"Matrix"/"Others").
+    Norm,
+    /// ALU post-processing (activation, division).
+    Alu,
+    /// Execution finished.
+    End,
+}
+
+/// Second-level HFSM states: the execution phase within a first-level task
+/// (Fig. 12's Init / Fill / H-mode / V-mode / Next-Row / Next-window /
+/// finish ring).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SecondState {
+    /// Phase entry: reset PEs, latch parameters.
+    Init,
+    /// Full-tile fill read (Fig. 13 cycle #0).
+    Fill,
+    /// Horizontal sweep: right column reads, others propagate (H-mode).
+    HMode,
+    /// Vertical step: bottom row reads, others propagate (V-mode).
+    VMode,
+    /// Advance to the next kernel row.
+    NextRow,
+    /// Advance to the next window / output block.
+    NextWindow,
+    /// Phase complete.
+    Done,
+}
+
+/// Legal second-level transitions (the Fig. 12 ring).
+fn second_ok(from: SecondState, to: SecondState) -> bool {
+    use SecondState::*;
+    matches!(
+        (from, to),
+        (Init, Fill)
+            | (Fill, HMode)
+            | (Fill, NextRow)
+            | (Fill, NextWindow)
+            | (Fill, Done)
+            | (HMode, HMode)
+            | (HMode, NextRow)
+            | (HMode, NextWindow)
+            | (HMode, Done)
+            | (NextRow, VMode)
+            | (NextRow, Fill)
+            | (VMode, HMode)
+            | (VMode, NextRow)
+            | (VMode, NextWindow)
+            | (VMode, Done)
+            | (NextWindow, Fill)
+            | (NextWindow, Init)
+            | (Done, Init)
+    )
+}
+
+/// Legal first-level transitions.
+fn first_ok(from: FirstState, to: FirstState) -> bool {
+    use FirstState::*;
+    if from == to {
+        return true;
+    }
+    match (from, to) {
+        (Idle, Load) => true,
+        (Load, Conv | Pool | Classifier | Norm) => true,
+        // Layers chain into each other or into ALU post-processing.
+        (Conv | Pool | Classifier | Norm | Alu, Conv | Pool | Classifier | Norm | Alu | End) => {
+            true
+        }
+        (End, Idle) => true,
+        _ => false,
+    }
+}
+
+/// Error raised on an illegal HFSM transition — a control-scheduling bug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionError {
+    message: String,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal HFSM transition: {}", self.message)
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// The hierarchical FSM instance the executors drive.
+///
+/// Executors announce first-level task changes with [`Hfsm::enter`] and
+/// phase changes with [`Hfsm::step`]; the machine validates each against
+/// the Fig. 12 transition structure and counts transitions (a proxy for
+/// decoder activity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hfsm {
+    first: FirstState,
+    second: SecondState,
+    transitions: u64,
+}
+
+impl Hfsm {
+    /// A fresh machine in `Idle`/`Init`.
+    pub fn new() -> Hfsm {
+        Hfsm {
+            first: FirstState::Idle,
+            second: SecondState::Init,
+            transitions: 0,
+        }
+    }
+
+    /// Current first-level state.
+    #[inline]
+    pub fn first(&self) -> FirstState {
+        self.first
+    }
+
+    /// Current second-level state.
+    #[inline]
+    pub fn second(&self) -> SecondState {
+        self.second
+    }
+
+    /// Number of validated transitions so far.
+    #[inline]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Moves to a new first-level state (resetting the second level to
+    /// `Init`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] if Fig. 12 does not allow the edge.
+    pub fn enter(&mut self, state: FirstState) -> Result<(), TransitionError> {
+        if !first_ok(self.first, state) {
+            return Err(TransitionError {
+                message: format!("{:?} -> {:?}", self.first, state),
+            });
+        }
+        self.first = state;
+        self.second = SecondState::Init;
+        self.transitions += 1;
+        Ok(())
+    }
+
+    /// Moves to a new second-level phase within the current task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] if the phase ring does not allow the
+    /// edge.
+    pub fn step(&mut self, state: SecondState) -> Result<(), TransitionError> {
+        if self.second == state {
+            return Ok(());
+        }
+        if !second_ok(self.second, state) {
+            return Err(TransitionError {
+                message: format!("{:?}/{:?} -> {:?}", self.first, self.second, state),
+            });
+        }
+        self.second = state;
+        self.transitions += 1;
+        Ok(())
+    }
+}
+
+impl Default for Hfsm {
+    fn default() -> Hfsm {
+        Hfsm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_conv_walk() {
+        // Idle → Load → Conv with the Fig. 13 phase ring.
+        let mut m = Hfsm::new();
+        m.enter(FirstState::Load).unwrap();
+        m.enter(FirstState::Conv).unwrap();
+        m.step(SecondState::Fill).unwrap();
+        m.step(SecondState::HMode).unwrap();
+        m.step(SecondState::HMode).unwrap();
+        m.step(SecondState::NextRow).unwrap();
+        m.step(SecondState::VMode).unwrap();
+        m.step(SecondState::HMode).unwrap();
+        m.step(SecondState::NextWindow).unwrap();
+        m.step(SecondState::Fill).unwrap();
+        m.step(SecondState::Done).unwrap();
+        m.enter(FirstState::Alu).unwrap();
+        m.enter(FirstState::End).unwrap();
+        assert!(m.transitions() > 5);
+    }
+
+    #[test]
+    fn illegal_first_transition_rejected() {
+        let mut m = Hfsm::new();
+        let err = m.enter(FirstState::Conv).unwrap_err();
+        assert!(err.to_string().contains("Idle"));
+        assert_eq!(m.first(), FirstState::Idle);
+    }
+
+    #[test]
+    fn illegal_second_transition_rejected() {
+        let mut m = Hfsm::new();
+        m.enter(FirstState::Load).unwrap();
+        m.enter(FirstState::Conv).unwrap();
+        // Init cannot jump straight to VMode.
+        assert!(m.step(SecondState::VMode).is_err());
+        assert_eq!(m.second(), SecondState::Init);
+    }
+
+    #[test]
+    fn self_loops_are_free() {
+        let mut m = Hfsm::new();
+        m.enter(FirstState::Load).unwrap();
+        m.enter(FirstState::Conv).unwrap();
+        m.step(SecondState::Fill).unwrap();
+        let before = m.transitions();
+        m.step(SecondState::Fill).unwrap();
+        assert_eq!(m.transitions(), before);
+    }
+
+    #[test]
+    fn end_returns_to_idle() {
+        let mut m = Hfsm::new();
+        m.enter(FirstState::Load).unwrap();
+        m.enter(FirstState::Classifier).unwrap();
+        m.enter(FirstState::End).unwrap();
+        m.enter(FirstState::Idle).unwrap();
+        assert_eq!(m.first(), FirstState::Idle);
+        assert_eq!(Hfsm::default(), Hfsm::new());
+    }
+}

@@ -1,0 +1,345 @@
+//! The 61-bit control instruction format (§7.2).
+//!
+//! The paper encodes each HFSM state plus its parameters into a 61-bit
+//! instruction, decoded into detailed control signals over many cycles; a
+//! typical CNN needs only ~1 KB of instruction storage instead of the
+//! ~600 KB a raw 97-bits-per-cycle control store would take. This module
+//! implements a concrete 61-bit packing:
+//!
+//! ```text
+//! bits  0..4   opcode                 (first-level HFSM state)
+//! bits  4..13  out_w    (9 bits)
+//! bits 13..22  out_h    (9 bits)
+//! bits 22..27  kx       (5 bits)      kernel / window / LRN-M / LCN width
+//! bits 27..32  ky       (5 bits)
+//! bits 32..36  sx       (4 bits)
+//! bits 36..40  sy       (4 bits)
+//! bits 40..49  in_maps  (9 bits)
+//! bits 49..58  out_sel  (9 bits)      output map index or output count
+//! bits 58..60  act      (2 bits)
+//! bit  60      flag                   pool kind (0 = max, 1 = avg)
+//! ```
+
+use core::fmt;
+use shidiannao_cnn::Activation;
+
+/// First-level HFSM states that appear as instruction opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Stream the input image into NBin.
+    LoadImage = 0,
+    /// Execute one output feature map of a convolutional layer.
+    Conv = 1,
+    /// Execute one feature map of a pooling layer.
+    Pool = 2,
+    /// Execute a classifier layer.
+    Classifier = 3,
+    /// Execute an LRN layer.
+    Lrn = 4,
+    /// Execute an LCN layer.
+    Lcn = 5,
+    /// Swap NBin/NBout roles (a layer finished).
+    SwapBuffers = 6,
+    /// Stop: results are ready in NBout.
+    End = 7,
+}
+
+impl Opcode {
+    fn from_bits(v: u64) -> Option<Opcode> {
+        Some(match v {
+            0 => Opcode::LoadImage,
+            1 => Opcode::Conv,
+            2 => Opcode::Pool,
+            3 => Opcode::Classifier,
+            4 => Opcode::Lrn,
+            5 => Opcode::Lcn,
+            6 => Opcode::SwapBuffers,
+            7 => Opcode::End,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The decoded fields of one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fields {
+    /// First-level state.
+    pub opcode: Opcode,
+    /// Output feature-map width.
+    pub out_w: u16,
+    /// Output feature-map height.
+    pub out_h: u16,
+    /// Kernel / window width (also LRN map-window and LCN window).
+    pub kx: u8,
+    /// Kernel / window height.
+    pub ky: u8,
+    /// Horizontal stride.
+    pub sx: u8,
+    /// Vertical stride.
+    pub sy: u8,
+    /// Input map count.
+    pub in_maps: u16,
+    /// Output map index (conv/pool) or output count (classifier).
+    pub out_sel: u16,
+    /// ALU activation.
+    pub act: Activation,
+    /// Pool kind flag (0 = max, 1 = avg); unused elsewhere.
+    pub flag: bool,
+}
+
+impl Default for Fields {
+    fn default() -> Fields {
+        Fields {
+            opcode: Opcode::End,
+            out_w: 0,
+            out_h: 0,
+            kx: 0,
+            ky: 0,
+            sx: 1,
+            sy: 1,
+            in_maps: 0,
+            out_sel: 0,
+            act: Activation::None,
+            flag: false,
+        }
+    }
+}
+
+/// Error returned when a field does not fit its bit allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodeError {
+    field: &'static str,
+    value: u64,
+    max: u64,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "field {} = {} exceeds its 61-bit allocation (max {})",
+            self.field, self.value, self.max
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A packed 61-bit control instruction.
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_core::isa::{Fields, Instruction, Opcode};
+///
+/// let f = Fields {
+///     opcode: Opcode::Conv,
+///     out_w: 28,
+///     out_h: 28,
+///     kx: 5,
+///     ky: 5,
+///     in_maps: 1,
+///     out_sel: 0,
+///     ..Fields::default()
+/// };
+/// let inst = Instruction::encode(&f).unwrap();
+/// assert_eq!(inst.decode().unwrap(), f);
+/// assert!(inst.to_bits() < 1 << 61);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instruction(u64);
+
+/// Width of one instruction in bits, as in §7.2.
+pub const INSTRUCTION_BITS: u32 = 61;
+
+/// Storage one instruction occupies in the IB (padded to 8 bytes).
+pub const INSTRUCTION_BYTES: usize = 8;
+
+fn check(field: &'static str, value: u64, bits: u32) -> Result<u64, EncodeError> {
+    let max = (1u64 << bits) - 1;
+    if value > max {
+        Err(EncodeError { field, value, max })
+    } else {
+        Ok(value)
+    }
+}
+
+impl Instruction {
+    /// Packs the fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if any field exceeds its allocation.
+    pub fn encode(f: &Fields) -> Result<Instruction, EncodeError> {
+        let act = match f.act {
+            Activation::None => 0u64,
+            Activation::Tanh => 1,
+            Activation::Sigmoid => 2,
+        };
+        let bits = (f.opcode as u64)
+            | check("out_w", f.out_w as u64, 9)? << 4
+            | check("out_h", f.out_h as u64, 9)? << 13
+            | check("kx", f.kx as u64, 5)? << 22
+            | check("ky", f.ky as u64, 5)? << 27
+            | check("sx", f.sx as u64, 4)? << 32
+            | check("sy", f.sy as u64, 4)? << 36
+            | check("in_maps", f.in_maps as u64, 9)? << 40
+            | check("out_sel", f.out_sel as u64, 9)? << 49
+            | act << 58
+            | (f.flag as u64) << 60;
+        Ok(Instruction(bits))
+    }
+
+    /// Unpacks the fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the opcode or activation code is invalid
+    /// (possible only for raw bit patterns, not encoded instructions).
+    pub fn decode(self) -> Result<Fields, String> {
+        let opcode = Opcode::from_bits(self.0 & 0xF)
+            .ok_or_else(|| format!("invalid opcode {:#x}", self.0 & 0xF))?;
+        let act = match (self.0 >> 58) & 0x3 {
+            0 => Activation::None,
+            1 => Activation::Tanh,
+            2 => Activation::Sigmoid,
+            other => return Err(format!("invalid activation code {other}")),
+        };
+        Ok(Fields {
+            opcode,
+            out_w: ((self.0 >> 4) & 0x1FF) as u16,
+            out_h: ((self.0 >> 13) & 0x1FF) as u16,
+            kx: ((self.0 >> 22) & 0x1F) as u8,
+            ky: ((self.0 >> 27) & 0x1F) as u8,
+            sx: ((self.0 >> 32) & 0xF) as u8,
+            sy: ((self.0 >> 36) & 0xF) as u8,
+            in_maps: ((self.0 >> 40) & 0x1FF) as u16,
+            out_sel: ((self.0 >> 49) & 0x1FF) as u16,
+            act,
+            flag: (self.0 >> 60) & 1 == 1,
+        })
+    }
+
+    /// The raw bit pattern (fits in 61 bits).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds an instruction from raw bits.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Instruction {
+        Instruction(bits)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.decode() {
+            Ok(d) => write!(
+                f,
+                "{} out={}x{} k={}x{} s={}x{} in_maps={} sel={}",
+                d.opcode, d.out_w, d.out_h, d.kx, d.ky, d.sx, d.sy, d.in_maps, d.out_sel
+            ),
+            Err(_) => write!(f, "<invalid {:#x}>", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fields {
+        Fields {
+            opcode: Opcode::Conv,
+            out_w: 511,
+            out_h: 1,
+            kx: 31,
+            ky: 7,
+            sx: 15,
+            sy: 2,
+            in_maps: 300,
+            out_sel: 255,
+            act: Activation::Sigmoid,
+            flag: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let f = sample();
+        let i = Instruction::encode(&f).unwrap();
+        assert_eq!(i.decode().unwrap(), f);
+    }
+
+    #[test]
+    fn fits_sixty_one_bits() {
+        let i = Instruction::encode(&sample()).unwrap();
+        assert!(i.to_bits() < 1u64 << INSTRUCTION_BITS);
+    }
+
+    #[test]
+    fn overflow_is_reported_per_field() {
+        let mut f = sample();
+        f.out_w = 512;
+        let err = Instruction::encode(&f).unwrap_err();
+        assert!(err.to_string().contains("out_w"));
+        assert!(err.to_string().contains("512"));
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip() {
+        for op in [
+            Opcode::LoadImage,
+            Opcode::Conv,
+            Opcode::Pool,
+            Opcode::Classifier,
+            Opcode::Lrn,
+            Opcode::Lcn,
+            Opcode::SwapBuffers,
+            Opcode::End,
+        ] {
+            let f = Fields {
+                opcode: op,
+                ..Fields::default()
+            };
+            let i = Instruction::encode(&f).unwrap();
+            assert_eq!(i.decode().unwrap().opcode, op);
+        }
+    }
+
+    #[test]
+    fn invalid_raw_bits_rejected() {
+        let i = Instruction::from_bits(0x8); // opcode 8 does not exist
+        assert!(i.decode().is_err());
+        let bad_act = Instruction::from_bits(3 << 58);
+        assert!(bad_act.decode().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let i = Instruction::encode(&Fields {
+            opcode: Opcode::Pool,
+            out_w: 14,
+            out_h: 14,
+            kx: 2,
+            ky: 2,
+            sx: 2,
+            sy: 2,
+            ..Fields::default()
+        })
+        .unwrap();
+        let s = i.to_string();
+        assert!(s.contains("Pool"));
+        assert!(s.contains("14x14"));
+        assert!(Instruction::from_bits(0x8).to_string().contains("invalid"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The Neural Functional Unit: a 2D mesh of PEs (Fig. 5).
+
+use crate::pe::Pe;
+use crate::stats::LayerStats;
+
+/// The `Px × Py` PE mesh with its inter-PE propagation topology.
+///
+/// PEs are addressed by `(x, y)` with `x` the column and `y` the row. Data
+/// propagates right-to-left (a PE pops its **right** neighbour's FIFO-H)
+/// and bottom-to-top (a PE pops the FIFO-V of the PE **below** it),
+/// matching §5.1's "each PE can send locally-stored input neurons to its
+/// left and lower neighbors" as seen from the receiving side of Fig. 13's
+/// walkthrough.
+#[derive(Clone, Debug)]
+pub struct Nfu {
+    px: usize,
+    py: usize,
+    pes: Vec<Pe>,
+}
+
+impl Nfu {
+    /// Creates a mesh of idle PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(px: usize, py: usize) -> Nfu {
+        assert!(px > 0 && py > 0, "NFU mesh must be non-empty");
+        Nfu {
+            px,
+            py,
+            pes: (0..px * py).map(|_| Pe::new()).collect(),
+        }
+    }
+
+    /// Mesh columns (`Px`).
+    #[inline]
+    pub fn px(&self) -> usize {
+        self.px
+    }
+
+    /// Mesh rows (`Py`).
+    #[inline]
+    pub fn py(&self) -> usize {
+        self.py
+    }
+
+    /// Total PE count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Always false (the mesh is non-empty by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The PE at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn pe(&self, x: usize, y: usize) -> &Pe {
+        assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
+        &self.pes[y * self.px + x]
+    }
+
+    /// Mutable access to the PE at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn pe_mut(&mut self, x: usize, y: usize) -> &mut Pe {
+        assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
+        &mut self.pes[y * self.px + x]
+    }
+
+    /// Pops the FIFO-H of the PE to the right of `(x, y)` — the horizontal
+    /// inter-PE propagation of Fig. 13 cycles #1–#2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is the rightmost column (it has no right
+    /// neighbour and must read from NBin instead).
+    pub fn propagate_from_right(&mut self, x: usize, y: usize) -> shidiannao_fixed::Fx {
+        assert!(x + 1 < self.px, "PE ({x},{y}) has no right neighbour");
+        self.pe_mut(x + 1, y).pop_h()
+    }
+
+    /// Pops the FIFO-V of the PE below `(x, y)` — the vertical inter-PE
+    /// propagation of Fig. 13 cycle #3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is the bottom row.
+    pub fn propagate_from_below(&mut self, x: usize, y: usize) -> shidiannao_fixed::Fx {
+        assert!(y + 1 < self.py, "PE ({x},{y}) has no lower neighbour");
+        self.pe_mut(x, y + 1).pop_v()
+    }
+
+    /// Configures every PE's FIFO depths for a window pass (§5.1 sizing:
+    /// `Sx` and `Sy`).
+    pub fn set_fifo_depths(&mut self, h_depth: usize, v_depth: usize) {
+        for pe in &mut self.pes {
+            pe.set_fifo_depths(h_depth, v_depth);
+        }
+    }
+
+    /// Clears every PE's FIFO-H (kernel-row boundary).
+    pub fn clear_fifos_h(&mut self) {
+        for pe in &mut self.pes {
+            pe.clear_h();
+        }
+    }
+
+    /// Clears every PE's FIFO-V (window-pass boundary).
+    pub fn clear_fifos_v(&mut self) {
+        for pe in &mut self.pes {
+            pe.clear_v();
+        }
+    }
+
+    /// Folds all PEs' peak FIFO occupancies into the layer statistics.
+    pub fn record_fifo_peaks(&self, stats: &mut LayerStats) {
+        for pe in &self.pes {
+            let (h, v) = pe.fifo_peaks();
+            stats.fifo_h_peak = stats.fifo_h_peak.max(h);
+            stats.fifo_v_peak = stats.fifo_v_peak.max(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shidiannao_fixed::Fx;
+
+    #[test]
+    fn mesh_geometry() {
+        let nfu = Nfu::new(8, 8);
+        assert_eq!(nfu.len(), 64);
+        assert_eq!((nfu.px(), nfu.py()), (8, 8));
+        assert!(!nfu.is_empty());
+    }
+
+    #[test]
+    fn horizontal_propagation_moves_right_to_left() {
+        let mut nfu = Nfu::new(2, 1);
+        nfu.pe_mut(1, 0).push_h(Fx::from_int(7));
+        assert_eq!(nfu.propagate_from_right(0, 0), Fx::from_int(7));
+    }
+
+    #[test]
+    fn vertical_propagation_moves_bottom_to_top() {
+        let mut nfu = Nfu::new(1, 2);
+        nfu.pe_mut(0, 1).push_v(Fx::from_int(9));
+        assert_eq!(nfu.propagate_from_below(0, 0), Fx::from_int(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "no right neighbour")]
+    fn rightmost_column_cannot_propagate() {
+        let mut nfu = Nfu::new(2, 2);
+        let _ = nfu.propagate_from_right(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no lower neighbour")]
+    fn bottom_row_cannot_propagate() {
+        let mut nfu = Nfu::new(2, 2);
+        let _ = nfu.propagate_from_below(0, 1);
+    }
+
+    #[test]
+    fn clears_affect_all_pes() {
+        let mut nfu = Nfu::new(2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                nfu.pe_mut(x, y).push_h(Fx::ZERO);
+                nfu.pe_mut(x, y).push_v(Fx::ZERO);
+            }
+        }
+        nfu.clear_fifos_h();
+        assert_eq!(nfu.pe(1, 1).fifo_len(), (0, 1));
+        nfu.clear_fifos_v();
+        assert_eq!(nfu.pe(1, 1).fifo_len(), (0, 0));
+    }
+
+    #[test]
+    fn peaks_fold_into_stats() {
+        let mut nfu = Nfu::new(2, 1);
+        nfu.set_fifo_depths(2, 2);
+        nfu.pe_mut(0, 0).push_h(Fx::ZERO);
+        nfu.pe_mut(0, 0).push_h(Fx::ZERO);
+        nfu.pe_mut(1, 0).push_v(Fx::ZERO);
+        let mut stats = LayerStats::new("t");
+        nfu.record_fifo_peaks(&mut stats);
+        assert_eq!(stats.fifo_h_peak, 2);
+        assert_eq!(stats.fifo_v_peak, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pe_access_is_bounds_checked() {
+        let nfu = Nfu::new(2, 2);
+        let _ = nfu.pe(2, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! A single processing element (Fig. 6).
+
+use shidiannao_fixed::{Accum, Fx};
+use std::collections::VecDeque;
+
+/// One processing element of the NFU mesh.
+///
+/// Per Fig. 6, a PE holds a multiplier + adder (modeled by the widened
+/// [`Accum`]), a comparator with its register (max pooling), an output
+/// register, and the two inter-PE FIFOs:
+///
+/// * **FIFO-H** buffers every input neuron the PE receives; the *left*
+///   neighbour pops it `Sx` cycles later while sweeping a kernel row,
+/// * **FIFO-V** buffers the neurons received at the first column of a
+///   kernel row (`kx = 0`); the *upper* neighbour pops it `Sy` kernel rows
+///   later.
+///
+/// Peak occupancies are recorded so tests can verify the §5.1 sizing
+/// (FIFO-H depth `Sx`, FIFO-V depth `Sy`).
+#[derive(Clone, Debug)]
+pub struct Pe {
+    acc: Accum,
+    cmp_reg: Fx,
+    out_reg: Fx,
+    fifo_h: VecDeque<Fx>,
+    fifo_v: VecDeque<Fx>,
+    h_depth: usize,
+    v_depth: usize,
+    h_peak: usize,
+    v_peak: usize,
+}
+
+impl Default for Pe {
+    fn default() -> Pe {
+        Pe {
+            acc: Accum::new(),
+            cmp_reg: Fx::ZERO,
+            out_reg: Fx::ZERO,
+            fifo_h: VecDeque::new(),
+            fifo_v: VecDeque::new(),
+            h_depth: 1,
+            v_depth: 1,
+            h_peak: 0,
+            v_peak: 0,
+        }
+    }
+}
+
+impl Pe {
+    /// Creates an idle PE.
+    pub fn new() -> Pe {
+        Pe {
+            cmp_reg: Fx::MIN,
+            ..Pe::default()
+        }
+    }
+
+    /// Begins a new output neuron for MAC/add work, pre-loading the bias.
+    pub fn reset_accumulator(&mut self, bias: Fx) {
+        self.acc = Accum::from_fx(bias);
+    }
+
+    /// Begins a new output neuron for max pooling.
+    pub fn reset_comparator(&mut self) {
+        self.cmp_reg = Fx::MIN;
+    }
+
+    /// One multiply-accumulate cycle.
+    #[inline]
+    pub fn mac(&mut self, neuron: Fx, synapse: Fx) {
+        self.acc.mac(neuron, synapse);
+    }
+
+    /// One accumulate-only cycle (average pooling, matrix addition).
+    #[inline]
+    pub fn add(&mut self, neuron: Fx) {
+        self.acc.add_fx(neuron);
+    }
+
+    /// One comparison cycle (max pooling).
+    #[inline]
+    pub fn compare(&mut self, neuron: Fx) {
+        self.cmp_reg = self.cmp_reg.max(neuron);
+    }
+
+    /// Reads the accumulator out through the PE output path (truncate +
+    /// saturate).
+    #[inline]
+    pub fn accumulator(&self) -> Fx {
+        self.acc.to_fx()
+    }
+
+    /// Divides the accumulated sum by `count` (average pooling read-out).
+    #[inline]
+    pub fn accumulator_mean(&self, count: usize) -> Fx {
+        self.acc.mean(count)
+    }
+
+    /// The comparator register (max pooling result).
+    #[inline]
+    pub fn comparator(&self) -> Fx {
+        self.cmp_reg
+    }
+
+    /// Latches a final value into the output register (what the NB
+    /// controller's output register array collects).
+    #[inline]
+    pub fn latch_output(&mut self, v: Fx) {
+        self.out_reg = v;
+    }
+
+    /// The latched output.
+    #[inline]
+    pub fn output(&self) -> Fx {
+        self.out_reg
+    }
+
+    /// Configures the FIFO depths for the coming window pass: `Sx` slots
+    /// for FIFO-H and `Sy` for FIFO-V (the §5.1 sizing). The FIFOs behave
+    /// as shift registers: pushing into a full FIFO silently evicts the
+    /// oldest entry — the value a left/upper neighbour would have consumed
+    /// if one existed (edge PEs push like everyone else, Fig. 13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a depth is zero.
+    pub fn set_fifo_depths(&mut self, h_depth: usize, v_depth: usize) {
+        assert!(h_depth > 0 && v_depth > 0, "FIFO depths must be non-zero");
+        self.h_depth = h_depth;
+        self.v_depth = v_depth;
+    }
+
+    /// Pushes a received neuron into FIFO-H (every received value).
+    pub fn push_h(&mut self, v: Fx) {
+        if self.fifo_h.len() == self.h_depth {
+            self.fifo_h.pop_front();
+        }
+        self.fifo_h.push_back(v);
+        self.h_peak = self.h_peak.max(self.fifo_h.len());
+    }
+
+    /// Pushes a received neuron into FIFO-V (first-column values only).
+    pub fn push_v(&mut self, v: Fx) {
+        if self.fifo_v.len() == self.v_depth {
+            self.fifo_v.pop_front();
+        }
+        self.fifo_v.push_back(v);
+        self.v_peak = self.v_peak.max(self.fifo_v.len());
+    }
+
+    /// Pops the oldest FIFO-H entry — called on behalf of the left
+    /// neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is empty (a scheduling bug: the propagation
+    /// schedule guarantees the value was pushed `Sx` cycles earlier).
+    pub fn pop_h(&mut self) -> Fx {
+        self.fifo_h.pop_front().expect("FIFO-H underflow")
+    }
+
+    /// Pops the oldest FIFO-V entry — called on behalf of the upper
+    /// neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is empty.
+    pub fn pop_v(&mut self) -> Fx {
+        self.fifo_v.pop_front().expect("FIFO-V underflow")
+    }
+
+    /// Clears FIFO-H (kernel-row boundary).
+    pub fn clear_h(&mut self) {
+        self.fifo_h.clear();
+    }
+
+    /// Clears FIFO-V (window-pass boundary).
+    pub fn clear_v(&mut self) {
+        self.fifo_v.clear();
+    }
+
+    /// Current FIFO occupancies `(H, V)`.
+    pub fn fifo_len(&self) -> (usize, usize) {
+        (self.fifo_h.len(), self.fifo_v.len())
+    }
+
+    /// Peak FIFO occupancies `(H, V)` since construction.
+    pub fn fifo_peaks(&self) -> (usize, usize) {
+        (self.h_peak, self.v_peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_chain_accumulates_with_bias() {
+        let mut pe = Pe::new();
+        pe.reset_accumulator(Fx::from_f32(0.5));
+        pe.mac(Fx::from_f32(2.0), Fx::from_f32(3.0));
+        pe.mac(Fx::from_f32(-1.0), Fx::from_f32(1.0));
+        assert_eq!(pe.accumulator(), Fx::from_f32(5.5));
+    }
+
+    #[test]
+    fn comparator_tracks_max() {
+        let mut pe = Pe::new();
+        pe.reset_comparator();
+        pe.compare(Fx::from_f32(-3.0));
+        assert_eq!(pe.comparator(), Fx::from_f32(-3.0));
+        pe.compare(Fx::from_f32(1.0));
+        pe.compare(Fx::from_f32(0.5));
+        assert_eq!(pe.comparator(), Fx::from_f32(1.0));
+    }
+
+    #[test]
+    fn mean_readout_for_average_pooling() {
+        let mut pe = Pe::new();
+        pe.reset_accumulator(Fx::ZERO);
+        for v in [1.0f32, 2.0, 3.0, 6.0] {
+            pe.add(Fx::from_f32(v));
+        }
+        assert_eq!(pe.accumulator_mean(4), Fx::from_f32(3.0));
+    }
+
+    #[test]
+    fn fifos_are_fifo_ordered() {
+        let mut pe = Pe::new();
+        pe.set_fifo_depths(4, 4);
+        pe.push_h(Fx::from_int(1));
+        pe.push_h(Fx::from_int(2));
+        assert_eq!(pe.pop_h(), Fx::from_int(1));
+        assert_eq!(pe.pop_h(), Fx::from_int(2));
+        pe.push_v(Fx::from_int(9));
+        assert_eq!(pe.pop_v(), Fx::from_int(9));
+    }
+
+    #[test]
+    fn peaks_record_high_water_mark() {
+        let mut pe = Pe::new();
+        pe.set_fifo_depths(2, 1);
+        pe.push_h(Fx::ZERO);
+        pe.push_h(Fx::ZERO);
+        pe.pop_h();
+        pe.push_h(Fx::ZERO);
+        assert_eq!(pe.fifo_peaks(), (2, 0));
+        assert_eq!(pe.fifo_len(), (2, 0));
+        pe.clear_h();
+        assert_eq!(pe.fifo_len(), (0, 0));
+        assert_eq!(pe.fifo_peaks(), (2, 0));
+    }
+
+    #[test]
+    fn full_fifo_evicts_oldest_like_a_shift_register() {
+        let mut pe = Pe::new();
+        pe.set_fifo_depths(2, 2);
+        pe.push_h(Fx::from_int(1));
+        pe.push_h(Fx::from_int(2));
+        pe.push_h(Fx::from_int(3)); // evicts 1
+        assert_eq!(pe.fifo_len().0, 2);
+        assert_eq!(pe.pop_h(), Fx::from_int(2));
+        assert_eq!(pe.pop_h(), Fx::from_int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_fifo_depth_rejected() {
+        let mut pe = Pe::new();
+        pe.set_fifo_depths(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO-H underflow")]
+    fn empty_pop_is_a_scheduling_bug() {
+        let mut pe = Pe::new();
+        let _ = pe.pop_h();
+    }
+
+    #[test]
+    fn output_register_latches() {
+        let mut pe = Pe::new();
+        pe.latch_output(Fx::from_f32(1.5));
+        assert_eq!(pe.output(), Fx::from_f32(1.5));
+    }
+
+    #[test]
+    fn reset_clears_previous_neuron_state() {
+        let mut pe = Pe::new();
+        pe.mac(Fx::ONE, Fx::ONE);
+        pe.reset_accumulator(Fx::ZERO);
+        assert_eq!(pe.accumulator(), Fx::ZERO);
+        pe.compare(Fx::MAX);
+        pe.reset_comparator();
+        assert_eq!(pe.comparator(), Fx::MIN);
+    }
+}

@@ -1,0 +1,209 @@
+//! The widened multiply-accumulate register kept inside each PE.
+
+use crate::{Fx, FRAC_BITS};
+
+/// A widened accumulator for fixed-point multiply-accumulate chains.
+///
+/// Each ShiDianNao PE "accumulate\[s\] locally the resulting output feature
+/// map" (§4): per cycle it multiplies a 16-bit neuron by a 16-bit synapse and
+/// adds the product into a local register. Real MAC hardware keeps the full
+/// 32-bit product plus guard bits; `Accum` models this with a 64-bit register
+/// holding `2 × FRAC_BITS` fractional bits, so no precision is lost until the
+/// final [`Accum::to_fx`] read-out, which truncates and saturates exactly
+/// like the PE's output path.
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_fixed::{Accum, Fx};
+/// let mut acc = Accum::new();
+/// for _ in 0..1000 {
+///     acc.mac(Fx::from_f32(0.01), Fx::from_f32(0.01));
+/// }
+/// // 1000 × 0.0001 accumulated without intermediate truncation.
+/// let exact = (Fx::from_f32(0.01).to_bits() as i64).pow(2) * 1000;
+/// assert_eq!(acc.raw(), exact);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Accum(i64);
+
+impl Accum {
+    /// Creates an empty (zero) accumulator.
+    #[inline]
+    pub const fn new() -> Accum {
+        Accum(0)
+    }
+
+    /// Creates an accumulator pre-loaded with a 16-bit value (e.g. a bias
+    /// term loaded before the MAC chain starts).
+    #[inline]
+    pub fn from_fx(v: Fx) -> Accum {
+        Accum((v.to_bits() as i64) << FRAC_BITS)
+    }
+
+    /// Multiply-accumulate: adds the full-precision product `a × b`.
+    #[inline]
+    pub fn mac(&mut self, a: Fx, b: Fx) {
+        self.0 = self
+            .0
+            .saturating_add((a.to_bits() as i64) * (b.to_bits() as i64));
+    }
+
+    /// Adds a 16-bit value (aligned to the accumulator's Q*.16 format).
+    #[inline]
+    pub fn add_fx(&mut self, v: Fx) {
+        self.0 = self.0.saturating_add((v.to_bits() as i64) << FRAC_BITS);
+    }
+
+    /// Adds another accumulator (used when partial sums from sub-layers are
+    /// merged, e.g. the LRN matrix-addition primitive).
+    #[inline]
+    pub fn add(&mut self, other: Accum) {
+        self.0 = self.0.saturating_add(other.0);
+    }
+
+    /// Reads the accumulator out as a 16-bit value: truncates the extra
+    /// fractional bits (arithmetic shift) and saturates, matching the PE
+    /// output path that feeds NBout / the ALU.
+    #[inline]
+    pub fn to_fx(self) -> Fx {
+        let shifted = self.0 >> FRAC_BITS;
+        Fx::from_bits(shifted.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+
+    /// Divides the accumulated sum by an element count and reads out 16
+    /// bits — the running-mean operation used for average pooling over
+    /// large windows and the LCN mean-of-δ term, where the element count
+    /// can exceed the [`Fx`] integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[inline]
+    pub fn mean(self, count: usize) -> Fx {
+        assert!(count > 0, "mean over zero elements");
+        let shifted = (self.0 / count as i64) >> FRAC_BITS;
+        Fx::from_bits(shifted.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+
+    /// The raw Q*.16 register contents (for oracle tests).
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Resets the register to zero (a PE does this when it switches to a new
+    /// output neuron).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// `true` if nothing has been accumulated (or the sum is exactly zero).
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<Fx> for Accum {
+    fn from(v: Fx) -> Accum {
+        Accum::from_fx(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        assert!(Accum::new().is_zero());
+        assert_eq!(Accum::new().to_fx(), Fx::ZERO);
+        assert_eq!(Accum::default(), Accum::new());
+    }
+
+    #[test]
+    fn mac_keeps_full_precision() {
+        // Two sub-LSB products that would each truncate to zero in 16 bits
+        // must survive in the accumulator and sum to one LSB.
+        // q = 12 raw bits, so q·q = 144 raw Q*.16 units: below the 256-unit
+        // LSB alone, but 288 ≥ 256 when two are accumulated.
+        let q = Fx::from_bits(12);
+        let mut acc = Accum::new();
+        acc.mac(q, q);
+        acc.mac(q, q);
+        let mut one = Accum::new();
+        one.mac(q, q);
+        assert_eq!(one.to_fx(), Fx::ZERO);
+        assert_eq!(acc.to_fx(), Fx::EPSILON);
+    }
+
+    #[test]
+    fn from_fx_roundtrips() {
+        for v in [Fx::MIN, Fx::from_f32(-1.5), Fx::ZERO, Fx::ONE, Fx::MAX] {
+            assert_eq!(Accum::from_fx(v).to_fx(), v);
+            assert_eq!(Accum::from(v).to_fx(), v);
+        }
+    }
+
+    #[test]
+    fn to_fx_saturates() {
+        let mut acc = Accum::new();
+        for _ in 0..100 {
+            acc.mac(Fx::from_f32(100.0), Fx::from_f32(100.0));
+        }
+        assert_eq!(acc.to_fx(), Fx::MAX);
+        let mut neg = Accum::new();
+        for _ in 0..100 {
+            neg.mac(Fx::from_f32(-100.0), Fx::from_f32(100.0));
+        }
+        assert_eq!(neg.to_fx(), Fx::MIN);
+    }
+
+    #[test]
+    fn add_fx_aligns_with_mac() {
+        // bias + w·x computed two ways must agree.
+        let bias = Fx::from_f32(0.5);
+        let (w, x) = (Fx::from_f32(2.0), Fx::from_f32(3.0));
+        let mut a = Accum::from_fx(bias);
+        a.mac(w, x);
+        let mut b = Accum::new();
+        b.mac(w, x);
+        b.add_fx(bias);
+        assert_eq!(a, b);
+        assert_eq!(a.to_fx(), Fx::from_f32(6.5));
+    }
+
+    #[test]
+    fn add_merges_partial_sums() {
+        let mut a = Accum::new();
+        a.mac(Fx::ONE, Fx::ONE);
+        let mut b = Accum::new();
+        b.mac(Fx::from_f32(2.0), Fx::ONE);
+        a.add(b);
+        assert_eq!(a.to_fx(), Fx::from_f32(3.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = Accum::from_fx(Fx::ONE);
+        a.clear();
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn truncation_matches_fx_multiplier_for_single_product() {
+        // For a single product, Accum::to_fx must agree with Fx::mul
+        // (both truncate the same Q*.16 value).
+        for (a, b) in [
+            (Fx::from_f32(1.5), Fx::from_f32(-2.25)),
+            (Fx::EPSILON, -Fx::EPSILON),
+            (Fx::from_f32(-0.7), Fx::from_f32(0.3)),
+        ] {
+            let mut acc = Accum::new();
+            acc.mac(a, b);
+            assert_eq!(acc.to_fx(), a * b, "a={a:?} b={b:?}");
+        }
+    }
+}

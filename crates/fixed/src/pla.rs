@@ -1,0 +1,231 @@
+//! The ALU's 16-segment piecewise-linear activation interpolator (§5.2).
+
+use crate::Fx;
+
+/// Number of linear segments the ALU divides the approximation domain into.
+///
+/// The paper (§5.2): "We use a piecewise linear interpolation
+/// (`f(x) = aᵢ·x + bᵢ`, when `x ∈ [xᵢ, xᵢ₊₁]` and where `i = 0, …, 15`)".
+pub const SEGMENTS: usize = 16;
+
+/// A 16-segment piecewise-linear approximation of a non-linear function.
+///
+/// "Segment coefficients aᵢ and bᵢ are stored in registers in advance, so
+/// that the approximation can be efficiently computed with a multiplier and
+/// an adder" (§5.2). `Pla` models exactly that: sixteen `(aᵢ, bᵢ)` register
+/// pairs over a uniform partition of `[lo, hi]`, with constant clamping
+/// outside the domain, evaluated with one fixed-point multiply and one add.
+///
+/// Ready-made tables are provided for the activation functions the paper
+/// names ([`Pla::tanh`], [`Pla::sigmoid`]) and arbitrary functions can be
+/// tabulated with [`Pla::from_fn`] (used by the LRN/LCN decompositions for
+/// exponentials, §8.4).
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_fixed::{Fx, Pla};
+/// let sig = Pla::sigmoid();
+/// let y = sig.eval(Fx::from_f32(1.0)).to_f32();
+/// assert!((y - 0.7310586).abs() < 0.02);
+/// // Outside the domain the output clamps to the asymptote.
+/// assert_eq!(sig.eval(Fx::from_f32(100.0)), sig.eval(Fx::from_f32(8.0)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pla {
+    lo: Fx,
+    hi: Fx,
+    below: Fx,
+    above: Fx,
+    seg_a: [Fx; SEGMENTS],
+    seg_b: [Fx; SEGMENTS],
+}
+
+impl Pla {
+    /// Tabulates a function over `[lo, hi]` into sixteen linear segments.
+    ///
+    /// Each segment uses the chord slope with a minimax offset (the line is
+    /// shifted to split the maximum deviation evenly), halving the error of
+    /// plain endpoint interpolation; coefficients are quantized to [`Fx`].
+    /// Inputs below `lo` clamp to `f(lo)`, inputs above `hi` clamp to
+    /// `f(hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn from_fn(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> Pla {
+        assert!(lo < hi, "PLA domain must be non-empty: lo={lo} hi={hi}");
+        let step = (hi - lo) / SEGMENTS as f64;
+        let mut seg_a = [Fx::ZERO; SEGMENTS];
+        let mut seg_b = [Fx::ZERO; SEGMENTS];
+        for i in 0..SEGMENTS {
+            let x0 = lo + i as f64 * step;
+            let x1 = x0 + step;
+            let (y0, y1) = (f(x0), f(x1));
+            let a = (y1 - y0) / (x1 - x0);
+            // Minimax offset: centre the chord between the extreme
+            // deviations sampled across the segment.
+            let chord_b = y0 - a * x0;
+            let (mut dmax, mut dmin) = (f64::MIN, f64::MAX);
+            const SAMPLES: usize = 32;
+            for s in 0..=SAMPLES {
+                let x = x0 + (x1 - x0) * s as f64 / SAMPLES as f64;
+                let d = a * x + chord_b - f(x);
+                dmax = dmax.max(d);
+                dmin = dmin.min(d);
+            }
+            let b = chord_b - (dmax + dmin) / 2.0;
+            seg_a[i] = Fx::from_f64(a);
+            seg_b[i] = Fx::from_f64(b);
+        }
+        Pla {
+            lo: Fx::from_f64(lo),
+            hi: Fx::from_f64(hi),
+            below: Fx::from_f64(f(lo)),
+            above: Fx::from_f64(f(hi)),
+            seg_a,
+            seg_b,
+        }
+    }
+
+    /// The hyperbolic-tangent table over `[-4, 4]` (tanh is within one LSB
+    /// of ±1 outside that range).
+    pub fn tanh() -> Pla {
+        Pla::from_fn(f64::tanh, -4.0, 4.0)
+    }
+
+    /// The logistic-sigmoid table over `[-8, 8]`.
+    pub fn sigmoid() -> Pla {
+        Pla::from_fn(|x| 1.0 / (1.0 + (-x).exp()), -8.0, 8.0)
+    }
+
+    /// The identity table (used when a layer has no activation; evaluating
+    /// through it still models the ALU pass).
+    pub fn identity() -> Pla {
+        Pla::from_fn(|x| x, -128.0, 127.99)
+    }
+
+    /// Evaluates the approximation with the ALU datapath: one segment
+    /// lookup, one fixed-point multiply, one fixed-point add.
+    pub fn eval(&self, x: Fx) -> Fx {
+        if x < self.lo {
+            return self.below;
+        }
+        if x >= self.hi {
+            return self.above;
+        }
+        let i = self.segment_index(x);
+        self.seg_a[i] * x + self.seg_b[i]
+    }
+
+    /// The segment index an input falls into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` lies outside `[lo, hi)`; [`Pla::eval`] clamps before
+    /// indexing.
+    fn segment_index(&self, x: Fx) -> usize {
+        let span = (self.hi.to_bits() as i32) - (self.lo.to_bits() as i32);
+        let off = (x.to_bits() as i32) - (self.lo.to_bits() as i32);
+        assert!((0..span).contains(&off), "input outside PLA domain");
+        ((off as i64 * SEGMENTS as i64) / span as i64) as usize
+    }
+
+    /// The approximation domain `[lo, hi]`.
+    pub fn domain(&self) -> (Fx, Fx) {
+        (self.lo, self.hi)
+    }
+
+    /// The segment coefficients `(aᵢ, bᵢ)` as stored in the ALU registers.
+    pub fn coefficients(&self) -> impl Iterator<Item = (Fx, Fx)> + '_ {
+        self.seg_a.iter().copied().zip(self.seg_b.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_error(pla: &Pla, f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+        let mut worst: f64 = 0.0;
+        let n = 2000;
+        for i in 0..=n {
+            let x = lo + (hi - lo) * i as f64 / n as f64;
+            let approx = pla.eval(Fx::from_f64(x)).to_f64();
+            worst = worst.max((approx - f(x)).abs());
+        }
+        worst
+    }
+
+    #[test]
+    fn tanh_error_is_negligible() {
+        // "known to bring only negligible accuracy loss" (§5.2); with Q7.8
+        // quantization a ~1.5e-2 bound comfortably holds over the domain.
+        let e = max_error(&Pla::tanh(), f64::tanh, -6.0, 6.0);
+        assert!(e < 0.02, "tanh PLA error {e}");
+    }
+
+    #[test]
+    fn sigmoid_error_is_negligible() {
+        let sig = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let e = max_error(&Pla::sigmoid(), sig, -10.0, 10.0);
+        assert!(e < 0.015, "sigmoid PLA error {e}");
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let t = Pla::tanh();
+        assert_eq!(t.eval(Fx::from_f32(50.0)), t.eval(Fx::from_f32(4.0)));
+        assert_eq!(t.eval(Fx::from_f32(-50.0)), Fx::from_f64(f64::tanh(-4.0)));
+    }
+
+    #[test]
+    fn tanh_is_odd_shaped_and_monotone() {
+        let t = Pla::tanh();
+        assert!(t.eval(Fx::ZERO).to_f32().abs() < 0.01);
+        let mut prev = t.eval(Fx::from_f32(-5.0));
+        for i in -40..=40 {
+            let y = t.eval(Fx::from_f32(i as f32 / 8.0));
+            assert!(y >= prev - Fx::EPSILON, "tanh PLA not monotone at {i}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn identity_passes_values_through() {
+        let id = Pla::identity();
+        for v in [-100.0f32, -1.0, 0.0, 0.5, 100.0] {
+            let x = Fx::from_f32(v);
+            let y = id.eval(x);
+            assert!((y.to_f32() - v).abs() < 0.1, "identity({v}) = {y}");
+        }
+    }
+
+    #[test]
+    fn custom_function_tabulation() {
+        // The LRN decomposition needs x ↦ (k + αx)^(−β) style tables (§8.4).
+        let f = |x: f64| (2.0 + 1e-4 * x).powf(-0.75);
+        let pla = Pla::from_fn(f, 0.0, 64.0);
+        let e = max_error(&pla, f, 0.0, 64.0);
+        assert!(e < 0.01, "LRN power PLA error {e}");
+    }
+
+    #[test]
+    fn sixteen_segments_exactly() {
+        let t = Pla::tanh();
+        assert_eq!(t.coefficients().count(), SEGMENTS);
+        assert_eq!(SEGMENTS, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn empty_domain_panics() {
+        let _ = Pla::from_fn(|x| x, 1.0, 1.0);
+    }
+
+    #[test]
+    fn domain_accessor() {
+        let t = Pla::tanh();
+        assert_eq!(t.domain(), (Fx::from_f32(-4.0), Fx::from_f32(4.0)));
+    }
+}

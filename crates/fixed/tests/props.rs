@@ -1,0 +1,112 @@
+//! Property-based tests for the fixed-point substrate, checked against
+//! widened-integer and floating-point oracles.
+
+use proptest::prelude::*;
+use shidiannao_fixed::{Accum, Fx, Pla, FRAC_BITS};
+
+fn any_fx() -> impl Strategy<Value = Fx> {
+    any::<i16>().prop_map(Fx::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_saturating_i32_oracle(a in any_fx(), b in any_fx()) {
+        let oracle = (a.to_bits() as i32 + b.to_bits() as i32)
+            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        prop_assert_eq!((a + b).to_bits(), oracle);
+    }
+
+    #[test]
+    fn sub_matches_saturating_i32_oracle(a in any_fx(), b in any_fx()) {
+        let oracle = (a.to_bits() as i32 - b.to_bits() as i32)
+            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        prop_assert_eq!((a - b).to_bits(), oracle);
+    }
+
+    #[test]
+    fn mul_matches_shifted_i32_oracle(a in any_fx(), b in any_fx()) {
+        let oracle = ((a.to_bits() as i32 * b.to_bits() as i32) >> FRAC_BITS)
+            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        prop_assert_eq!((a * b).to_bits(), oracle);
+    }
+
+    #[test]
+    fn mul_is_commutative(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_is_commutative(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_close_to_real_product_when_in_range(a in -100i32..100, b in -100i32..100) {
+        // Products well inside the representable range track the real
+        // product to within one truncation LSB.
+        let (fa, fb) = (a as f32 / 16.0, b as f32 / 16.0);
+        let x = Fx::from_f32(fa) * Fx::from_f32(fb);
+        prop_assert!((x.to_f32() - fa * fb).abs() <= 1.0 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn div_matches_i32_oracle(a in any_fx(), b in any_fx()) {
+        prop_assume!(b != Fx::ZERO);
+        let oracle = (((a.to_bits() as i32) << FRAC_BITS) / b.to_bits() as i32)
+            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        prop_assert_eq!((a / b).to_bits(), oracle);
+    }
+
+    #[test]
+    fn ordering_matches_real_ordering(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a < b, a.to_f32() < b.to_f32());
+    }
+
+    #[test]
+    fn roundtrip_is_identity(a in any_fx()) {
+        prop_assert_eq!(Fx::from_f32(a.to_f32()), a);
+    }
+
+    #[test]
+    fn accum_matches_i64_oracle(pairs in proptest::collection::vec((any_fx(), any_fx()), 0..64)) {
+        let mut acc = Accum::new();
+        let mut oracle: i64 = 0;
+        for &(a, b) in &pairs {
+            acc.mac(a, b);
+            oracle += a.to_bits() as i64 * b.to_bits() as i64;
+        }
+        prop_assert_eq!(acc.raw(), oracle);
+        let expect = (oracle >> FRAC_BITS).clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+        prop_assert_eq!(acc.to_fx().to_bits(), expect);
+    }
+
+    #[test]
+    fn accum_order_independent(pairs in proptest::collection::vec((any_fx(), any_fx()), 0..32)) {
+        // Without saturation events, accumulation order must not matter —
+        // this is what lets the simulator sweep kernel windows in any order.
+        let mut fwd = Accum::new();
+        for &(a, b) in &pairs { fwd.mac(a, b); }
+        let mut rev = Accum::new();
+        for &(a, b) in pairs.iter().rev() { rev.mac(a, b); }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn pla_tanh_bounded(a in any_fx()) {
+        let y = Pla::tanh().eval(a).to_f32();
+        prop_assert!((-1.01..=1.01).contains(&y));
+    }
+
+    #[test]
+    fn pla_sigmoid_bounded(a in any_fx()) {
+        let y = Pla::sigmoid().eval(a).to_f32();
+        prop_assert!((-0.01..=1.01).contains(&y));
+    }
+
+    #[test]
+    fn pla_tanh_accurate_in_domain(raw in -1024i16..1024) {
+        let x = Fx::from_bits(raw);
+        let y = Pla::tanh().eval(x).to_f64();
+        prop_assert!((y - x.to_f64().tanh()).abs() < 0.02);
+    }
+}

@@ -1,0 +1,282 @@
+//! Sliding-window geometry shared by convolutional, pooling, and
+//! normalization layers.
+
+use crate::ShapeError;
+use core::fmt;
+
+/// The geometry of a `Kx × Ky` window sliding over an input feature map with
+/// step `(Sx, Sy)`.
+///
+/// The paper's formula (1): output `(a, b)` reads inputs
+/// `(a·Sx + i, b·Sy + j)` for `i < Kx, j < Ky`. `WindowGrid` captures that
+/// relation, computes the output dimensions, and enumerates windows.
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_tensor::WindowGrid;
+/// // LeNet-5 C1: 32×32 input, 5×5 kernel, stride 1 → 28×28 outputs.
+/// let g = WindowGrid::new((32, 32), (5, 5), (1, 1)).unwrap();
+/// assert_eq!(g.output_dims(), (28, 28));
+/// // A pooling layer: window == stride → non-overlapping.
+/// let p = WindowGrid::new((28, 28), (2, 2), (2, 2)).unwrap();
+/// assert!(!p.windows_overlap());
+/// assert_eq!(p.output_dims(), (14, 14));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WindowGrid {
+    input: (usize, usize),
+    kernel: (usize, usize),
+    stride: (usize, usize),
+}
+
+impl WindowGrid {
+    /// Creates a window grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any dimension is zero or the kernel exceeds
+    /// the input.
+    pub fn new(
+        input: (usize, usize),
+        kernel: (usize, usize),
+        stride: (usize, usize),
+    ) -> Result<WindowGrid, ShapeError> {
+        if input.0 == 0 || input.1 == 0 || kernel.0 == 0 || kernel.1 == 0 {
+            return Err(ShapeError::new("window dimensions must be non-zero"));
+        }
+        if stride.0 == 0 || stride.1 == 0 {
+            return Err(ShapeError::new("stride must be non-zero"));
+        }
+        if kernel.0 > input.0 || kernel.1 > input.1 {
+            return Err(ShapeError::new(format!(
+                "kernel {}x{} exceeds input {}x{}",
+                kernel.0, kernel.1, input.0, input.1
+            )));
+        }
+        Ok(WindowGrid {
+            input,
+            kernel,
+            stride,
+        })
+    }
+
+    /// Input `(Nx, Ny)`.
+    #[inline]
+    pub fn input_dims(self) -> (usize, usize) {
+        self.input
+    }
+
+    /// Kernel `(Kx, Ky)`.
+    #[inline]
+    pub fn kernel_dims(self) -> (usize, usize) {
+        self.kernel
+    }
+
+    /// Stride `(Sx, Sy)`.
+    #[inline]
+    pub fn stride(self) -> (usize, usize) {
+        self.stride
+    }
+
+    /// Output feature-map dimensions: `((Nx−Kx)/Sx + 1, (Ny−Ky)/Sy + 1)`
+    /// (valid convolution, as in all of the paper's benchmarks).
+    #[inline]
+    pub fn output_dims(self) -> (usize, usize) {
+        (
+            (self.input.0 - self.kernel.0) / self.stride.0 + 1,
+            (self.input.1 - self.kernel.1) / self.stride.1 + 1,
+        )
+    }
+
+    /// Number of output neurons the grid produces.
+    #[inline]
+    pub fn output_len(self) -> usize {
+        let (w, h) = self.output_dims();
+        w * h
+    }
+
+    /// `true` when adjacent windows share input neurons (`stride < kernel`
+    /// in either direction) — the case where inter-PE data propagation pays
+    /// off (§5.1).
+    #[inline]
+    pub fn windows_overlap(self) -> bool {
+        self.stride.0 < self.kernel.0 || self.stride.1 < self.kernel.1
+    }
+
+    /// The window feeding output neuron `(ox, oy)`, or `None` if that output
+    /// does not exist.
+    pub fn window(self, ox: usize, oy: usize) -> Option<Window> {
+        let (ow, oh) = self.output_dims();
+        if ox >= ow || oy >= oh {
+            return None;
+        }
+        Some(Window {
+            out: (ox, oy),
+            origin: (ox * self.stride.0, oy * self.stride.1),
+            kernel: self.kernel,
+        })
+    }
+
+    /// Iterates over all windows in output row-major order.
+    pub fn windows(self) -> Windows {
+        Windows {
+            grid: self,
+            next: 0,
+        }
+    }
+}
+
+impl fmt::Display for WindowGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} input, {}x{} kernel, {}x{} stride",
+            self.input.0, self.input.1, self.kernel.0, self.kernel.1, self.stride.0, self.stride.1
+        )
+    }
+}
+
+/// One sliding-window placement: the output neuron it computes and the input
+/// rectangle it reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Window {
+    out: (usize, usize),
+    origin: (usize, usize),
+    kernel: (usize, usize),
+}
+
+impl Window {
+    /// The output-neuron coordinates `(ox, oy)` this window computes.
+    #[inline]
+    pub fn output(self) -> (usize, usize) {
+        self.out
+    }
+
+    /// The top-left input coordinate of the window.
+    #[inline]
+    pub fn origin(self) -> (usize, usize) {
+        self.origin
+    }
+
+    /// Iterates the input coordinates covered by the window, row-major
+    /// within the window (the kernel sweep order of Fig. 13: `kx` fastest).
+    pub fn inputs(self) -> impl Iterator<Item = (usize, usize)> {
+        let (x0, y0) = self.origin;
+        let (kx, ky) = self.kernel;
+        (0..ky).flat_map(move |j| (0..kx).map(move |i| (x0 + i, y0 + j)))
+    }
+
+    /// The input coordinate for kernel offset `(i, j)`.
+    #[inline]
+    pub fn input_at(self, i: usize, j: usize) -> (usize, usize) {
+        (self.origin.0 + i, self.origin.1 + j)
+    }
+}
+
+/// Iterator over a [`WindowGrid`]'s windows in output row-major order.
+#[derive(Clone, Debug)]
+pub struct Windows {
+    grid: WindowGrid,
+    next: usize,
+}
+
+impl Iterator for Windows {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        let (ow, _) = self.grid.output_dims();
+        let w = self.grid.window(self.next % ow, self.next / ow)?;
+        self.next += 1;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.grid.output_len().saturating_sub(self.next);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Windows {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(WindowGrid::new((4, 4), (5, 5), (1, 1)).is_err());
+        assert!(WindowGrid::new((4, 4), (0, 2), (1, 1)).is_err());
+        assert!(WindowGrid::new((4, 4), (2, 2), (0, 1)).is_err());
+        assert!(WindowGrid::new((0, 4), (2, 2), (1, 1)).is_err());
+    }
+
+    #[test]
+    fn lenet_layer_shapes() {
+        // All spatial shape transitions of LeNet-5 (Table 2).
+        let c1 = WindowGrid::new((32, 32), (5, 5), (1, 1)).unwrap();
+        assert_eq!(c1.output_dims(), (28, 28));
+        let s2 = WindowGrid::new((28, 28), (2, 2), (2, 2)).unwrap();
+        assert_eq!(s2.output_dims(), (14, 14));
+        let c3 = WindowGrid::new((14, 14), (5, 5), (1, 1)).unwrap();
+        assert_eq!(c3.output_dims(), (10, 10));
+        let s4 = WindowGrid::new((10, 10), (2, 2), (2, 2)).unwrap();
+        assert_eq!(s4.output_dims(), (5, 5));
+        let f5 = WindowGrid::new((5, 5), (5, 5), (1, 1)).unwrap();
+        assert_eq!(f5.output_dims(), (1, 1));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(WindowGrid::new((8, 8), (3, 3), (1, 1)).unwrap().windows_overlap());
+        assert!(!WindowGrid::new((8, 8), (2, 2), (2, 2)).unwrap().windows_overlap());
+        assert!(WindowGrid::new((8, 8), (3, 3), (3, 1)).unwrap().windows_overlap());
+    }
+
+    #[test]
+    fn window_coordinates_follow_stride() {
+        let g = WindowGrid::new((6, 6), (2, 2), (2, 2)).unwrap();
+        let w = g.window(1, 2).unwrap();
+        assert_eq!(w.output(), (1, 2));
+        assert_eq!(w.origin(), (2, 4));
+        assert_eq!(w.input_at(1, 0), (3, 4));
+        assert!(g.window(3, 0).is_none());
+    }
+
+    #[test]
+    fn window_inputs_are_row_major_kx_fastest() {
+        let g = WindowGrid::new((4, 4), (2, 2), (1, 1)).unwrap();
+        let w = g.window(1, 1).unwrap();
+        let coords: Vec<_> = w.inputs().collect();
+        assert_eq!(coords, [(1, 1), (2, 1), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn windows_iterator_covers_all_outputs() {
+        let g = WindowGrid::new((5, 4), (2, 2), (1, 1)).unwrap();
+        let all: Vec<_> = g.windows().map(Window::output).collect();
+        assert_eq!(all.len(), g.output_len());
+        assert_eq!(all[0], (0, 0));
+        assert_eq!(all[1], (1, 0)); // row-major
+        assert_eq!(*all.last().unwrap(), (3, 2));
+        assert_eq!(g.windows().len(), 12);
+    }
+
+    #[test]
+    fn every_input_covered_exactly_once_when_non_overlapping() {
+        let g = WindowGrid::new((6, 6), (2, 3), (2, 3)).unwrap();
+        let mut seen = [0u8; 36];
+        for w in g.windows() {
+            for (x, y) in w.inputs() {
+                seen[y * 6 + x] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = WindowGrid::new((32, 32), (5, 5), (1, 1)).unwrap();
+        assert_eq!(g.to_string(), "32x32 input, 5x5 kernel, 1x1 stride");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for feature-map and window geometry.
+
+use proptest::prelude::*;
+use shidiannao_tensor::{FeatureMap, MapStack, WindowGrid};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn indexing_matches_row_major_layout(
+        w in 1usize..40,
+        h in 1usize..40,
+    ) {
+        let m = FeatureMap::from_fn(w, h, |x, y| y * w + x);
+        for ((x, y), &v) in m.indexed_iter() {
+            prop_assert_eq!(v, y * w + x);
+            prop_assert_eq!(m[(x, y)], v);
+            prop_assert_eq!(m.get(x, y), Some(&v));
+        }
+        prop_assert_eq!(m.as_slice().len(), w * h);
+    }
+
+    #[test]
+    fn windows_cover_exactly_the_strided_grid(
+        w in 1usize..30,
+        h in 1usize..30,
+        kx in 1usize..6,
+        ky in 1usize..6,
+        sx in 1usize..4,
+        sy in 1usize..4,
+    ) {
+        prop_assume!(kx <= w && ky <= h);
+        let g = WindowGrid::new((w, h), (kx, ky), (sx, sy)).unwrap();
+        let (ow, oh) = g.output_dims();
+        let mut count = 0usize;
+        for win in g.windows() {
+            let (ox, oy) = win.output();
+            prop_assert!(ox < ow && oy < oh);
+            prop_assert_eq!(win.origin(), (ox * sx, oy * sy));
+            // Every covered input coordinate is in bounds.
+            for (ix, iy) in win.inputs() {
+                prop_assert!(ix < w && iy < h, "({ix},{iy}) out of ({w},{h})");
+            }
+            prop_assert_eq!(win.inputs().count(), kx * ky);
+            count += 1;
+        }
+        prop_assert_eq!(count, g.output_len());
+    }
+
+    #[test]
+    fn overlap_predicate_matches_definition(
+        k in 1usize..6,
+        s in 1usize..6,
+    ) {
+        let dim = k.max(s) * 3;
+        let g = WindowGrid::new((dim, dim), (k, k), (s, s)).unwrap();
+        prop_assert_eq!(g.windows_overlap(), s < k);
+    }
+
+    #[test]
+    fn stack_flatten_is_map_major(
+        w in 1usize..10,
+        h in 1usize..10,
+        n in 1usize..5,
+    ) {
+        let s = MapStack::from_fn(w, h, n, |m| {
+            FeatureMap::from_fn(w, h, move |x, y| (m, x, y))
+        });
+        let flat = s.flatten();
+        prop_assert_eq!(flat.len(), n * w * h);
+        for (i, &(m, x, y)) in flat.iter().enumerate() {
+            prop_assert_eq!(i, m * w * h + y * w + x);
+        }
+    }
+
+    #[test]
+    fn zip_with_is_elementwise(
+        w in 1usize..12,
+        h in 1usize..12,
+    ) {
+        let a = FeatureMap::from_fn(w, h, |x, y| (x + y) as i64);
+        let b = FeatureMap::from_fn(w, h, |x, y| (x * y) as i64);
+        let c = a.zip_with(&b, |p, q| p + q).unwrap();
+        for ((x, y), &v) in c.indexed_iter() {
+            prop_assert_eq!(v, (x + y + x * y) as i64);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The end-to-end streaming pipeline of §2/§10.2: sensor → partial-frame
+//! buffer → region stream → accelerator → per-region recognition outputs.
+//!
+//! This ties the workspace together the way Fig. 1 deploys the chip: the
+//! accelerator sits on the streaming path, frames never exist in full,
+//! and only "the few output bytes of the recognition process" leave for
+//! the host.
+
+use crate::cnn::Network;
+use crate::fixed::Fx;
+use crate::sensor::{Frame, RegionGrid, RowBuffer};
+use crate::sim::{Accelerator, RunError};
+use core::fmt;
+
+/// Error constructing or running a [`StreamingPipeline`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// The region size does not match the network's input dimensions.
+    RegionShape {
+        /// Region size the grid produces.
+        region: (usize, usize),
+        /// Input size the network expects.
+        network: (usize, usize),
+    },
+    /// The accelerator rejected the network or a region.
+    Run(RunError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::RegionShape { region, network } => write!(
+                f,
+                "grid regions are {}x{} but the network expects {}x{}",
+                region.0, region.1, network.0, network.1
+            ),
+            PipelineError::Run(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<RunError> for PipelineError {
+    fn from(e: RunError) -> PipelineError {
+        PipelineError::Run(e)
+    }
+}
+
+/// One region's recognition result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionResult {
+    /// Region origin within the frame.
+    pub origin: (usize, usize),
+    /// The network's output neurons for this region.
+    pub output: Vec<Fx>,
+}
+
+/// Timing and energy of one processed frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameReport {
+    results: Vec<RegionResult>,
+    compute_cycles: u64,
+    load_cycles: u64,
+    energy_nj: f64,
+    frequency_ghz: f64,
+}
+
+impl FrameReport {
+    /// Per-region outputs, in the grid's row-major order.
+    pub fn results(&self) -> &[RegionResult] {
+        &self.results
+    }
+
+    /// Regions whose first output neuron exceeds `threshold` — the
+    /// detection set a host would receive.
+    pub fn detections(&self, threshold: Fx) -> Vec<&RegionResult> {
+        self.results
+            .iter()
+            .filter(|r| r.output.first().is_some_and(|&v| v > threshold))
+            .collect()
+    }
+
+    /// Accelerator cycles spent computing (NBin loads excluded).
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// Cycles spent streaming regions into NBin.
+    pub fn load_cycles(&self) -> u64 {
+        self.load_cycles
+    }
+
+    /// Frame latency in seconds when region loads overlap the previous
+    /// region's compute (the deployment of Fig. 1: the sensor streams at
+    /// a matched rate, §10.2) — compute plus one pipeline-fill load.
+    pub fn seconds_overlapped(&self) -> f64 {
+        let fill = self.load_cycles / (self.results.len().max(1) as u64);
+        (self.compute_cycles + fill) as f64 / (self.frequency_ghz * 1e9)
+    }
+
+    /// Frame latency with serial loads (no overlap) — the pessimistic
+    /// bound.
+    pub fn seconds_serial(&self) -> f64 {
+        (self.compute_cycles + self.load_cycles) as f64 / (self.frequency_ghz * 1e9)
+    }
+
+    /// Sustained frames per second under overlapped streaming.
+    pub fn fps(&self) -> f64 {
+        1.0 / self.seconds_overlapped()
+    }
+
+    /// Energy for the whole frame in nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_nj
+    }
+}
+
+/// A deployed recognition pipeline: a network on an accelerator, fed by a
+/// region grid.
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao::pipeline::StreamingPipeline;
+/// use shidiannao::prelude::*;
+/// use shidiannao::sensor::{RegionGrid, SyntheticSensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = zoo::gabor().build(1)?; // 20×20 input
+/// let grid = RegionGrid::new((40, 40), (20, 20), (20, 20));
+/// let pipe = StreamingPipeline::new(
+///     Accelerator::new(AcceleratorConfig::paper()),
+///     net,
+///     grid,
+/// )?;
+/// let mut cam = SyntheticSensor::new(40, 40, 7);
+/// let report = pipe.process_frame(&cam.next_frame())?;
+/// assert_eq!(report.results().len(), 4);
+/// assert!(report.fps() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingPipeline {
+    accel: Accelerator,
+    network: Network,
+    grid: RegionGrid,
+}
+
+impl StreamingPipeline {
+    /// Assembles a pipeline, validating that grid regions match the
+    /// network input and that the network fits the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] on a region/network shape mismatch or if
+    /// the network exceeds the on-chip buffers.
+    pub fn new(
+        accel: Accelerator,
+        network: Network,
+        grid: RegionGrid,
+    ) -> Result<StreamingPipeline, PipelineError> {
+        if grid.region_dims() != network.input_dims() {
+            return Err(PipelineError::RegionShape {
+                region: grid.region_dims(),
+                network: network.input_dims(),
+            });
+        }
+        accel.check_capacity(&network)?;
+        Ok(StreamingPipeline {
+            accel,
+            network,
+            grid,
+        })
+    }
+
+    /// The grid driving the pipeline.
+    pub fn grid(&self) -> &RegionGrid {
+        &self.grid
+    }
+
+    /// The network being served.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The §10.2 partial-frame buffer this pipeline needs.
+    pub fn row_buffer(&self) -> RowBuffer {
+        RowBuffer::for_grid(&self.grid, 2)
+    }
+
+    /// Runs every region of a frame through the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Run`] if a region run fails (cannot
+    /// happen after a successful [`StreamingPipeline::new`] unless the
+    /// frame mismatches the grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's dimensions do not match the grid.
+    pub fn process_frame(&self, frame: &Frame) -> Result<FrameReport, PipelineError> {
+        let mut results = Vec::with_capacity(self.grid.count());
+        let mut compute_cycles = 0;
+        let mut load_cycles = 0;
+        let mut energy_nj = 0.0;
+        let maps = self.network.input_maps();
+        let origins: Vec<_> = self.grid.origins().collect();
+        for (origin, region) in origins.into_iter().zip(self.grid.stream(frame, maps)) {
+            let run = self.accel.run(&self.network, &region)?;
+            let load = run.stats().layers()[0].cycles;
+            load_cycles += load;
+            compute_cycles += run.stats().cycles() - load;
+            energy_nj += run.energy().total_nj();
+            results.push(RegionResult {
+                origin,
+                output: run.output(),
+            });
+        }
+        Ok(FrameReport {
+            results,
+            compute_cycles,
+            load_cycles,
+            energy_nj,
+            frequency_ghz: self.accel.config().frequency_ghz,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::sensor::SyntheticSensor;
+
+    fn small_pipeline() -> (StreamingPipeline, SyntheticSensor) {
+        let net = zoo::gabor().build(1).unwrap();
+        let grid = RegionGrid::new((36, 28), (20, 20), (16, 8));
+        let pipe = StreamingPipeline::new(
+            Accelerator::new(AcceleratorConfig::paper()),
+            net,
+            grid,
+        )
+        .unwrap();
+        (pipe, SyntheticSensor::new(36, 28, 3))
+    }
+
+    #[test]
+    fn processes_every_region() {
+        let (pipe, mut cam) = small_pipeline();
+        let report = pipe.process_frame(&cam.next_frame()).unwrap();
+        assert_eq!(report.results().len(), pipe.grid().count());
+        assert!(report.compute_cycles() > 0);
+        assert!(report.load_cycles() > 0);
+        assert!(report.energy_nj() > 0.0);
+    }
+
+    #[test]
+    fn overlapped_streaming_is_faster_than_serial() {
+        let (pipe, mut cam) = small_pipeline();
+        let report = pipe.process_frame(&cam.next_frame()).unwrap();
+        assert!(report.seconds_overlapped() < report.seconds_serial());
+        assert!(report.fps() > 1.0 / report.seconds_serial());
+    }
+
+    #[test]
+    fn detections_threshold_filters() {
+        let (pipe, mut cam) = small_pipeline();
+        let report = pipe.process_frame(&cam.next_frame()).unwrap();
+        let all = report.detections(Fx::MIN).len();
+        let none = report.detections(Fx::MAX).len();
+        assert_eq!(all, report.results().len());
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_at_construction() {
+        let net = zoo::gabor().build(1).unwrap(); // expects 20×20
+        let grid = RegionGrid::new((64, 64), (32, 32), (16, 16));
+        let err = StreamingPipeline::new(
+            Accelerator::new(AcceleratorConfig::paper()),
+            net,
+            grid,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expects 20x20"), "{err}");
+    }
+
+    #[test]
+    fn region_results_carry_origins() {
+        let (pipe, mut cam) = small_pipeline();
+        let report = pipe.process_frame(&cam.next_frame()).unwrap();
+        assert_eq!(report.results()[0].origin, (0, 0));
+        let origins: Vec<_> = pipe.grid().origins().collect();
+        for (r, o) in report.results().iter().zip(origins) {
+            assert_eq!(r.origin, o);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's evaluation claims, asserted end-to-end: these tests run
+//! the same experiment code that regenerates every figure and check the
+//! qualitative results §10 reports. Tolerances and known deviations are
+//! documented in EXPERIMENTS.md.
+
+use shidiannao_bench::{
+    fig18_speedups, fig19_energy, fig7_bandwidth, framerate_report, geomean, reuse_report,
+    table1_storage, table4_characteristics,
+};
+
+// ---------------------------------------------------------------- Fig. 18
+
+#[test]
+fn fig18_mean_speedups_match_the_paper() {
+    let rows = fig18_speedups();
+    assert_eq!(rows.len(), 10);
+    let sdn = geomean(&rows.iter().map(|r| r.shidiannao_speedup()).collect::<Vec<_>>());
+    let dn = geomean(&rows.iter().map(|r| r.diannao_speedup()).collect::<Vec<_>>());
+    let gpu = geomean(&rows.iter().map(|r| r.gpu_speedup()).collect::<Vec<_>>());
+    // Paper: 46.38× over the CPU, 28.94× over the GPU, 1.87× over DianNao.
+    assert!((40.0..55.0).contains(&sdn), "ShiDianNao {sdn}x vs CPU");
+    assert!((20.0..35.0).contains(&dn), "DianNao {dn}x vs CPU");
+    assert!((1.3..2.0).contains(&gpu), "GPU {gpu}x vs CPU");
+    let vs_diannao = sdn / dn;
+    assert!(
+        (1.5..2.2).contains(&vs_diannao),
+        "ShiDianNao is {vs_diannao}x faster than DianNao (paper: 1.87x)"
+    );
+    let vs_gpu = sdn / gpu;
+    assert!(
+        (24.0..34.0).contains(&vs_gpu),
+        "ShiDianNao is {vs_gpu}x faster than the GPU (paper: 28.94x)"
+    );
+}
+
+#[test]
+fn fig18_shidiannao_beats_diannao_on_nine_of_ten() {
+    // "ShiDianNao also outperforms our accelerator baseline on 9 out of 10
+    // benchmarks" — the exception being Simple Conv (§10.2).
+    let rows = fig18_speedups();
+    let losses: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.shidiannao_s > r.diannao_s)
+        .map(|r| r.name.as_str())
+        .collect();
+    assert_eq!(losses, ["SimpleConv"], "DianNao must win exactly SimpleConv");
+}
+
+#[test]
+fn fig18_everything_beats_the_cpu() {
+    for r in fig18_speedups() {
+        assert!(r.shidiannao_speedup() > 1.0, "{}", r.name);
+        assert!(r.diannao_speedup() > 1.0, "{}", r.name);
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 19
+
+#[test]
+fn fig19_energy_ratios_match_the_paper() {
+    let rows = fig19_energy();
+    let ratio = |f: fn(&shidiannao_bench::Fig19Row) -> f64| {
+        geomean(&rows.iter().map(|r| f(r) / r.shidiannao_nj).collect::<Vec<_>>())
+    };
+    // Paper: 4 688× (GPU), 63.48× (DianNao), 1.66× (DianNao-FreeMem).
+    let gpu = ratio(|r| r.gpu_nj);
+    let dn = ratio(|r| r.diannao_nj);
+    let free = ratio(|r| r.diannao_freemem_nj);
+    assert!((3_500.0..6_000.0).contains(&gpu), "GPU ratio {gpu}");
+    assert!((50.0..80.0).contains(&dn), "DianNao ratio {dn}");
+    assert!((1.2..2.1).contains(&free), "FreeMem ratio {free}");
+}
+
+#[test]
+fn fig19_sensor_integration_raises_the_ratios() {
+    // §10.3: "when ShiDianNao is integrated in an embedded vision sensor
+    // … 87.39× and 2.37× more energy efficient than DianNao and
+    // DianNao-FreeMem".
+    let rows = fig19_energy();
+    let dn = geomean(
+        &rows
+            .iter()
+            .map(|r| r.diannao_nj / r.shidiannao_sensor_nj)
+            .collect::<Vec<_>>(),
+    );
+    let free = geomean(
+        &rows
+            .iter()
+            .map(|r| r.diannao_freemem_nj / r.shidiannao_sensor_nj)
+            .collect::<Vec<_>>(),
+    );
+    assert!((70.0..110.0).contains(&dn), "sensor DianNao ratio {dn}");
+    assert!((1.8..3.0).contains(&free), "sensor FreeMem ratio {free}");
+}
+
+#[test]
+fn fig19_shidiannao_beats_even_free_memory_diannao_everywhere() {
+    // "ShiDianNao is still 1.66× more energy efficient than
+    // DianNao-FreeMem" — under the sensor-integrated accounting it must
+    // win on every benchmark.
+    for r in fig19_energy() {
+        assert!(
+            r.shidiannao_sensor_nj < r.diannao_freemem_nj,
+            "{}: {} vs FreeMem {}",
+            r.name,
+            r.shidiannao_sensor_nj,
+            r.diannao_freemem_nj
+        );
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 7
+
+#[test]
+fn fig7_bandwidth_grows_with_pes_and_propagation_caps_it() {
+    let rows = fig7_bandwidth();
+    assert_eq!(rows.len(), 8);
+    for w in rows.windows(2) {
+        assert!(
+            w[1].without_propagation_gbps >= w[0].without_propagation_gbps * 0.99,
+            "without-propagation bandwidth must grow with PEs"
+        );
+    }
+    // Paper's anchor: ~52 GB/s needed by 25 PEs without propagation
+    // (ours is the layer average including edge blocks, slightly lower).
+    let p25 = rows.iter().find(|r| r.pes == 25).unwrap();
+    assert!(
+        (40.0..55.0).contains(&p25.without_propagation_gbps),
+        "{}",
+        p25.without_propagation_gbps
+    );
+    // With propagation the requirement collapses and the gap widens with
+    // the PE count.
+    let p64 = rows.iter().find(|r| r.pes == 64).unwrap();
+    assert!(p64.reduction() > 0.7, "{}", p64.reduction());
+    assert!(p64.reduction() > rows[1].reduction());
+    // A single PE has no neighbours: no reduction.
+    assert!(rows[0].reduction().abs() < 1e-9);
+}
+
+// ----------------------------------------------------------------- Table 1
+
+#[test]
+fn table1_reproduces_the_storage_columns() {
+    let rows = table1_storage();
+    let expect: &[(&str, f64, f64, f64)] = &[
+        ("CNP", 15.19, 28.17, 56.38),
+        ("MPCNN", 30.63, 42.77, 88.89),
+        ("LeNet-5", 9.19, 118.30, 136.11),
+        ("SimpleConv", 2.44, 24.17, 30.12),
+        ("CFF", 7.00, 1.72, 18.49),
+        ("ConvNN", 45.00, 4.35, 87.53),
+        ("Gabor", 2.00, 0.82, 5.36),
+        ("FaceAlign", 15.63, 29.27, 56.39),
+    ];
+    for &(name, largest, syn, total) in expect {
+        let r = rows.iter().find(|r| r.name == name).unwrap();
+        assert!((r.largest_layer_kb - largest).abs() < 0.015, "{name} largest");
+        assert!((r.synapses_kb - syn).abs() < 0.015, "{name} synapses");
+        assert!((r.total_kb - total).abs() < 0.015, "{name} total");
+    }
+    // §6: every benchmark fits the 288 KB of on-chip SRAM; the range the
+    // paper quotes is 4.55–136.11 KB (ours spans 5.36–136.11 with the two
+    // documented reconstructions).
+    for r in &rows {
+        assert!(r.total_kb < 288.0, "{}", r.name);
+    }
+    assert!(rows.iter().any(|r| (r.total_kb - 136.11).abs() < 0.01));
+}
+
+// ----------------------------------------------------------------- Table 4
+
+#[test]
+fn table4_power_and_breakdown_match() {
+    let t = table4_characteristics();
+    // Area: 4.86 mm² with the exact component split.
+    assert!((t.total_area_mm2() - 4.86).abs() < 0.01);
+    // Power: 320.10 mW averaged over the ten benchmarks at 1 GHz.
+    assert!(
+        (t.total_power_mw() - 320.10).abs() < 10.0,
+        "{} mW",
+        t.total_power_mw()
+    );
+    // Energy breakdown: NFU ≈ 87.29 %, four SRAMs ≈ 11.43 % (§10.3:
+    // "significantly different from … DianNao, where more than 95 % of
+    // the energy is consumed by the DRAM").
+    let shares = t.energy_shares();
+    assert!((0.80..0.92).contains(&shares[0]), "NFU share {}", shares[0]);
+    let sram_share: f64 = shares[1..].iter().sum();
+    assert!((0.08..0.20).contains(&sram_share), "SRAM share {sram_share}");
+    assert!(shares[1] > shares[2], "NBin outweighs NBout");
+}
+
+// ------------------------------------------------------------------- §8.1
+
+#[test]
+fn reuse_claims_hold() {
+    let r = reuse_report();
+    assert!((r.toy_reduction - 4.0 / 9.0).abs() < 1e-3, "{}", r.toy_reduction);
+    assert!(
+        (0.70..0.90).contains(&r.lenet_c1_reduction),
+        "{}",
+        r.lenet_c1_reduction
+    );
+}
+
+// ------------------------------------------------------------------ §10.2
+
+#[test]
+fn framerate_analysis_is_real_time() {
+    let r = framerate_report();
+    assert_eq!(r.regions_per_frame, 1073);
+    // Our cycle model is ~2.7× faster per region than the paper's RTL
+    // (see EXPERIMENTS.md); the claim under test is real-time capability.
+    assert!(r.fps >= 20.0, "{} fps", r.fps);
+    assert!(r.ms_per_region < 0.06, "{} ms", r.ms_per_region);
+    assert!(r.row_buffer_kb < 256.0);
+}
