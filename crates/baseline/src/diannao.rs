@@ -353,7 +353,11 @@ mod tests {
         // LeNet-5 synapses (118 KB) exceed the 16 KB SB; CFF's (1.7 KB)
         // do not.
         let cff = zoo::cff().build(1).unwrap();
-        let cff_syn: u64 = cff.layers().iter().map(|l| l.synapse_count() as u64 * 2).sum();
+        let cff_syn: u64 = cff
+            .layers()
+            .iter()
+            .map(|l| l.synapse_count() as u64 * 2)
+            .sum();
         assert!(cff_syn <= 16 * 1024, "CFF fits the SB");
         let fits = DianNao::new(DianNaoConfig::paper()).run(&cff);
         let mut tiny_sb = DianNaoConfig::paper();
@@ -364,8 +368,17 @@ mod tests {
         assert_eq!(spills.dram_bytes() - fits.dram_bytes(), cff_syn);
         // LeNet-5's synapses never fit, so they always stream.
         let lenet = zoo::lenet5().build(1).unwrap();
-        let lenet_syn: u64 = lenet.layers().iter().map(|l| l.synapse_count() as u64 * 2).sum();
-        assert!(DianNao::new(DianNaoConfig::paper()).run(&lenet).dram_bytes() > lenet_syn);
+        let lenet_syn: u64 = lenet
+            .layers()
+            .iter()
+            .map(|l| l.synapse_count() as u64 * 2)
+            .sum();
+        assert!(
+            DianNao::new(DianNaoConfig::paper())
+                .run(&lenet)
+                .dram_bytes()
+                > lenet_syn
+        );
     }
 
     #[test]

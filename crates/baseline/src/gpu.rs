@@ -100,7 +100,11 @@ mod tests {
         let run = gpu.run(&net);
         let overhead = net.layers().len() as f64 * gpu.launch_overhead_us * 1e-6;
         // At least 90 % of the time is launch overhead for this tiny CNN.
-        assert!(overhead / run.seconds() > 0.9, "{}", overhead / run.seconds());
+        assert!(
+            overhead / run.seconds() > 0.9,
+            "{}",
+            overhead / run.seconds()
+        );
     }
 
     #[test]

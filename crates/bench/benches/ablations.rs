@@ -103,7 +103,9 @@ fn ablation_isa_size(c: &mut Criterion) {
         );
     }
     let net = zoo::lenet5().build(SEED).unwrap();
-    g.bench_function("compile_lenet5", |b| b.iter(|| black_box(compile(&net).unwrap().bytes())));
+    g.bench_function("compile_lenet5", |b| {
+        b.iter(|| black_box(compile(&net).unwrap().bytes()))
+    });
     g.finish();
 }
 
@@ -118,7 +120,10 @@ fn ablation_multimap(c: &mut Criterion) {
         let input = net.random_input(SEED);
         for (label, cfg) in [
             ("baseline", AcceleratorConfig::paper()),
-            ("packed", AcceleratorConfig::paper().with_multi_map_packing()),
+            (
+                "packed",
+                AcceleratorConfig::paper().with_multi_map_packing(),
+            ),
         ] {
             let accel = Accelerator::new(cfg);
             let run = accel.run(&net, &input).unwrap();

@@ -73,7 +73,9 @@ fn bench_framerate(c: &mut Criterion) {
     println!("{}", shidiannao_bench::report::render_framerate());
     let mut g = c.benchmark_group("sec102");
     g.sample_size(10);
-    g.bench_function("sec102_framerate", |b| b.iter(|| black_box(framerate_report())));
+    g.bench_function("sec102_framerate", |b| {
+        b.iter(|| black_box(framerate_report()))
+    });
     g.finish();
 }
 

@@ -72,22 +72,32 @@ fn export(dir: &Path) -> std::io::Result<()> {
     }
     write(dir, "fig18_speedup.csv", f18)?;
 
-    let mut f19 =
-        String::from("cnn,gpu_nj,diannao_nj,diannao_freemem_nj,shidiannao_nj,shidiannao_sensor_nj\n");
+    let mut f19 = String::from(
+        "cnn,gpu_nj,diannao_nj,diannao_freemem_nj,shidiannao_nj,shidiannao_sensor_nj\n",
+    );
     for r in fig19_energy() {
         f19 += &format!(
             "{},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
-            r.name, r.gpu_nj, r.diannao_nj, r.diannao_freemem_nj, r.shidiannao_nj,
+            r.name,
+            r.gpu_nj,
+            r.diannao_nj,
+            r.diannao_freemem_nj,
+            r.shidiannao_nj,
             r.shidiannao_sensor_nj
         );
     }
     write(dir, "fig19_energy.csv", f19)?;
 
-    let mut sweep = String::from("side,geomean_cycles,geomean_utilization,area_mm2,geomean_energy_nj,edap\n");
+    let mut sweep =
+        String::from("side,geomean_cycles,geomean_utilization,area_mm2,geomean_energy_nj,edap\n");
     for p in design_space_sweep(&[2, 4, 6, 8, 12, 16]) {
         sweep += &format!(
             "{},{:.1},{:.4},{:.3},{:.1},{:.4e}\n",
-            p.side, p.geomean_cycles, p.geomean_utilization, p.area_mm2, p.geomean_energy_nj,
+            p.side,
+            p.geomean_cycles,
+            p.geomean_utilization,
+            p.area_mm2,
+            p.geomean_energy_nj,
             p.edap()
         );
     }

@@ -2,10 +2,15 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|all]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|all|bench]
 //! ```
+//!
+//! `harness bench` times the harness itself — each experiment serially
+//! (`RAYON_NUM_THREADS=1`) and in parallel, plus prepared-session
+//! inference throughput — and writes the machine-readable
+//! `BENCH_harness.json` next to the working directory.
 
-use shidiannao_bench::report;
+use shidiannao_bench::{perf, report};
 use std::env;
 use std::process::ExitCode;
 
@@ -16,30 +21,56 @@ fn main() -> ExitCode {
         "table3" => report::render_table3(),
         "table4" => report::render_table4(),
         "fig7" => report::render_fig7(),
-        "fig17" => shidiannao_core::area::floorplan_ascii(
-            &shidiannao_core::AcceleratorConfig::paper(),
-        ),
+        "fig17" => {
+            shidiannao_core::area::floorplan_ascii(&shidiannao_core::AcceleratorConfig::paper())
+        }
         "fig18" => report::render_fig18(),
         "fig19" => report::render_fig19(),
         "reuse" => report::render_reuse(),
         "framerate" => report::render_framerate(),
         "sweep" => report::render_sweep(),
         "all" => report::render_all(),
+        "bench" => {
+            let r = perf::measure();
+            let path = "BENCH_harness.json";
+            if let Err(e) = std::fs::write(path, r.to_json()) {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let mut out = r.render();
+            out += &format!("\nwrote {path}\n");
+            if !r.all_bit_identical() {
+                eprintln!("{out}");
+                eprintln!("parallel results diverged from serial results");
+                return ExitCode::FAILURE;
+            }
+            out
+        }
         "calib" => {
-            use shidiannao_baseline::{DianNao, DianNaoConfig, GpuModel, CpuModel};
+            use shidiannao_baseline::{CpuModel, DianNao, DianNaoConfig, GpuModel};
             use shidiannao_cnn::zoo;
             use shidiannao_core::{Accelerator, AcceleratorConfig};
-            let mut s_nj = vec![]; let mut i_bytes = vec![]; let mut t_bytes = vec![]; let mut d_on = vec![];
-            let mut sdn_s = vec![]; let mut dn_s = vec![]; let mut cpu_s = vec![]; let mut gpu_s = vec![];
+            let mut s_nj = vec![];
+            let mut i_bytes = vec![];
+            let mut t_bytes = vec![];
+            let mut d_on = vec![];
+            let mut sdn_s = vec![];
+            let mut dn_s = vec![];
+            let mut cpu_s = vec![];
+            let mut gpu_s = vec![];
             for b in zoo::all() {
                 let net = b.build(2015).unwrap();
-                let run = Accelerator::new(AcceleratorConfig::paper()).run(&net, &net.random_input(2015 ^ 0xABCD)).unwrap();
+                let run = Accelerator::new(AcceleratorConfig::paper())
+                    .run(&net, &net.random_input(2015 ^ 0xABCD))
+                    .unwrap();
                 let d = DianNao::new(DianNaoConfig::paper()).run(&net);
                 s_nj.push(run.energy().total_nj());
-                i_bytes.push((net.input_maps() * net.input_dims().0 * net.input_dims().1 * 2) as f64);
+                i_bytes
+                    .push((net.input_maps() * net.input_dims().0 * net.input_dims().1 * 2) as f64);
                 t_bytes.push(d.dram_bytes() as f64);
                 d_on.push(d.energy_free_mem_nj());
-                sdn_s.push(run.seconds()); dn_s.push(d.seconds());
+                sdn_s.push(run.seconds());
+                dn_s.push(d.seconds());
                 cpu_s.push(CpuModel::xeon_e7_8830().run_seconds(&net));
                 gpu_s.push(GpuModel::k20m().run(&net).seconds());
             }
@@ -49,7 +80,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep calib all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep calib bench all"
             );
             return ExitCode::FAILURE;
         }

@@ -8,13 +8,16 @@
 //! measured-vs-paper numbers are recorded in EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use experiments::{
-    design_space_sweep, fig18_speedups, fig19_energy, fig7_bandwidth, framerate_report,
-    reuse_report, table1_storage, table4_characteristics, DesignPoint, Fig18Row, Fig19Row,
-    Fig7Row, FramerateReport, ReuseReport, Table1Row, Table4Report,
+    compute_paper_runs, design_space_sweep, fig18_speedups, fig19_energy, fig7_bandwidth,
+    framerate_report, paper_runs, reuse_report, table1_storage, table4_characteristics,
+    DesignPoint, Fig18Row, Fig19Row, Fig7Row, FramerateReport, PaperRun, ReuseReport, Table1Row,
+    Table4Report,
 };
+pub use perf::{ExperimentTiming, PerfReport, ThroughputRow};
 
 /// Geometric mean of a non-empty slice.
 ///

@@ -1,0 +1,404 @@
+//! Wall-clock measurement of the harness itself: serial vs parallel
+//! experiment regeneration and prepared-session inference throughput.
+//!
+//! This module backs the `harness bench` subcommand, which writes the
+//! machine-readable `BENCH_harness.json`. Two families of numbers:
+//!
+//! * **Experiment timings** — every parallel-sensitive experiment is run
+//!   twice, once pinned to one worker (`RAYON_NUM_THREADS=1`) and once
+//!   with the full thread pool, and the two results' `Debug` fingerprints
+//!   are compared so the JSON also certifies that parallel execution is
+//!   bit-identical to serial.
+//! * **Throughput rows** — per benchmark, one `prepare` followed by a
+//!   burst of `Session::infer` calls, reported as simulated cycles/sec
+//!   and inferences/sec, next to the same burst through the legacy
+//!   one-shot `Accelerator::run` for the speedup of buffer reuse.
+
+use crate::experiments::{self, compute_paper_runs, SEED};
+use shidiannao_cnn::zoo;
+use shidiannao_core::{Accelerator, AcceleratorConfig};
+use std::time::Instant;
+
+/// Sides used for the sweep when timing it (a subset of the full render
+/// to keep the bench subcommand short).
+const SWEEP_SIDES: [usize; 4] = [2, 4, 6, 8];
+
+/// Inferences per benchmark in the throughput burst.
+const BURST: usize = 10;
+
+/// One experiment timed serially and in parallel.
+#[derive(Clone, Debug)]
+pub struct ExperimentTiming {
+    /// Experiment name (the harness subcommand vocabulary).
+    pub name: String,
+    /// Wall-clock seconds with `RAYON_NUM_THREADS=1`.
+    pub serial_s: f64,
+    /// Wall-clock seconds with the full thread pool.
+    pub parallel_s: f64,
+    /// Whether the serial and parallel results were bit-identical
+    /// (compared via their `Debug` formatting).
+    pub bit_identical: bool,
+}
+
+impl ExperimentTiming {
+    /// Serial / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s == 0.0 {
+            return 0.0;
+        }
+        self.serial_s / self.parallel_s
+    }
+}
+
+/// One benchmark's prepared-session inference throughput.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Seconds for the one-time `Accelerator::prepare`.
+    pub prepare_s: f64,
+    /// Inferences in the burst.
+    pub inferences: usize,
+    /// Wall-clock seconds for the whole burst through one `Session`.
+    pub wall_s: f64,
+    /// Simulated accelerator cycles per inference.
+    pub sim_cycles_per_inference: u64,
+    /// Simulated cycles advanced per wall-clock second.
+    pub sim_cycles_per_s: f64,
+    /// Inferences completed per wall-clock second.
+    pub inferences_per_s: f64,
+    /// Wall-clock seconds for the same burst through the legacy one-shot
+    /// `Accelerator::run` (re-preparing every time).
+    pub legacy_wall_s: f64,
+}
+
+impl ThroughputRow {
+    /// Legacy / session wall-clock ratio: what buffer reuse buys.
+    pub fn session_speedup(&self) -> f64 {
+        if self.wall_s == 0.0 {
+            return 0.0;
+        }
+        self.legacy_wall_s / self.wall_s
+    }
+}
+
+/// The complete harness performance report.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Worker threads the parallel passes used.
+    pub threads: usize,
+    /// Per-experiment serial vs parallel timings.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Per-benchmark session throughput.
+    pub throughput: Vec<ThroughputRow>,
+}
+
+impl PerfReport {
+    /// Total serial seconds across the timed experiments.
+    pub fn total_serial_s(&self) -> f64 {
+        self.experiments.iter().map(|e| e.serial_s).sum()
+    }
+
+    /// Total parallel seconds across the timed experiments.
+    pub fn total_parallel_s(&self) -> f64 {
+        self.experiments.iter().map(|e| e.parallel_s).sum()
+    }
+
+    /// Whole-harness serial / parallel speedup.
+    pub fn total_speedup(&self) -> f64 {
+        let p = self.total_parallel_s();
+        if p == 0.0 {
+            return 0.0;
+        }
+        self.total_serial_s() / p
+    }
+
+    /// Whether every experiment was bit-identical between serial and
+    /// parallel execution.
+    pub fn all_bit_identical(&self) -> bool {
+        self.experiments.iter().all(|e| e.bit_identical)
+    }
+
+    /// The `BENCH_harness.json` document (no external JSON dependency —
+    /// every value is a string-free number, a bool, or an escaped-free
+    /// benchmark name).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out += &format!("  \"threads\": {},\n", self.threads);
+        out += "  \"experiments\": [\n";
+        for (i, e) in self.experiments.iter().enumerate() {
+            out += &format!(
+                "    {{\"name\": \"{}\", \"serial_s\": {}, \"parallel_s\": {}, \
+                 \"speedup\": {}, \"bit_identical\": {}}}{}\n",
+                e.name,
+                json_f64(e.serial_s),
+                json_f64(e.parallel_s),
+                json_f64(e.speedup()),
+                e.bit_identical,
+                comma(i, self.experiments.len()),
+            );
+        }
+        out += "  ],\n";
+        out += &format!(
+            "  \"total\": {{\"serial_s\": {}, \"parallel_s\": {}, \"speedup\": {}, \
+             \"bit_identical\": {}}},\n",
+            json_f64(self.total_serial_s()),
+            json_f64(self.total_parallel_s()),
+            json_f64(self.total_speedup()),
+            self.all_bit_identical(),
+        );
+        out += "  \"throughput\": [\n";
+        for (i, t) in self.throughput.iter().enumerate() {
+            out += &format!(
+                "    {{\"name\": \"{}\", \"prepare_s\": {}, \"inferences\": {}, \
+                 \"wall_s\": {}, \"sim_cycles_per_inference\": {}, \
+                 \"sim_cycles_per_s\": {}, \"inferences_per_s\": {}, \
+                 \"legacy_wall_s\": {}, \"session_speedup\": {}}}{}\n",
+                t.name,
+                json_f64(t.prepare_s),
+                t.inferences,
+                json_f64(t.wall_s),
+                t.sim_cycles_per_inference,
+                json_f64(t.sim_cycles_per_s),
+                json_f64(t.inferences_per_s),
+                json_f64(t.legacy_wall_s),
+                json_f64(t.session_speedup()),
+                comma(i, self.throughput.len()),
+            );
+        }
+        out += "  ]\n}\n";
+        out
+    }
+
+    /// Human-readable rendering of the same numbers.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Harness performance ({} worker threads)\n\
+             experiment           serial (s)  parallel (s)  speedup  bit-identical\n",
+            self.threads
+        );
+        for e in &self.experiments {
+            out += &format!(
+                "{:<20} {:>10.3} {:>13.3} {:>7.2}x  {}\n",
+                e.name,
+                e.serial_s,
+                e.parallel_s,
+                e.speedup(),
+                if e.bit_identical { "yes" } else { "NO" },
+            );
+        }
+        out += &format!(
+            "{:<20} {:>10.3} {:>13.3} {:>7.2}x  {}\n\n",
+            "total",
+            self.total_serial_s(),
+            self.total_parallel_s(),
+            self.total_speedup(),
+            if self.all_bit_identical() {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+        out += &format!(
+            "Prepared-session throughput ({BURST} inferences per benchmark)\n\
+             CNN          cycles/inf   sim cycles/s   inf/s   vs one-shot\n"
+        );
+        for t in &self.throughput {
+            out += &format!(
+                "{:<12} {:>10} {:>14.3e} {:>7.1} {:>10.2}x\n",
+                t.name,
+                t.sim_cycles_per_inference,
+                t.sim_cycles_per_s,
+                t.inferences_per_s,
+                t.session_speedup(),
+            );
+        }
+        out
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Times `f` once and returns (seconds, `Debug` fingerprint of result).
+fn timed<T: std::fmt::Debug>(f: impl FnOnce() -> T) -> (f64, String) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64(), format!("{value:?}"))
+}
+
+/// Runs `f` serially (one worker) and in parallel, comparing results.
+fn serial_vs_parallel<T: std::fmt::Debug>(name: &str, f: impl Fn() -> T) -> ExperimentTiming {
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (serial_s, serial_fp) = timed(&f);
+    match &saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let (parallel_s, parallel_fp) = timed(&f);
+    ExperimentTiming {
+        name: name.to_string(),
+        serial_s,
+        parallel_s,
+        bit_identical: serial_fp == parallel_fp,
+    }
+}
+
+/// Times every parallel-sensitive experiment serial-vs-parallel. The
+/// paper-configuration runs are timed through [`compute_paper_runs`]
+/// (cache-free), so the number reflects real simulator work, not a cache
+/// hit.
+pub fn measure_experiments() -> Vec<ExperimentTiming> {
+    vec![
+        serial_vs_parallel("paper_runs", || {
+            // Fingerprint the observable results, not the raw trace dump,
+            // to keep the comparison string small but still bit-exact.
+            compute_paper_runs()
+                .iter()
+                .map(|p| {
+                    (
+                        p.net.name().to_string(),
+                        p.run.stats().cycles(),
+                        p.run.energy().total_nj().to_bits(),
+                        format!("{:?}", p.run.output()),
+                    )
+                })
+                .collect::<Vec<_>>()
+        }),
+        serial_vs_parallel("table1_storage", experiments::table1_storage),
+        serial_vs_parallel("fig7_bandwidth", experiments::fig7_bandwidth),
+        serial_vs_parallel("design_space_sweep", || {
+            experiments::design_space_sweep(&SWEEP_SIDES)
+        }),
+        serial_vs_parallel("reuse_report", experiments::reuse_report),
+    ]
+}
+
+/// Measures prepared-session inference throughput for every benchmark.
+pub fn measure_throughput() -> Vec<ThroughputRow> {
+    zoo::all()
+        .into_iter()
+        .map(|b| {
+            let net = b.build(SEED).expect("benchmark topologies are valid");
+            let input = net.random_input(SEED ^ 0xABCD);
+            let accel = Accelerator::new(AcceleratorConfig::paper());
+
+            let start = Instant::now();
+            let prepared = accel
+                .prepare(&net)
+                .expect("benchmarks fit the paper config");
+            let prepare_s = start.elapsed().as_secs_f64();
+
+            let mut session = prepared.session();
+            let start = Instant::now();
+            let mut cycles = 0;
+            for _ in 0..BURST {
+                let inf = session.infer(&input).expect("input shape matches");
+                cycles = inf.stats().cycles();
+            }
+            let wall_s = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            for _ in 0..BURST {
+                accel
+                    .run(&net, &input)
+                    .expect("benchmarks fit the paper config");
+            }
+            let legacy_wall_s = start.elapsed().as_secs_f64();
+
+            ThroughputRow {
+                name: net.name().to_string(),
+                prepare_s,
+                inferences: BURST,
+                wall_s,
+                sim_cycles_per_inference: cycles,
+                sim_cycles_per_s: cycles as f64 * BURST as f64 / wall_s,
+                inferences_per_s: BURST as f64 / wall_s,
+                legacy_wall_s,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full performance measurement.
+pub fn measure() -> PerfReport {
+    PerfReport {
+        threads: rayon::current_num_threads(),
+        experiments: measure_experiments(),
+        throughput: measure_throughput(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_is_json_safe() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn serial_vs_parallel_detects_identical_results() {
+        let t = serial_vs_parallel("probe", || vec![1, 2, 3]);
+        assert!(t.bit_identical);
+        assert_eq!(t.name, "probe");
+    }
+
+    #[test]
+    fn report_json_has_the_schema_keys() {
+        let report = PerfReport {
+            threads: 4,
+            experiments: vec![ExperimentTiming {
+                name: "probe".into(),
+                serial_s: 2.0,
+                parallel_s: 1.0,
+                bit_identical: true,
+            }],
+            throughput: vec![ThroughputRow {
+                name: "LeNet-5".into(),
+                prepare_s: 0.001,
+                inferences: 10,
+                wall_s: 0.5,
+                sim_cycles_per_inference: 1000,
+                sim_cycles_per_s: 20000.0,
+                inferences_per_s: 20.0,
+                legacy_wall_s: 1.0,
+            }],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"threads\"",
+            "\"experiments\"",
+            "\"serial_s\"",
+            "\"parallel_s\"",
+            "\"speedup\"",
+            "\"bit_identical\"",
+            "\"total\"",
+            "\"throughput\"",
+            "\"sim_cycles_per_inference\"",
+            "\"sim_cycles_per_s\"",
+            "\"inferences_per_s\"",
+            "\"session_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!((report.total_speedup() - 2.0).abs() < 1e-12);
+        assert!(report.all_bit_identical());
+    }
+}

@@ -99,9 +99,7 @@ pub fn render_fig18() -> String {
             r.shidiannao_speedup()
         );
     }
-    let g = |f: fn(&crate::Fig18Row) -> f64| {
-        geomean(&rows.iter().map(f).collect::<Vec<_>>())
-    };
+    let g = |f: fn(&crate::Fig18Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     out += &format!(
         "{:<12} {:>7.2}x {:>7.2}x {:>9.2}x\n",
         "GeoMean",

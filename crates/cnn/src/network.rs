@@ -62,7 +62,11 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a network taking `input_maps` feature maps of
     /// `input_dims = (width, height)` pixels.
-    pub fn new(name: impl Into<String>, input_maps: usize, input_dims: (usize, usize)) -> NetworkBuilder {
+    pub fn new(
+        name: impl Into<String>,
+        input_maps: usize,
+        input_dims: (usize, usize),
+    ) -> NetworkBuilder {
         NetworkBuilder {
             name: name.into(),
             input_maps,
@@ -223,8 +227,7 @@ fn resolve_layer(
             }
             if p.rounding == Rounding::Ceil && p.stride != p.window {
                 return Err(geo(
-                    "ceiling rounding requires non-overlapping pooling (stride == window)"
-                        .into(),
+                    "ceiling rounding requires non-overlapping pooling (stride == window)".into(),
                 ));
             }
             let extent = |n: usize, k: usize, s: usize| match p.rounding {
@@ -572,7 +575,13 @@ impl Network {
             .layers
             .get_mut(layer_index)
             .ok_or_else(|| geo("no such layer"))?;
-        let LayerBody::Conv { table, weights, kernel: dims, .. } = &mut layer.body else {
+        let LayerBody::Conv {
+            table,
+            weights,
+            kernel: dims,
+            ..
+        } = &mut layer.body
+        else {
             return Err(geo("not a convolutional layer"));
         };
         if o >= table.out_maps() || j >= table.inputs_of(o).len() {
@@ -657,7 +666,12 @@ impl Network {
         let mut out = self.clone();
         for i in 0..out.layers.len() {
             match out.layers[i].body.clone() {
-                LayerBody::Conv { table, kernel, weights, .. } => {
+                LayerBody::Conv {
+                    table,
+                    kernel,
+                    weights,
+                    ..
+                } => {
                     for o in 0..table.out_maps() {
                         out.set_conv_bias(i, o, weights.bias(o).quantized(total_bits, frac_bits))
                             .expect("same geometry");
@@ -677,8 +691,13 @@ impl Network {
                             .iter()
                             .map(|&(_, w)| w.quantized(total_bits, frac_bits))
                             .collect();
-                        out.set_fc_row(i, n, &row, weights.bias(n).quantized(total_bits, frac_bits))
-                            .expect("same geometry");
+                        out.set_fc_row(
+                            i,
+                            n,
+                            &row,
+                            weights.bias(n).quantized(total_bits, frac_bits),
+                        )
+                        .expect("same geometry");
                     }
                 }
                 _ => {}
@@ -945,14 +964,23 @@ mod tests {
         let mut net = tiny().build(1).unwrap();
         let k3 = FeatureMap::filled(3, 3, Fx::ZERO);
         let k5 = FeatureMap::filled(5, 5, Fx::ZERO);
-        assert!(net.set_conv_kernel(1, 0, 0, k3.clone()).is_err(), "pool layer");
+        assert!(
+            net.set_conv_kernel(1, 0, 0, k3.clone()).is_err(),
+            "pool layer"
+        );
         assert!(net.set_conv_kernel(0, 9, 0, k3.clone()).is_err(), "bad map");
         assert!(net.set_conv_kernel(0, 0, 0, k5).is_err(), "wrong dims");
         assert!(net.set_conv_kernel(7, 0, 0, k3).is_err(), "no such layer");
         assert!(net.set_conv_bias(2, 0, Fx::ZERO).is_err(), "fc not conv");
         assert!(net.set_fc_row(0, 0, &[], Fx::ZERO).is_err(), "conv not fc");
-        assert!(net.set_fc_row(2, 0, &[Fx::ZERO; 3], Fx::ZERO).is_err(), "length");
-        assert!(net.set_fc_row(2, 99, &[Fx::ZERO; 100], Fx::ZERO).is_err(), "index");
+        assert!(
+            net.set_fc_row(2, 0, &[Fx::ZERO; 3], Fx::ZERO).is_err(),
+            "length"
+        );
+        assert!(
+            net.set_fc_row(2, 99, &[Fx::ZERO; 100], Fx::ZERO).is_err(),
+            "index"
+        );
     }
 
     #[test]
@@ -974,7 +1002,10 @@ mod tests {
         let e8 = err(&net.quantize_weights(8, 7));
         let e4 = err(&net.quantize_weights(4, 3));
         assert!(e8 < 0.2, "8-bit error {e8}");
-        assert!(e8 <= e4, "coarser weights cannot be more accurate: {e8} vs {e4}");
+        assert!(
+            e8 <= e4,
+            "coarser weights cannot be more accurate: {e8} vs {e4}"
+        );
     }
 
     #[test]

@@ -491,10 +491,14 @@ mod tests {
             k: 1.0,
             alpha: 0.5,
         };
-        let net = NetworkBuilder::new("t", 3, (1, 1)).lrn(spec).build(0).unwrap();
+        let net = NetworkBuilder::new("t", 3, (1, 1))
+            .lrn(spec)
+            .build(0)
+            .unwrap();
         let mut weak = MapStack::new(1, 1);
         for v in [1.0f32, 0.1, 0.1] {
-            weak.push(FeatureMap::filled(1, 1, Fx::from_f32(v))).unwrap();
+            weak.push(FeatureMap::filled(1, 1, Fx::from_f32(v)))
+                .unwrap();
         }
         let mut strong = MapStack::new(1, 1);
         for v in [1.0f32, 4.0, 4.0] {

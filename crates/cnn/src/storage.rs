@@ -86,8 +86,7 @@ pub fn kb(bytes: usize) -> f64 {
 /// Computes the Table 1 storage report for a network.
 pub fn report(network: &Network) -> StorageReport {
     let mut layer_bytes = Vec::with_capacity(network.layers().len() + 1);
-    let input_neurons =
-        network.input_maps() * network.input_dims().0 * network.input_dims().1;
+    let input_neurons = network.input_maps() * network.input_dims().0 * network.input_dims().1;
     layer_bytes.push(("Input".to_string(), input_neurons * 2));
     let mut synapse_bytes = 0;
     for layer in network.layers() {
@@ -113,7 +112,11 @@ mod tests {
     #[test]
     fn lenet5_matches_table1_exactly() {
         let r = report(&zoo::lenet5().build(0).unwrap());
-        assert!(close(r.largest_layer_kb(), 9.19), "{}", r.largest_layer_kb());
+        assert!(
+            close(r.largest_layer_kb(), 9.19),
+            "{}",
+            r.largest_layer_kb()
+        );
         assert!(close(r.synapse_kb(), 118.30), "{}", r.synapse_kb());
         assert!(close(r.total_kb(), 136.11), "{}", r.total_kb());
     }
@@ -121,7 +124,11 @@ mod tests {
     #[test]
     fn cnp_matches_table1_exactly() {
         let r = report(&zoo::cnp().build(0).unwrap());
-        assert!(close(r.largest_layer_kb(), 15.19), "{}", r.largest_layer_kb());
+        assert!(
+            close(r.largest_layer_kb(), 15.19),
+            "{}",
+            r.largest_layer_kb()
+        );
         assert!(close(r.synapse_kb(), 28.17), "{}", r.synapse_kb());
         assert!(close(r.total_kb(), 56.38), "{}", r.total_kb());
     }

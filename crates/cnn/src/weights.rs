@@ -56,7 +56,7 @@ impl ConvWeights {
                 })
                 .collect();
             kernels.push(maps);
-            biases.push(Fx::from_f32(rng.gen_range(-0.1..0.1) * scale));
+            biases.push(Fx::from_f32(rng.gen_range(-0.1f32..0.1) * scale));
         }
         ConvWeights { kernels, biases }
     }
@@ -104,11 +104,7 @@ impl ConvWeights {
     /// Total number of synaptic weights (kernels × kernel area), the value
     /// Table 1 reports as "Synapses Size" (×2 bytes).
     pub fn synapse_count(&self) -> usize {
-        self.kernels
-            .iter()
-            .flatten()
-            .map(FeatureMap::len)
-            .sum()
+        self.kernels.iter().flatten().map(FeatureMap::len).sum()
     }
 }
 
@@ -135,7 +131,10 @@ impl FcWeights {
     ) -> FcWeights {
         assert_eq!(rows.len(), biases.len(), "one bias per output");
         for row in &rows {
-            assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "rows must be sorted");
+            assert!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "rows must be sorted"
+            );
         }
         FcWeights {
             rows,
@@ -179,7 +178,7 @@ impl FcWeights {
                 .collect();
             row.sort_unstable_by_key(|&(i, _)| i);
             rows.push(row);
-            biases.push(Fx::from_f32(rng.gen_range(-0.1..0.1) * scale));
+            biases.push(Fx::from_f32(rng.gen_range(-0.1f32..0.1) * scale));
         }
         FcWeights {
             rows,

@@ -77,7 +77,11 @@ pub fn lenet5() -> NetworkBuilder {
 pub fn simple_conv() -> NetworkBuilder {
     NetworkBuilder::new("SimpleConv", 1, (29, 29))
         .conv(ConvSpec::new(5, (5, 5)).with_stride((2, 2)))
-        .conv(ConvSpec::new(50, (5, 5)).with_stride((2, 2)).with_pairs(250))
+        .conv(
+            ConvSpec::new(50, (5, 5))
+                .with_stride((2, 2))
+                .with_pairs(250),
+        )
         .fc(FcSpec::new(100).with_synapses_per_output(50))
         .fc(FcSpec::new(10))
 }
@@ -390,7 +394,12 @@ mod tests {
         for b in extended::all() {
             let net = b.build(2).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
             let r = storage::report(&net);
-            assert!(r.total_kb() < 288.0, "{} needs {} KB", net.name(), r.total_kb());
+            assert!(
+                r.total_kb() < 288.0,
+                "{} needs {} KB",
+                net.name(),
+                r.total_kb()
+            );
             let out = net.forward_fixed(&net.random_input(3));
             assert_eq!(out.output().len(), net.output_count());
         }

@@ -3,9 +3,7 @@
 //! fixed-vs-float error bound.
 
 use proptest::prelude::*;
-use shidiannao_cnn::{
-    storage, ConnectionTable, ConvSpec, FcSpec, NetworkBuilder, PoolSpec,
-};
+use shidiannao_cnn::{storage, ConnectionTable, ConvSpec, FcSpec, NetworkBuilder, PoolSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -142,6 +142,13 @@ impl Accelerator {
     ///
     /// Returns [`RunError::Capacity`] naming the overflowing buffer.
     pub fn check_capacity(&self, network: &Network) -> Result<(), RunError> {
+        self.check_data_capacity(network)?;
+        let program = self.compile(network)?;
+        self.check_ib_capacity(&program)
+    }
+
+    /// The NB/SB halves of the capacity check (no compilation needed).
+    fn check_data_capacity(&self, network: &Network) -> Result<(), RunError> {
         let nb_cap = self.config.nbin_bytes.min(self.config.nbout_bytes);
         let input_bytes =
             network.input_maps() * network.input_dims().0 * network.input_dims().1 * 2;
@@ -152,8 +159,9 @@ impl Accelerator {
             // Synapses plus the per-output biases the SB image also holds.
             synapse_bytes += layer.synapse_count() * 2;
             synapse_bytes += match layer.body() {
-                shidiannao_cnn::LayerBody::Conv { .. }
-                | shidiannao_cnn::LayerBody::Fc { .. } => layer.out_maps() * 2,
+                shidiannao_cnn::LayerBody::Conv { .. } | shidiannao_cnn::LayerBody::Fc { .. } => {
+                    layer.out_maps() * 2
+                }
                 _ => 0,
             };
         }
@@ -173,7 +181,11 @@ impl Accelerator {
             }
             .into());
         }
-        let program = self.compile(network)?;
+        Ok(())
+    }
+
+    /// The IB half of the capacity check.
+    fn check_ib_capacity(&self, program: &Program) -> Result<(), RunError> {
         if program.bytes() > self.config.ib_bytes {
             return Err(CapacityError {
                 buffer: "IB",
@@ -185,12 +197,48 @@ impl Accelerator {
         Ok(())
     }
 
+    /// Performs every per-network (input-independent) stage of an
+    /// inference **once** — config validation happened in
+    /// [`Accelerator::new`]; this adds the capacity check, compilation to
+    /// the 61-bit program, and the banked synapse-store image — and
+    /// returns a [`PreparedNetwork`] that executes inferences without
+    /// repeating any of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Capacity`] or [`RunError::Compile`] exactly as
+    /// [`Accelerator::run`] would.
+    pub fn prepare(&self, network: &Network) -> Result<PreparedNetwork, RunError> {
+        self.check_data_capacity(network)?;
+        let program = self.compile(network)?;
+        self.check_ib_capacity(&program)?;
+        let store = SynapseStore::load(network, self.config.sb_bytes)?
+            .with_banking(self.config.pe_cols, self.config.pe_rows);
+        let layer_instruction_counts = (0..network.layers().len())
+            .map(|i| program.layer_instruction_count(network, i))
+            .collect();
+        Ok(PreparedNetwork {
+            config: self.config.clone(),
+            energy_model: self.energy_model,
+            network: network.clone(),
+            program,
+            store,
+            layer_instruction_counts,
+        })
+    }
+
     /// Executes one inference cycle-by-cycle.
     ///
     /// The input is streamed into NBin (charged as the Load phase), each
     /// layer runs under its §8 mapping, and NBin/NBout swap roles between
     /// layers. The result is bit-identical to
     /// [`Network::forward_fixed`].
+    ///
+    /// This is a thin compatibility wrapper over [`Accelerator::prepare`]
+    /// followed by [`PreparedNetwork::run`]; callers executing the same
+    /// network more than once should hold on to the [`PreparedNetwork`]
+    /// (and a [`Session`]) instead, so compilation and synapse-store
+    /// banking happen once rather than per inference.
     ///
     /// # Errors
     ///
@@ -206,54 +254,229 @@ impl Accelerator {
         if expected != got {
             return Err(RunError::InputShape { expected, got });
         }
-        self.check_capacity(network)?;
-        let program = self.compile(network)?;
+        self.prepare(network)?.run(input)
+    }
+}
 
+impl Default for Accelerator {
+    fn default() -> Accelerator {
+        Accelerator::new(AcceleratorConfig::paper())
+    }
+}
+
+/// A network after every input-independent stage of an inference:
+/// validated against the configuration's capacities, compiled to its
+/// 61-bit program, and with its synapse-store image built and banked.
+///
+/// Produced by [`Accelerator::prepare`]. Executing through a
+/// `PreparedNetwork` never recompiles or rebuilds the SB image
+/// (assertable via [`crate::compiler::compile_calls`] and
+/// [`SynapseStore::build_calls`]).
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_cnn::zoo;
+/// use shidiannao_core::{Accelerator, AcceleratorConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = zoo::gabor().build(1)?;
+/// let prepared = Accelerator::new(AcceleratorConfig::paper()).prepare(&net)?;
+/// let mut session = prepared.session();
+/// for seed in 0..4 {
+///     let run = session.run(&net.random_input(seed))?;
+///     assert_eq!(run.output(), net.forward_fixed(&net.random_input(seed)).output());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PreparedNetwork {
+    config: AcceleratorConfig,
+    energy_model: EnergyModel,
+    network: Network,
+    program: Program,
+    store: SynapseStore,
+    layer_instruction_counts: Vec<usize>,
+}
+
+impl PreparedNetwork {
+    /// The configuration this network was prepared for.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The prepared network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The compiled control program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The banked synapse-store image.
+    pub fn store(&self) -> &SynapseStore {
+        &self.store
+    }
+
+    /// The energy model inferences will be charged with.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// Opens a [`Session`]: NBin/NBout, SB, IB, the PE mesh, and the ALU
+    /// are allocated (and SB/IB loaded) once, then reused by every
+    /// inference run through it.
+    pub fn session(&self) -> Session<'_> {
         let cfg = &self.config;
-        let mut buf_a = NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbin_bytes);
-        let mut buf_b = NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbout_bytes);
         let mut sb = SynapseBuffer::new(cfg.sb_bytes);
         let mut ib = InstructionBuffer::new(cfg.ib_bytes);
-        let mut nfu = Nfu::new(cfg.pe_cols, cfg.pe_rows);
-        let alu = Alu::new(cfg.alu_lanes);
+        sb.load(self.store.bytes())
+            .expect("SB capacity was verified by prepare");
+        ib.load(self.program.bytes())
+            .expect("IB capacity was verified by prepare");
+        Session {
+            prepared: self,
+            nbin: NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbin_bytes),
+            nbout: NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbout_bytes),
+            sb,
+            ib,
+            nfu: Nfu::new(cfg.pe_cols, cfg.pe_rows),
+            alu: Alu::new(cfg.alu_lanes),
+        }
+    }
+
+    /// Executes one inference through a fresh single-use [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InputShape`] when the input mismatches.
+    pub fn run(&self, input: &MapStack<Fx>) -> Result<RunOutcome, RunError> {
+        self.session().run(input)
+    }
+}
+
+/// Reusable execution state over a [`PreparedNetwork`]: the neuron
+/// buffers, synapse buffer, instruction buffer, PE mesh, and ALU stay
+/// allocated across inferences. Each run resets the mesh to its power-on
+/// state first, so results and statistics are bit-identical to a
+/// freshly constructed accelerator's.
+pub struct Session<'p> {
+    prepared: &'p PreparedNetwork,
+    nbin: NeuronBuffer,
+    nbout: NeuronBuffer,
+    sb: SynapseBuffer,
+    ib: InstructionBuffer,
+    nfu: Nfu,
+    alu: Alu,
+}
+
+impl<'p> Session<'p> {
+    /// The prepared network this session executes.
+    pub fn prepared(&self) -> &'p PreparedNetwork {
+        self.prepared
+    }
+
+    /// Executes one inference, recording every layer's output stack
+    /// (identical to what [`Accelerator::run`] returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InputShape`] when the input mismatches.
+    pub fn run(&mut self, input: &MapStack<Fx>) -> Result<RunOutcome, RunError> {
+        let (stats, layer_outputs) = self.execute(input, true)?;
+        let energy = self.prepared.energy_model.charge_run(&stats);
+        Ok(RunOutcome {
+            layer_outputs,
+            stats,
+            energy,
+            energy_model: self.prepared.energy_model,
+            frequency_ghz: self.prepared.config.frequency_ghz,
+        })
+    }
+
+    /// Executes one inference without keeping per-layer output traces —
+    /// the high-throughput path for streaming workloads. The final
+    /// output, statistics, and energy are identical to
+    /// [`Session::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InputShape`] when the input mismatches.
+    pub fn infer(&mut self, input: &MapStack<Fx>) -> Result<Inference, RunError> {
+        let (stats, _) = self.execute(input, false)?;
+        let output = self
+            .nbin
+            .take()
+            .expect("execution leaves the final output in the NBin role");
+        let energy = self.prepared.energy_model.charge_run(&stats);
+        Ok(Inference {
+            output,
+            stats,
+            energy,
+            frequency_ghz: self.prepared.config.frequency_ghz,
+        })
+    }
+
+    /// The cycle-by-cycle inference loop shared by `run` and `infer`.
+    /// Leaves the final layer's output installed in the buffer currently
+    /// holding the NBin role.
+    fn execute(
+        &mut self,
+        input: &MapStack<Fx>,
+        record_trace: bool,
+    ) -> Result<(RunStats, Vec<MapStack<Fx>>), RunError> {
+        let network = &self.prepared.network;
+        let expected = (
+            network.input_maps(),
+            network.input_dims().0,
+            network.input_dims().1,
+        );
+        let got = (input.len(), input.width(), input.height());
+        if expected != got {
+            return Err(RunError::InputShape { expected, got });
+        }
+
+        let cfg = &self.prepared.config;
+        let store = &self.prepared.store;
+        self.nfu.reset();
         let mut hfsm = Hfsm::new();
         let mut stats = RunStats::new();
-
-        let store = SynapseStore::load(network, cfg.sb_bytes)?
-            .with_banking(cfg.pe_cols, cfg.pe_rows);
-        sb.load(store.bytes())?;
-        ib.load(program.bytes())?;
 
         // Load phase: the sensor/host streams the image into NBin at one
         // bank-width write per cycle.
         let mut load = LayerStats::new("Load");
         hfsm.enter(FirstState::Load).expect("HFSM: load");
-        ib.fetch(&mut load);
+        self.ib.fetch(&mut load);
         let input_bytes = input.neuron_count() * 2;
-        let load_cycles = input_bytes.div_ceil(cfg.nb_bank_width_bytes()) as u64;
-        load.cycles = load_cycles;
+        load.cycles = input_bytes.div_ceil(cfg.nb_bank_width_bytes()) as u64;
         load.nbin.write(input_bytes as u64);
-        buf_a.load(input.clone())?;
+        self.nbin.load(input.clone())?;
         stats.push_layer(load);
 
-        let mut layer_outputs = Vec::with_capacity(network.layers().len());
+        let mut layer_outputs = Vec::new();
+        if record_trace {
+            layer_outputs.reserve(network.layers().len());
+        }
         for (i, layer) in network.layers().iter().enumerate() {
             let mut layer_stats = LayerStats::new(layer.label());
             let (ow, oh) = layer.out_dims();
-            buf_b.begin_output(ow, oh, layer.out_maps())?;
-            for _ in 0..program.layer_instruction_count(network, i) {
-                ib.fetch(&mut layer_stats);
+            self.nbout.begin_output(ow, oh, layer.out_maps())?;
+            for _ in 0..self.prepared.layer_instruction_counts[i] {
+                self.ib.fetch(&mut layer_stats);
             }
             {
                 let mut engine = Engine {
                     cfg,
-                    nbin: &buf_a,
-                    nbout: &mut buf_b,
-                    sb: &sb,
-                    store: &store,
+                    nbin: &self.nbin,
+                    nbout: &mut self.nbout,
+                    sb: &self.sb,
+                    store,
                     layer_index: i,
-                    nfu: &mut nfu,
-                    alu: &alu,
+                    nfu: &mut self.nfu,
+                    alu: &self.alu,
                     hfsm: &mut hfsm,
                     stats: &mut layer_stats,
                 };
@@ -266,26 +489,66 @@ impl Accelerator {
                 layer_stats.pe_total_slots +=
                     layer_stats.bank_conflict_cycles * cfg.pe_count() as u64;
             }
-            let output = buf_b.finish_output();
-            layer_outputs.push(output.clone());
-            buf_a.load(output)?;
+            // §5's role swap: the finished output becomes the next
+            // layer's input in place, with no copy.
+            self.nbout.finish_output_into_input();
+            core::mem::swap(&mut self.nbin, &mut self.nbout);
+            if record_trace {
+                layer_outputs.push(
+                    self.nbin
+                        .contents()
+                        .expect("output was just installed")
+                        .clone(),
+                );
+            }
             stats.push_layer(layer_stats);
         }
         hfsm.enter(FirstState::End).expect("HFSM: end");
 
-        let energy = self.energy_model.charge_run(&stats);
-        Ok(RunOutcome {
-            layer_outputs,
-            stats,
-            energy,
-            frequency_ghz: cfg.frequency_ghz,
-        })
+        Ok((stats, layer_outputs))
     }
 }
 
-impl Default for Accelerator {
-    fn default() -> Accelerator {
-        Accelerator::new(AcceleratorConfig::paper())
+/// A trace-free inference result from [`Session::infer`]: the final
+/// output plus the run's statistics and energy.
+#[derive(Clone, Debug)]
+pub struct Inference {
+    output: MapStack<Fx>,
+    stats: RunStats,
+    energy: EnergyReport,
+    frequency_ghz: f64,
+}
+
+impl Inference {
+    /// The final layer's output stack.
+    pub fn output(&self) -> &MapStack<Fx> {
+        &self.output
+    }
+
+    /// The final layer's output, flattened map-major (comparable to
+    /// [`RunOutcome::output`]).
+    pub fn output_flat(&self) -> Vec<Fx> {
+        self.output.flatten()
+    }
+
+    /// Consumes the result, returning the output stack.
+    pub fn into_output(self) -> MapStack<Fx> {
+        self.output
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Energy charged by the prepared network's model.
+    pub fn energy(&self) -> &EnergyReport {
+        &self.energy
+    }
+
+    /// Wall-clock seconds for this inference.
+    pub fn seconds(&self) -> f64 {
+        self.stats.seconds_at(self.frequency_ghz)
     }
 }
 
@@ -295,6 +558,7 @@ pub struct RunOutcome {
     layer_outputs: Vec<MapStack<Fx>>,
     stats: RunStats,
     energy: EnergyReport,
+    energy_model: EnergyModel,
     frequency_ghz: f64,
 }
 
@@ -330,10 +594,19 @@ impl RunOutcome {
 
     /// Per-layer energy breakdown (same order as
     /// [`RunStats::layers`](crate::RunStats::layers), Load phase first),
-    /// charged with the paper's 65 nm model.
+    /// charged with the same model as [`RunOutcome::energy`] — the one
+    /// the accelerator was configured with.
     pub fn layer_energies(&self) -> Vec<EnergyReport> {
-        let model = crate::energy::EnergyModel::paper_65nm();
-        self.stats.layers().iter().map(|l| model.charge(l)).collect()
+        self.stats
+            .layers()
+            .iter()
+            .map(|l| self.energy_model.charge(l))
+            .collect()
+    }
+
+    /// The energy model this run was charged with.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
     }
 
     /// Wall-clock seconds for this inference.

@@ -44,7 +44,12 @@ impl Alu {
     /// Applies an activation in place to a batch of PE results, charging
     /// ALU ops and returning the cycles consumed (`⌈n / lanes⌉`, zero for
     /// [`Activation::None`]).
-    pub fn activate(&self, values: &mut [Fx], activation: Activation, stats: &mut LayerStats) -> u64 {
+    pub fn activate(
+        &self,
+        values: &mut [Fx],
+        activation: Activation,
+        stats: &mut LayerStats,
+    ) -> u64 {
         let pla = match activation {
             Activation::None => return 0,
             Activation::Tanh => &self.tanh,
@@ -73,7 +78,12 @@ impl Alu {
     /// # Panics
     ///
     /// Panics if the slices differ in length.
-    pub fn divide_elementwise(&self, values: &mut [Fx], divisors: &[Fx], stats: &mut LayerStats) -> u64 {
+    pub fn divide_elementwise(
+        &self,
+        values: &mut [Fx],
+        divisors: &[Fx],
+        stats: &mut LayerStats,
+    ) -> u64 {
         assert_eq!(values.len(), divisors.len(), "divisor batch mismatch");
         for (v, d) in values.iter_mut().zip(divisors) {
             *v = *v / *d;

@@ -100,16 +100,24 @@ pub fn floorplan_ascii(cfg: &AcceleratorConfig) -> String {
             } else {
                 String::new()
             };
-            out += &format!("|{text:^width$}|
-");
+            out += &format!(
+                "|{text:^width$}|
+"
+            );
         }
         out
     };
-    let mut out = format!("+{}+
-", "-".repeat(width));
+    let mut out = format!(
+        "+{}+
+",
+        "-".repeat(width)
+    );
     out += &band("SB", a.sb_mm2);
-    out += &format!("+{}+
-", "-".repeat(width));
+    out += &format!(
+        "+{}+
+",
+        "-".repeat(width)
+    );
     // Middle band: NBin | NFU | NBout, proportional columns.
     let mid = a.nbin_mm2 + a.nfu_mm2 + a.nbout_mm2;
     let cols = |mm2: f64| ((mm2 / mid * (width - 2) as f64).round() as usize).max(3);
@@ -122,16 +130,26 @@ pub fn floorplan_ascii(cfg: &AcceleratorConfig) -> String {
         } else {
             (String::new(), String::new(), String::new())
         };
-        out += &format!("|{l:^c1$}|{m:^c2$}|{rr:^c3$}|
-");
+        out += &format!(
+            "|{l:^c1$}|{m:^c2$}|{rr:^c3$}|
+"
+        );
     }
-    out += &format!("+{}+
-", "-".repeat(width));
+    out += &format!(
+        "+{}+
+",
+        "-".repeat(width)
+    );
     out += &band("IB", a.ib_mm2);
-    out += &format!("+{}+
-", "-".repeat(width));
-    out += &format!("total: {total:.2} mm2 at 65 nm
-");
+    out += &format!(
+        "+{}+
+",
+        "-".repeat(width)
+    );
+    out += &format!(
+        "total: {total:.2} mm2 at 65 nm
+"
+    );
     out
 }
 

@@ -56,10 +56,7 @@ pub struct NeuronBuffer {
 /// parallel across banks, but words mapping to the same bank — same
 /// segment parity (bank group) and same `row mod Py` — share a port and
 /// serialize. Returns the extra cycles beyond the first.
-fn bank_extra_cycles(
-    py: usize,
-    words: impl Iterator<Item = (usize, usize)>,
-) -> u64 {
+fn bank_extra_cycles(py: usize, words: impl Iterator<Item = (usize, usize)>) -> u64 {
     let mut distinct: Vec<(usize, usize)> = words.collect();
     distinct.sort_unstable();
     distinct.dedup();
@@ -153,9 +150,9 @@ impl NeuronBuffer {
         stats.nbin_read(mode, (w * h * 2) as u64);
         stats.bank_conflict_cycles += bank_extra_cycles(
             self.py,
-            (0..h).flat_map(|j| (0..w).map(move |i| (i, j))).map(|(i, j)| {
-                ((x0 + i * sx) / self.px, y0 + j * sy)
-            }),
+            (0..h)
+                .flat_map(|j| (0..w).map(move |i| (i, j)))
+                .map(|(i, j)| ((x0 + i * sx) / self.px, y0 + j * sy)),
         );
         let mut out = Vec::with_capacity(w * h);
         for j in 0..h {
@@ -179,7 +176,11 @@ impl NeuronBuffer {
         sx: usize,
         stats: &mut LayerStats,
     ) -> Vec<Fx> {
-        assert!(n <= self.px, "mode (c) reads at most Px={} neurons", self.px);
+        assert!(
+            n <= self.px,
+            "mode (c) reads at most Px={} neurons",
+            self.px
+        );
         let mode = if sx == 1 { ReadMode::C } else { ReadMode::E };
         stats.nbin_read(mode, (n * 2) as u64);
         stats.bank_conflict_cycles +=
@@ -200,7 +201,11 @@ impl NeuronBuffer {
         sy: usize,
         stats: &mut LayerStats,
     ) -> Vec<Fx> {
-        assert!(n <= self.py, "mode (f) reads at most Py={} neurons", self.py);
+        assert!(
+            n <= self.py,
+            "mode (f) reads at most Py={} neurons",
+            self.py
+        );
         let mode = if sy == 1 { ReadMode::F } else { ReadMode::E };
         stats.nbin_read(mode, (n * 2) as u64);
         stats.bank_conflict_cycles +=
@@ -241,12 +246,7 @@ impl NeuronBuffer {
     /// # Errors
     ///
     /// Returns [`CapacityError`] if the output layer exceeds capacity.
-    pub fn begin_output(
-        &mut self,
-        w: usize,
-        h: usize,
-        count: usize,
-    ) -> Result<(), CapacityError> {
+    pub fn begin_output(&mut self, w: usize, h: usize, count: usize) -> Result<(), CapacityError> {
         let needed = w * h * count * 2;
         if needed > self.capacity_bytes {
             return Err(CapacityError {
@@ -326,6 +326,27 @@ impl NeuronBuffer {
             "output coverage mismatch"
         );
         out
+    }
+
+    /// Finishes the output layer and installs it as this buffer's *input*
+    /// contents in place — the NBin/NBout role swap of §5: after
+    /// [`finish_output_into_input`](Self::finish_output_into_input) the
+    /// caller swaps which physical buffer plays the NBin role, so the
+    /// layer handoff costs zero copies (versus
+    /// [`finish_output`](Self::finish_output) + [`load`](Self::load)).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`finish_output`](Self::finish_output) if the output
+    /// coverage is incomplete.
+    pub fn finish_output_into_input(&mut self) {
+        let out = self.out.take().expect("finish before begin_output");
+        assert_eq!(
+            self.out_written as usize,
+            out.neuron_count(),
+            "output coverage mismatch"
+        );
+        self.stack = Some(out);
     }
 
     /// Block-write counts per bank group `(group 0, group 1)` since the
@@ -454,7 +475,9 @@ mod tests {
 
     fn stack_4x4() -> MapStack<Fx> {
         MapStack::from_fn(4, 4, 2, |m| {
-            FeatureMap::from_fn(4, 4, move |x, y| Fx::from_int((m * 100 + y * 10 + x) as i32 % 60))
+            FeatureMap::from_fn(4, 4, move |x, y| {
+                Fx::from_int((m * 100 + y * 10 + x) as i32 % 60)
+            })
         })
     }
 

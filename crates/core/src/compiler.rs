@@ -2,7 +2,18 @@
 
 use crate::isa::{Fields, Instruction, Opcode, INSTRUCTION_BYTES};
 use core::fmt;
+use core::sync::atomic::AtomicU64;
 use shidiannao_cnn::{Layer, LayerBody, Network, PoolKind};
+
+/// Process-wide count of [`compile`] invocations (diagnostic).
+static COMPILE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times [`compile`] has run in this process. Tests use this to
+/// assert that a prepared-network pipeline compiles each topology exactly
+/// once, no matter how many inferences it executes.
+pub fn compile_calls() -> u64 {
+    COMPILE_CALLS.load(core::sync::atomic::Ordering::Relaxed)
+}
 
 /// Error produced while lowering a network to the 61-bit ISA.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -81,6 +92,7 @@ fn activation_of(layer: &Layer) -> shidiannao_cnn::Activation {
 /// Returns [`CompileError`] when a dimension exceeds the ISA's field
 /// widths (e.g. feature maps wider than 511 neurons).
 pub fn compile(network: &Network) -> Result<Program, CompileError> {
+    COMPILE_CALLS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
     let mut instructions = Vec::new();
     let err = |layer: usize, e: crate::isa::EncodeError| CompileError {
         message: format!("layer {layer}: {e}"),
@@ -239,12 +251,19 @@ pub fn validate(program: &Program, network: &Network) -> Result<(), CompileError
         || (first.out_w as usize, first.out_h as usize) != network.input_dims()
         || first.in_maps as usize != network.input_maps()
     {
-        return Err(err("LoadImage header does not match the network input".into()));
+        return Err(err(
+            "LoadImage header does not match the network input".into()
+        ));
     }
     for (i, layer) in network.layers().iter().enumerate() {
         let (ow, oh) = layer.out_dims();
         match layer.body() {
-            LayerBody::Conv { table, kernel, stride, .. } => {
+            LayerBody::Conv {
+                table,
+                kernel,
+                stride,
+                ..
+            } => {
                 for o in 0..layer.out_maps() {
                     let f = next()?;
                     let ok = f.opcode == Opcode::Conv
@@ -258,7 +277,12 @@ pub fn validate(program: &Program, network: &Network) -> Result<(), CompileError
                     }
                 }
             }
-            LayerBody::Pool { window, stride, kind, .. } => {
+            LayerBody::Pool {
+                window,
+                stride,
+                kind,
+                ..
+            } => {
                 for m in 0..layer.out_maps() {
                     let f = next()?;
                     let ok = f.opcode == Opcode::Pool

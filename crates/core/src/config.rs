@@ -240,7 +240,11 @@ mod tests {
         let c = AcceleratorConfig::paper().without_propagation();
         assert!(!c.inter_pe_propagation);
         assert!(!c.multi_map_packing);
-        assert!(AcceleratorConfig::paper().with_multi_map_packing().multi_map_packing);
+        assert!(
+            AcceleratorConfig::paper()
+                .with_multi_map_packing()
+                .multi_map_packing
+        );
     }
 
     #[test]

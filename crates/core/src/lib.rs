@@ -50,15 +50,15 @@ pub mod trace;
 mod accel;
 mod alu;
 mod buffer;
-mod sb;
 mod config;
 mod exec;
 mod hfsm;
 mod nfu;
 mod pe;
+mod sb;
 mod stats;
 
-pub use accel::{Accelerator, RunError, RunOutcome};
+pub use accel::{Accelerator, Inference, PreparedNetwork, RunError, RunOutcome, Session};
 pub use alu::Alu;
 pub use buffer::{CapacityError, InstructionBuffer, NeuronBuffer, SynapseBuffer};
 pub use config::{AcceleratorConfig, ConfigError};

@@ -102,6 +102,16 @@ impl Nfu {
         self.pe_mut(x, y + 1).pop_v()
     }
 
+    /// Restores every PE to its power-on state (see [`Pe::reset`]), so a
+    /// mesh reused across inferences is indistinguishable from a freshly
+    /// constructed one — including the FIFO peak-occupancy counters the
+    /// §5.1 sizing tests read.
+    pub fn reset(&mut self) {
+        for pe in &mut self.pes {
+            pe.reset();
+        }
+    }
+
     /// Configures every PE's FIFO depths for a window pass (§5.1 sizing:
     /// `Sx` and `Sy`).
     pub fn set_fifo_depths(&mut self, h_depth: usize, v_depth: usize) {

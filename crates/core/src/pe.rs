@@ -55,6 +55,13 @@ impl Pe {
         }
     }
 
+    /// Restores the PE to its power-on state (accumulator, registers,
+    /// FIFOs, and peak counters) — called between inferences so a reused
+    /// mesh behaves exactly like a freshly constructed one.
+    pub fn reset(&mut self) {
+        *self = Pe::new();
+    }
+
     /// Begins a new output neuron for MAC/add work, pre-loading the bias.
     pub fn reset_accumulator(&mut self, bias: Fx) {
         self.acc = Accum::from_fx(bias);

@@ -9,8 +9,12 @@
 //! granularity like the NB (Fig. 5 shows SB banked per PE row).
 
 use crate::buffer::CapacityError;
+use core::sync::atomic::AtomicU64;
 use shidiannao_cnn::{LayerBody, Network};
 use shidiannao_fixed::Fx;
+
+/// Process-wide count of [`SynapseStore::load`] invocations (diagnostic).
+static BUILD_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Where one layer's weights live in the SB image.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +54,7 @@ impl SynapseStore {
     /// Returns [`CapacityError`] if the image exceeds `capacity_bytes` —
     /// the §6 constraint that the whole CNN must be resident.
     pub fn load(network: &Network, capacity_bytes: usize) -> Result<SynapseStore, CapacityError> {
+        BUILD_CALLS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
         let mut data = Vec::new();
         let mut layers = Vec::with_capacity(network.layers().len());
         for layer in network.layers() {
@@ -95,6 +100,13 @@ impl SynapseStore {
             px: 8,
             py: 8,
         })
+    }
+
+    /// How many times [`SynapseStore::load`] has run in this process.
+    /// Tests use this to assert that a prepared-network pipeline builds
+    /// each SB image exactly once, no matter how many inferences run.
+    pub fn build_calls() -> u64 {
+        BUILD_CALLS.load(core::sync::atomic::Ordering::Relaxed)
     }
 
     /// Configures the bank striping geometry (defaults to the 8 × 8

@@ -41,7 +41,8 @@ fn extended_zoo_networks_are_bit_identical() {
 #[test]
 fn conv_with_stride_matches() {
     assert_bit_identical(
-        NetworkBuilder::new("stride", 1, (17, 15)).conv(ConvSpec::new(3, (3, 3)).with_stride((2, 2))),
+        NetworkBuilder::new("stride", 1, (17, 15))
+            .conv(ConvSpec::new(3, (3, 3)).with_stride((2, 2))),
         7,
     );
     assert_bit_identical(
@@ -109,7 +110,8 @@ fn pooling_with_activation_matches() {
 #[test]
 fn sparse_classifier_matches() {
     assert_bit_identical(
-        NetworkBuilder::new("sparse-fc", 1, (12, 15)).fc(FcSpec::new(30).with_synapses_per_output(20)),
+        NetworkBuilder::new("sparse-fc", 1, (12, 15))
+            .fc(FcSpec::new(30).with_synapses_per_output(20)),
         16,
     );
 }
@@ -137,7 +139,10 @@ fn lrn_matches() {
 
 #[test]
 fn lcn_matches() {
-    assert_bit_identical(NetworkBuilder::new("lcn", 2, (11, 11)).lcn(LcnSpec::new(5)), 19);
+    assert_bit_identical(
+        NetworkBuilder::new("lcn", 2, (11, 11)).lcn(LcnSpec::new(5)),
+        19,
+    );
 }
 
 #[test]

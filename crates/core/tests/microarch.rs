@@ -21,7 +21,10 @@ fn toy_example_reuse_is_exactly_44_4_percent() {
     let read = |o: &shidiannao_core::RunOutcome| o.stats().layers()[1].nbin.read_bytes / 2;
     let (w, wo) = (read(&with), read(&without));
     assert_eq!(wo, 36, "9 cycles × 4 PEs without propagation");
-    assert_eq!(w, 20, "4 + 2·2 (mode f) + 2 (mode c) + 2·2·2 with propagation");
+    assert_eq!(
+        w, 20,
+        "4 + 2·2 (mode f) + 2 (mode c) + 2·2·2 with propagation"
+    );
     let reduction = 1.0 - w as f64 / wo as f64;
     assert!(
         (reduction - 0.444).abs() < 0.001,
@@ -80,7 +83,10 @@ fn conv_uses_the_modes_the_paper_assigns() {
     let c1 = &run.stats().layers()[1];
     assert!(c1.reads_by_mode[ReadMode::A as usize] > 0, "mode (a) tiles");
     assert!(c1.reads_by_mode[ReadMode::C as usize] > 0, "mode (c) rows");
-    assert!(c1.reads_by_mode[ReadMode::F as usize] > 0, "mode (f) columns");
+    assert!(
+        c1.reads_by_mode[ReadMode::F as usize] > 0,
+        "mode (f) columns"
+    );
     assert_eq!(c1.reads_by_mode[ReadMode::D as usize], 0, "no mode (d)");
 }
 
@@ -94,7 +100,13 @@ fn classifier_uses_broadcast_mode_only() {
     let f5 = &run.stats().layers()[5];
     assert_eq!(f5.label, "F5");
     assert!(f5.reads_by_mode[ReadMode::D as usize] > 0);
-    for m in [ReadMode::A, ReadMode::B, ReadMode::C, ReadMode::E, ReadMode::F] {
+    for m in [
+        ReadMode::A,
+        ReadMode::B,
+        ReadMode::C,
+        ReadMode::E,
+        ReadMode::F,
+    ] {
         assert_eq!(f5.reads_by_mode[m as usize], 0, "classifier used {m}");
     }
     // 120 outputs = two PE groups; each re-broadcasts all 400 inputs
@@ -171,7 +183,9 @@ fn bandwidth_without_propagation_matches_analytic_form() {
         .build(1)
         .unwrap();
     let cfg = AcceleratorConfig::with_pe_grid(5, 5).without_propagation();
-    let run = Accelerator::new(cfg).run(&net, &net.random_input(1)).unwrap();
+    let run = Accelerator::new(cfg)
+        .run(&net, &net.random_input(1))
+        .unwrap();
     let conv = &run.stats().layers()[1];
     // Ignore the epilogue cycles: bytes/cycle ≈ 52 within a few percent.
     let bpc = conv.internal_bytes_per_cycle();
@@ -197,7 +211,12 @@ fn hfsm_transitions_are_exercised() {
 /// `Ky − 1` row steps reads a mode-(c) row of `w` neurons.
 #[test]
 fn conv_pass_reads_match_the_closed_form() {
-    for (w, h, kx, ky) in [(8usize, 8usize, 5usize, 5usize), (4, 8, 3, 7), (8, 3, 2, 2), (5, 5, 1, 4)] {
+    for (w, h, kx, ky) in [
+        (8usize, 8usize, 5usize, 5usize),
+        (4, 8, 3, 7),
+        (8, 3, 2, 2),
+        (5, 5, 1, 4),
+    ] {
         let dim_x = w + kx - 1;
         let dim_y = h + ky - 1;
         let net = NetworkBuilder::new("cf", 1, (dim_x, dim_y))
@@ -222,11 +241,9 @@ fn conv_pass_reads_without_propagation_match_the_closed_form() {
         .conv(ConvSpec::new(1, (kx, ky)))
         .build(1)
         .unwrap();
-    let run = Accelerator::new(
-        AcceleratorConfig::with_pe_grid(w, h).without_propagation(),
-    )
-    .run(&net, &net.random_input(1))
-    .unwrap();
+    let run = Accelerator::new(AcceleratorConfig::with_pe_grid(w, h).without_propagation())
+        .run(&net, &net.random_input(1))
+        .unwrap();
     let measured = run.stats().layers()[1].nbin.read_bytes / 2;
     assert_eq!(measured, (w * h * kx * ky) as u64);
 }
@@ -242,7 +259,10 @@ fn effective_gops_is_bounded_by_peak() {
         let accel = Accelerator::new(AcceleratorConfig::paper());
         let run = accel.run(&net, &net.random_input(1)).unwrap();
         let eff = run.effective_gops();
-        assert!(eff > 0.0 && eff <= accel.config().peak_gops() * 1.01, "{name}: {eff}");
+        assert!(
+            eff > 0.0 && eff <= accel.config().peak_gops() * 1.01,
+            "{name}: {eff}"
+        );
     }
     // FaceAlign runs at >80 % utilization: effective must be close to peak.
     let net = zoo::face_align().build(1).unwrap();

@@ -71,9 +71,7 @@ fn packing_pays_in_buffer_accesses() {
     // instead of one).
     let per_cycle = |bytes: u64, t: &shidiannao_core::LayerStats| bytes as f64 / t.cycles as f64;
     assert!(per_cycle(p.sb.read_bytes, &p) > 2.0 * per_cycle(b.sb.read_bytes, &b));
-    assert!(
-        per_cycle(p.nbin.read_accesses, &p) > 2.0 * per_cycle(b.nbin.read_accesses, &b)
-    );
+    assert!(per_cycle(p.nbin.read_accesses, &p) > 2.0 * per_cycle(b.nbin.read_accesses, &b));
     // And the inter-PE FIFOs sit unused in packed mode.
     assert_eq!(p.fifo_pops, 0);
     assert!(b.fifo_pops > 0);

@@ -51,7 +51,11 @@ impl<T> FeatureMap<T> {
     /// # Panics
     ///
     /// Panics if either dimension is zero.
-    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> FeatureMap<T> {
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> FeatureMap<T> {
         assert!(width > 0 && height > 0, "feature map must be non-empty");
         let mut data = Vec::with_capacity(width * height);
         for y in 0..height {
@@ -72,7 +76,11 @@ impl<T> FeatureMap<T> {
     ///
     /// Returns [`ShapeError`] if `data.len() != width * height` or a
     /// dimension is zero.
-    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Result<FeatureMap<T>, ShapeError> {
+    pub fn from_vec(
+        width: usize,
+        height: usize,
+        data: Vec<T>,
+    ) -> Result<FeatureMap<T>, ShapeError> {
         if width == 0 || height == 0 {
             return Err(ShapeError::new("feature map must be non-empty"));
         }

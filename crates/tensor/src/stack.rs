@@ -34,7 +34,10 @@ impl<T> MapStack<T> {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> MapStack<T> {
-        assert!(width > 0 && height > 0, "map stack must have non-empty maps");
+        assert!(
+            width > 0 && height > 0,
+            "map stack must have non-empty maps"
+        );
         MapStack {
             width,
             height,
@@ -55,9 +58,7 @@ impl<T> MapStack<T> {
     ) -> MapStack<T> {
         let mut stack = MapStack::new(width, height);
         for i in 0..count {
-            stack
-                .push(f(i))
-                .unwrap_or_else(|e| panic!("map #{i}: {e}"));
+            stack.push(f(i)).unwrap_or_else(|e| panic!("map #{i}: {e}"));
         }
         stack
     }

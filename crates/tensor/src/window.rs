@@ -228,9 +228,15 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        assert!(WindowGrid::new((8, 8), (3, 3), (1, 1)).unwrap().windows_overlap());
-        assert!(!WindowGrid::new((8, 8), (2, 2), (2, 2)).unwrap().windows_overlap());
-        assert!(WindowGrid::new((8, 8), (3, 3), (3, 1)).unwrap().windows_overlap());
+        assert!(WindowGrid::new((8, 8), (3, 3), (1, 1))
+            .unwrap()
+            .windows_overlap());
+        assert!(!WindowGrid::new((8, 8), (2, 2), (2, 2))
+            .unwrap()
+            .windows_overlap());
+        assert!(WindowGrid::new((8, 8), (3, 3), (3, 1))
+            .unwrap()
+            .windows_overlap());
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! cargo run --release --example custom_network
 //! ```
 
-use shidiannao::cnn::{
-    Activation, ConvSpec, FcSpec, LcnSpec, LrnSpec, NetworkBuilder, PoolSpec,
-};
+use shidiannao::cnn::{Activation, ConvSpec, FcSpec, LcnSpec, LrnSpec, NetworkBuilder, PoolSpec};
 use shidiannao::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -43,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. A synthetic scene: dark left half, bright right half — one sharp
     //    vertical edge at column 8.
-    let scene = FeatureMap::from_fn(16, 16, |x, _| {
-        Fx::from_f32(if x < 8 { 0.1 } else { 0.9 })
-    });
+    let scene = FeatureMap::from_fn(16, 16, |x, _| Fx::from_f32(if x < 8 { 0.1 } else { 0.9 }));
     let mut input = shidiannao::tensor::MapStack::new(16, 16);
     input.push(scene.clone())?;
 

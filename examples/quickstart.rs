@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a benchmark CNN with deterministic weights (Table 2's
     //    LeNet-5: two conv, two pooling, three classifier layers).
     let network = zoo::lenet5().build(42)?;
-    println!("network: {} ({} layers)", network.name(), network.layers().len());
+    println!(
+        "network: {} ({} layers)",
+        network.name(),
+        network.layers().len()
+    );
 
     // 2. Instantiate the accelerator with the paper's parameters
     //    (8×8 PEs, 64 KB NBin, 64 KB NBout, 128 KB SB, 32 KB IB, 1 GHz).
@@ -28,11 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Performance and energy come straight from the event counters.
     let stats = run.stats();
-    println!("cycles  : {} ({:.1} us at 1 GHz)", stats.cycles(), run.seconds() * 1e6);
     println!(
-        "PE util : {:.1} %",
-        100.0 * stats.total().pe_utilization()
+        "cycles  : {} ({:.1} us at 1 GHz)",
+        stats.cycles(),
+        run.seconds() * 1e6
     );
+    println!("PE util : {:.1} %", 100.0 * stats.total().pe_utilization());
     println!("energy  : {}", run.energy());
     println!("power   : {:.1} mW", run.average_power_mw());
     println!(

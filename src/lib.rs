@@ -52,6 +52,6 @@ pub mod prelude {
     pub use crate::fixed::{Accum, Fx, Pla};
     pub use crate::pipeline::StreamingPipeline;
     pub use crate::sensor::{FrameSource, RegionStream};
-    pub use crate::sim::{Accelerator, AcceleratorConfig};
+    pub use crate::sim::{Accelerator, AcceleratorConfig, PreparedNetwork, Session};
     pub use crate::tensor::{FeatureMap, MapStack, WindowGrid};
 }

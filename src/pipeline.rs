@@ -9,7 +9,7 @@
 use crate::cnn::Network;
 use crate::fixed::Fx;
 use crate::sensor::{Frame, RegionGrid, RowBuffer};
-use crate::sim::{Accelerator, RunError};
+use crate::sim::{Accelerator, PreparedNetwork, RunError};
 use core::fmt;
 
 /// Error constructing or running a [`StreamingPipeline`].
@@ -143,14 +143,15 @@ impl FrameReport {
 /// ```
 #[derive(Clone, Debug)]
 pub struct StreamingPipeline {
-    accel: Accelerator,
-    network: Network,
+    prepared: PreparedNetwork,
     grid: RegionGrid,
 }
 
 impl StreamingPipeline {
     /// Assembles a pipeline, validating that grid regions match the
-    /// network input and that the network fits the accelerator.
+    /// network input and that the network fits the accelerator. The
+    /// network is prepared once here — compiled and its synapse store
+    /// banked — so per-region execution does no redundant work.
     ///
     /// # Errors
     ///
@@ -167,12 +168,8 @@ impl StreamingPipeline {
                 network: network.input_dims(),
             });
         }
-        accel.check_capacity(&network)?;
-        Ok(StreamingPipeline {
-            accel,
-            network,
-            grid,
-        })
+        let prepared = accel.prepare(&network)?;
+        Ok(StreamingPipeline { prepared, grid })
     }
 
     /// The grid driving the pipeline.
@@ -182,7 +179,7 @@ impl StreamingPipeline {
 
     /// The network being served.
     pub fn network(&self) -> &Network {
-        &self.network
+        self.prepared.network()
     }
 
     /// The §10.2 partial-frame buffer this pipeline needs.
@@ -206,17 +203,20 @@ impl StreamingPipeline {
         let mut compute_cycles = 0;
         let mut load_cycles = 0;
         let mut energy_nj = 0.0;
-        let maps = self.network.input_maps();
+        let maps = self.network().input_maps();
         let origins: Vec<_> = self.grid.origins().collect();
+        // One session serves the whole frame: buffers and the PE mesh
+        // stay allocated, and no region recompiles or rebuilds anything.
+        let mut session = self.prepared.session();
         for (origin, region) in origins.into_iter().zip(self.grid.stream(frame, maps)) {
-            let run = self.accel.run(&self.network, &region)?;
+            let run = session.infer(&region)?;
             let load = run.stats().layers()[0].cycles;
             load_cycles += load;
             compute_cycles += run.stats().cycles() - load;
             energy_nj += run.energy().total_nj();
             results.push(RegionResult {
                 origin,
-                output: run.output(),
+                output: run.output_flat(),
             });
         }
         Ok(FrameReport {
@@ -224,7 +224,7 @@ impl StreamingPipeline {
             compute_cycles,
             load_cycles,
             energy_nj,
-            frequency_ghz: self.accel.config().frequency_ghz,
+            frequency_ghz: self.prepared.config().frequency_ghz,
         })
     }
 }
@@ -238,12 +238,8 @@ mod tests {
     fn small_pipeline() -> (StreamingPipeline, SyntheticSensor) {
         let net = zoo::gabor().build(1).unwrap();
         let grid = RegionGrid::new((36, 28), (20, 20), (16, 8));
-        let pipe = StreamingPipeline::new(
-            Accelerator::new(AcceleratorConfig::paper()),
-            net,
-            grid,
-        )
-        .unwrap();
+        let pipe = StreamingPipeline::new(Accelerator::new(AcceleratorConfig::paper()), net, grid)
+            .unwrap();
         (pipe, SyntheticSensor::new(36, 28, 3))
     }
 
@@ -279,12 +275,8 @@ mod tests {
     fn shape_mismatch_is_rejected_at_construction() {
         let net = zoo::gabor().build(1).unwrap(); // expects 20×20
         let grid = RegionGrid::new((64, 64), (32, 32), (16, 16));
-        let err = StreamingPipeline::new(
-            Accelerator::new(AcceleratorConfig::paper()),
-            net,
-            grid,
-        )
-        .unwrap_err();
+        let err = StreamingPipeline::new(Accelerator::new(AcceleratorConfig::paper()), net, grid)
+            .unwrap_err();
         assert!(err.to_string().contains("expects 20x20"), "{err}");
     }
 

@@ -55,12 +55,8 @@ fn sensor_pipeline_is_deterministic() {
     let make = || {
         let net = zoo::gabor().build(4).unwrap();
         let grid = RegionGrid::new((40, 28), (20, 20), (10, 8));
-        let pipe = StreamingPipeline::new(
-            Accelerator::new(AcceleratorConfig::paper()),
-            net,
-            grid,
-        )
-        .unwrap();
+        let pipe = StreamingPipeline::new(Accelerator::new(AcceleratorConfig::paper()), net, grid)
+            .unwrap();
         let mut cam = SyntheticSensor::new(40, 28, 11);
         pipe.process_frame(&cam.next_frame()).unwrap()
     };

@@ -14,7 +14,12 @@ use shidiannao_bench::{
 fn fig18_mean_speedups_match_the_paper() {
     let rows = fig18_speedups();
     assert_eq!(rows.len(), 10);
-    let sdn = geomean(&rows.iter().map(|r| r.shidiannao_speedup()).collect::<Vec<_>>());
+    let sdn = geomean(
+        &rows
+            .iter()
+            .map(|r| r.shidiannao_speedup())
+            .collect::<Vec<_>>(),
+    );
     let dn = geomean(&rows.iter().map(|r| r.diannao_speedup()).collect::<Vec<_>>());
     let gpu = geomean(&rows.iter().map(|r| r.gpu_speedup()).collect::<Vec<_>>());
     // Paper: 46.38× over the CPU, 28.94× over the GPU, 1.87× over DianNao.
@@ -43,7 +48,11 @@ fn fig18_shidiannao_beats_diannao_on_nine_of_ten() {
         .filter(|r| r.shidiannao_s > r.diannao_s)
         .map(|r| r.name.as_str())
         .collect();
-    assert_eq!(losses, ["SimpleConv"], "DianNao must win exactly SimpleConv");
+    assert_eq!(
+        losses,
+        ["SimpleConv"],
+        "DianNao must win exactly SimpleConv"
+    );
 }
 
 #[test]
@@ -60,7 +69,12 @@ fn fig18_everything_beats_the_cpu() {
 fn fig19_energy_ratios_match_the_paper() {
     let rows = fig19_energy();
     let ratio = |f: fn(&shidiannao_bench::Fig19Row) -> f64| {
-        geomean(&rows.iter().map(|r| f(r) / r.shidiannao_nj).collect::<Vec<_>>())
+        geomean(
+            &rows
+                .iter()
+                .map(|r| f(r) / r.shidiannao_nj)
+                .collect::<Vec<_>>(),
+        )
     };
     // Paper: 4 688× (GPU), 63.48× (DianNao), 1.66× (DianNao-FreeMem).
     let gpu = ratio(|r| r.gpu_nj);
@@ -155,7 +169,10 @@ fn table1_reproduces_the_storage_columns() {
     ];
     for &(name, largest, syn, total) in expect {
         let r = rows.iter().find(|r| r.name == name).unwrap();
-        assert!((r.largest_layer_kb - largest).abs() < 0.015, "{name} largest");
+        assert!(
+            (r.largest_layer_kb - largest).abs() < 0.015,
+            "{name} largest"
+        );
         assert!((r.synapses_kb - syn).abs() < 0.015, "{name} synapses");
         assert!((r.total_kb - total).abs() < 0.015, "{name} total");
     }
@@ -187,7 +204,10 @@ fn table4_power_and_breakdown_match() {
     let shares = t.energy_shares();
     assert!((0.80..0.92).contains(&shares[0]), "NFU share {}", shares[0]);
     let sram_share: f64 = shares[1..].iter().sum();
-    assert!((0.08..0.20).contains(&sram_share), "SRAM share {sram_share}");
+    assert!(
+        (0.08..0.20).contains(&sram_share),
+        "SRAM share {sram_share}"
+    );
     assert!(shares[1] > shares[2], "NBin outweighs NBout");
 }
 
@@ -196,7 +216,11 @@ fn table4_power_and_breakdown_match() {
 #[test]
 fn reuse_claims_hold() {
     let r = reuse_report();
-    assert!((r.toy_reduction - 4.0 / 9.0).abs() < 1e-3, "{}", r.toy_reduction);
+    assert!(
+        (r.toy_reduction - 4.0 / 9.0).abs() < 1e-3,
+        "{}",
+        r.toy_reduction
+    );
     assert!(
         (0.70..0.90).contains(&r.lenet_c1_reduction),
         "{}",

@@ -1,0 +1,159 @@
+//! Offline, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The workspace's containers have no network access, so the real
+//! `criterion` crate cannot be fetched. This stub keeps `cargo bench`
+//! targets compiling and produces honest (if statistically unadorned)
+//! wall-clock numbers: each `bench_function` runs a short warm-up, then
+//! `sample_size` timed iterations, and prints the mean time per
+//! iteration. There are no plots, baselines, or outlier analysis.
+
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `body` (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        std::hint::black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations: sample_size.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    println!(
+        "bench {id}: {} per iter ({} iters)",
+        fmt_secs(per_iter),
+        b.iterations
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl core::fmt::Display,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl core::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; `sample_size` applies to its members.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl core::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("member", |b| b.iter(|| (0..100).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn runs_to_completion() {
+        smoke();
+    }
+}

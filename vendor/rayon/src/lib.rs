@@ -1,0 +1,203 @@
+//! Offline, dependency-free subset of the `rayon` parallel-iterator API.
+//!
+//! The workspace's containers have no network access, so the real `rayon`
+//! crate cannot be fetched. This shim covers the shape the benchmark
+//! harness uses — `collection.into_par_iter().map(f).collect::<Vec<_>>()`
+//! — with `std::thread::scope` workers pulling items off a shared atomic
+//! index. Results land in their input slot, so **output order always
+//! matches input order** regardless of which worker finishes first; a
+//! parallel map is observationally identical to the serial one.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like upstream), else the
+//! machine's available parallelism. `RAYON_NUM_THREADS=1` degenerates to
+//! a plain serial loop on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel map will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Order-preserving parallel map over a vector of items.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("rayon shim: poisoned work slot")
+                    .take()
+                    .expect("rayon shim: item taken twice");
+                let result = f(item);
+                *slots[i].lock().expect("rayon shim: poisoned result slot") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon shim: poisoned result slot")
+                .expect("rayon shim: worker panicked before filling its slot")
+        })
+        .collect()
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// The produced iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion (`par_iter()` on slices and vectors).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send;
+
+    /// The produced iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator (items are indexed, order is kept).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` on the worker pool.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` for every item (for side effects).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, &|t| f(t));
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let squares: Vec<usize> = (0usize..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_and_ref_iters() {
+        let names = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = names.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+        let owned: Vec<String> = names.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(owned[2], "ccc!");
+    }
+
+    #[test]
+    fn inclusive_range_and_empty() {
+        let v: Vec<usize> = (1usize..=4).into_par_iter().map(|i| i).collect();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+}
