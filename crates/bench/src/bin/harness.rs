@@ -2,15 +2,22 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|all|bench]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|all|bench]
 //! ```
 //!
 //! `harness bench` times the harness itself — each experiment serially
 //! (`RAYON_NUM_THREADS=1`) and in parallel, plus prepared-session
 //! inference throughput — and writes the machine-readable
 //! `BENCH_harness.json` next to the working directory.
+//!
+//! `harness faults [--smoke]` runs the seeded fault-injection campaign
+//! (fault rate × SRAM protection across the zoo, plus the
+//! graceful-degradation streaming measurement), writes
+//! `BENCH_faults.json`, and fails if any SECDED-protected trial suffered
+//! silent data corruption or a zero-rate trial diverged. `--smoke` runs
+//! the CI-sized variant.
 
-use shidiannao_bench::{perf, report};
+use shidiannao_bench::{faults, perf, report};
 use std::env;
 use std::process::ExitCode;
 
@@ -30,6 +37,32 @@ fn main() -> ExitCode {
         "framerate" => report::render_framerate(),
         "sweep" => report::render_sweep(),
         "all" => report::render_all(),
+        "faults" => {
+            let smoke = env::args().nth(2).is_some_and(|f| f == "--smoke");
+            let r = if smoke {
+                faults::smoke()
+            } else {
+                faults::full()
+            };
+            let path = "BENCH_faults.json";
+            if let Err(e) = std::fs::write(path, r.to_json()) {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let mut out = r.render();
+            out += &format!("\nwrote {path}\n");
+            if r.sdc_under_secded() != 0 {
+                eprintln!("{out}");
+                eprintln!("SECDED let silent data corruption through");
+                return ExitCode::FAILURE;
+            }
+            if !r.zero_rate_all_clean() {
+                eprintln!("{out}");
+                eprintln!("a zero-rate run diverged from the golden model");
+                return ExitCode::FAILURE;
+            }
+            out
+        }
         "bench" => {
             let r = perf::measure();
             let path = "BENCH_harness.json";
@@ -80,7 +113,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep calib bench all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults calib bench all"
             );
             return ExitCode::FAILURE;
         }

@@ -8,6 +8,7 @@
 //! measured-vs-paper numbers are recorded in EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod faults;
 pub mod perf;
 pub mod report;
 
@@ -17,6 +18,7 @@ pub use experiments::{
     DesignPoint, Fig18Row, Fig19Row, Fig7Row, FramerateReport, PaperRun, ReuseReport, Table1Row,
     Table4Report,
 };
+pub use faults::{DegradationRow, FaultCell, FaultReport, ProtectionOverhead};
 pub use perf::{ExperimentTiming, PerfReport, ThroughputRow};
 
 /// Geometric mean of a non-empty slice.

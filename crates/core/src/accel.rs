@@ -1,7 +1,9 @@
 //! The top-level accelerator: compile, load, execute, report.
 
 use crate::alu::Alu;
-use crate::buffer::{CapacityError, InstructionBuffer, NeuronBuffer, SynapseBuffer};
+use crate::buffer::{
+    CapacityError, EmptyBufferError, InstructionBuffer, NeuronBuffer, SynapseBuffer,
+};
 use crate::compiler::{self, CompileError, Program};
 use crate::config::{AcceleratorConfig, ConfigError};
 use crate::energy::{EnergyModel, EnergyReport};
@@ -12,6 +14,7 @@ use crate::sb::SynapseStore;
 use crate::stats::{LayerStats, RunStats};
 use core::fmt;
 use shidiannao_cnn::Network;
+use shidiannao_faults::{DetectedFault, FaultPlan, FaultSite, FaultState, FaultStats};
 use shidiannao_fixed::Fx;
 use shidiannao_tensor::MapStack;
 
@@ -32,6 +35,12 @@ pub enum RunError {
         /// What was provided.
         got: (usize, usize, usize),
     },
+    /// A buffer was read (or drained) while holding no data — e.g. after
+    /// a failed load.
+    EmptyBuffer(EmptyBufferError),
+    /// SRAM protection detected an uncorrectable error; the run aborted
+    /// instead of silently corrupting data.
+    FaultDetected(DetectedFault),
 }
 
 impl fmt::Display for RunError {
@@ -44,6 +53,8 @@ impl fmt::Display for RunError {
                 f,
                 "input shape {got:?} does not match the network's {expected:?}"
             ),
+            RunError::EmptyBuffer(e) => e.fmt(f),
+            RunError::FaultDetected(e) => e.fmt(f),
         }
     }
 }
@@ -65,6 +76,18 @@ impl From<CapacityError> for RunError {
 impl From<CompileError> for RunError {
     fn from(e: CompileError) -> RunError {
         RunError::Compile(e)
+    }
+}
+
+impl From<EmptyBufferError> for RunError {
+    fn from(e: EmptyBufferError) -> RunError {
+        RunError::EmptyBuffer(e)
+    }
+}
+
+impl From<DetectedFault> for RunError {
+    fn from(e: DetectedFault) -> RunError {
+        RunError::FaultDetected(e)
     }
 }
 
@@ -97,15 +120,25 @@ impl Accelerator {
     /// # Panics
     ///
     /// Panics if the configuration is invalid; use
-    /// [`AcceleratorConfig::validate`] to check first.
+    /// [`Accelerator::try_new`] for a non-panicking construction.
+    #[allow(clippy::panic)]
     pub fn new(config: AcceleratorConfig) -> Accelerator {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid accelerator configuration: {e}"));
-        Accelerator {
+        Accelerator::try_new(config)
+            .unwrap_or_else(|e| panic!("invalid accelerator configuration: {e}"))
+    }
+
+    /// Creates an accelerator, rejecting invalid configurations with a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration fails validation.
+    pub fn try_new(config: AcceleratorConfig) -> Result<Accelerator, ConfigError> {
+        config.validate()?;
+        Ok(Accelerator {
             config,
             energy_model: EnergyModel::paper_65nm(),
-        }
+        })
     }
 
     /// The configuration.
@@ -256,6 +289,23 @@ impl Accelerator {
         }
         self.prepare(network)?.run(input)
     }
+
+    /// [`Accelerator::run`] under a fault plan (the legacy-path variant of
+    /// [`PreparedNetwork::run_with_faults`]); identical faults fire on
+    /// either path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::FaultDetected`] when SRAM protection aborts the
+    /// run, plus everything [`Accelerator::run`] can return.
+    pub fn run_with_faults(
+        &self,
+        network: &Network,
+        input: &MapStack<Fx>,
+        plan: FaultPlan,
+    ) -> Result<RunOutcome, RunError> {
+        self.prepare(network)?.run_with_faults(input, plan)
+    }
 }
 
 impl Default for Accelerator {
@@ -330,6 +380,14 @@ impl PreparedNetwork {
     /// are allocated (and SB/IB loaded) once, then reused by every
     /// inference run through it.
     pub fn session(&self) -> Session<'_> {
+        self.session_with_faults(FaultPlan::none())
+    }
+
+    /// Opens a [`Session`] that executes under a seeded fault plan: SRAM
+    /// reads are filtered through the plan, and the plan's stuck-at
+    /// faults are installed in the PE mesh. A zero-rate plan behaves (and
+    /// performs) exactly like [`PreparedNetwork::session`].
+    pub fn session_with_faults(&self, plan: FaultPlan) -> Session<'_> {
         let cfg = &self.config;
         let mut sb = SynapseBuffer::new(cfg.sb_bytes);
         let mut ib = InstructionBuffer::new(cfg.ib_bytes);
@@ -337,14 +395,18 @@ impl PreparedNetwork {
             .expect("SB capacity was verified by prepare");
         ib.load(self.program.bytes())
             .expect("IB capacity was verified by prepare");
+        let mut nfu = Nfu::new(cfg.pe_cols, cfg.pe_rows);
+        nfu.set_stuck_faults(|x, y| plan.pe_stuck(x, y));
         Session {
             prepared: self,
             nbin: NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbin_bytes),
             nbout: NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbout_bytes),
             sb,
             ib,
-            nfu: Nfu::new(cfg.pe_cols, cfg.pe_rows),
+            nfu,
             alu: Alu::new(cfg.alu_lanes),
+            faults: FaultState::new(plan),
+            last_cycles: 0,
         }
     }
 
@@ -355,6 +417,21 @@ impl PreparedNetwork {
     /// Returns [`RunError::InputShape`] when the input mismatches.
     pub fn run(&self, input: &MapStack<Fx>) -> Result<RunOutcome, RunError> {
         self.session().run(input)
+    }
+
+    /// Executes one inference under a fault plan through a fresh
+    /// single-use [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::FaultDetected`] when SRAM protection aborts
+    /// the run, plus everything [`PreparedNetwork::run`] can return.
+    pub fn run_with_faults(
+        &self,
+        input: &MapStack<Fx>,
+        plan: FaultPlan,
+    ) -> Result<RunOutcome, RunError> {
+        self.session_with_faults(plan).run(input)
     }
 }
 
@@ -371,12 +448,40 @@ pub struct Session<'p> {
     ib: InstructionBuffer,
     nfu: Nfu,
     alu: Alu,
+    faults: FaultState,
+    last_cycles: u64,
 }
 
 impl<'p> Session<'p> {
     /// The prepared network this session executes.
     pub fn prepared(&self) -> &'p PreparedNetwork {
         self.prepared
+    }
+
+    /// Replaces the session's fault plan (and re-derives the PE mesh's
+    /// stuck-at faults) without reallocating buffers — how the degraded
+    /// streaming pipeline retries a region under a salted plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.nfu.set_stuck_faults(|x, y| plan.pe_stuck(x, y));
+        self.faults = FaultState::new(plan);
+    }
+
+    /// The fault plan in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Fault counters of the most recent run (reset at each run's start;
+    /// valid after both successful and aborted runs).
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.faults.stats()
+    }
+
+    /// Cycles charged by the most recent run, including runs aborted by
+    /// [`RunError::FaultDetected`] — the cost a watchdog accounts for a
+    /// wasted attempt.
+    pub fn last_cycles(&self) -> u64 {
+        self.last_cycles
     }
 
     /// Executes one inference, recording every layer's output stack
@@ -394,6 +499,7 @@ impl<'p> Session<'p> {
             energy,
             energy_model: self.prepared.energy_model,
             frequency_ghz: self.prepared.config.frequency_ghz,
+            fault_stats: *self.faults.stats(),
         })
     }
 
@@ -407,27 +513,44 @@ impl<'p> Session<'p> {
     /// Returns [`RunError::InputShape`] when the input mismatches.
     pub fn infer(&mut self, input: &MapStack<Fx>) -> Result<Inference, RunError> {
         let (stats, _) = self.execute(input, false)?;
-        let output = self
-            .nbin
-            .take()
-            .expect("execution leaves the final output in the NBin role");
+        let output = self.nbin.take().ok_or(EmptyBufferError {
+            buffer: "NB (final output)",
+        })?;
         let energy = self.prepared.energy_model.charge_run(&stats);
         Ok(Inference {
             output,
             stats,
             energy,
             frequency_ghz: self.prepared.config.frequency_ghz,
+            fault_stats: *self.faults.stats(),
         })
     }
 
     /// The cycle-by-cycle inference loop shared by `run` and `infer`.
     /// Leaves the final layer's output installed in the buffer currently
-    /// holding the NBin role.
+    /// holding the NBin role. Cycles charged up to an abort (including a
+    /// [`RunError::FaultDetected`] one) are recorded in
+    /// [`Session::last_cycles`] either way.
     fn execute(
         &mut self,
         input: &MapStack<Fx>,
         record_trace: bool,
     ) -> Result<(RunStats, Vec<MapStack<Fx>>), RunError> {
+        self.faults.reset_stats();
+        let mut stats = RunStats::new();
+        let mut layer_outputs = Vec::new();
+        let result = self.execute_inner(input, record_trace, &mut stats, &mut layer_outputs);
+        self.last_cycles = stats.cycles();
+        result.map(|()| (stats, layer_outputs))
+    }
+
+    fn execute_inner(
+        &mut self,
+        input: &MapStack<Fx>,
+        record_trace: bool,
+        stats: &mut RunStats,
+        layer_outputs: &mut Vec<MapStack<Fx>>,
+    ) -> Result<(), RunError> {
         let network = &self.prepared.network;
         let expected = (
             network.input_maps(),
@@ -443,20 +566,19 @@ impl<'p> Session<'p> {
         let store = &self.prepared.store;
         self.nfu.reset();
         let mut hfsm = Hfsm::new();
-        let mut stats = RunStats::new();
 
         // Load phase: the sensor/host streams the image into NBin at one
         // bank-width write per cycle.
         let mut load = LayerStats::new("Load");
         hfsm.enter(FirstState::Load).expect("HFSM: load");
         self.ib.fetch(&mut load);
+        self.faults.filter_word(FaultSite::Ib, 0, [0, 0, 0])?;
         let input_bytes = input.neuron_count() * 2;
         load.cycles = input_bytes.div_ceil(cfg.nb_bank_width_bytes()) as u64;
         load.nbin.write(input_bytes as u64);
         self.nbin.load(input.clone())?;
         stats.push_layer(load);
 
-        let mut layer_outputs = Vec::new();
         if record_trace {
             layer_outputs.reserve(network.layers().len());
         }
@@ -464,8 +586,12 @@ impl<'p> Session<'p> {
             let mut layer_stats = LayerStats::new(layer.label());
             let (ow, oh) = layer.out_dims();
             self.nbout.begin_output(ow, oh, layer.out_maps())?;
-            for _ in 0..self.prepared.layer_instruction_counts[i] {
+            for f in 0..self.prepared.layer_instruction_counts[i] {
                 self.ib.fetch(&mut layer_stats);
+                // Fetches are addressed per layer epoch (the load fetch is
+                // epoch 0).
+                self.faults
+                    .filter_word(FaultSite::Ib, i + 1, [f as u64, 0, 0])?;
             }
             {
                 let mut engine = Engine {
@@ -479,8 +605,15 @@ impl<'p> Session<'p> {
                     alu: &self.alu,
                     hfsm: &mut hfsm,
                     stats: &mut layer_stats,
+                    faults: &mut self.faults,
                 };
-                engine.run_layer(layer);
+                let run = engine.run_layer(layer);
+                if let Err(e) = run {
+                    // Keep the aborted layer's cycles so watchdog budgets
+                    // can charge the wasted attempt.
+                    stats.push_layer(layer_stats);
+                    return Err(e);
+                }
             }
             if cfg.model_bank_conflicts {
                 // Conflicting banked requests serialize: the stall cycles
@@ -491,21 +624,19 @@ impl<'p> Session<'p> {
             }
             // §5's role swap: the finished output becomes the next
             // layer's input in place, with no copy.
-            self.nbout.finish_output_into_input();
+            self.nbout.finish_output_into_input()?;
             core::mem::swap(&mut self.nbin, &mut self.nbout);
             if record_trace {
-                layer_outputs.push(
-                    self.nbin
-                        .contents()
-                        .expect("output was just installed")
-                        .clone(),
-                );
+                let installed = self.nbin.contents().ok_or(EmptyBufferError {
+                    buffer: "NB (installed output)",
+                })?;
+                layer_outputs.push(installed.clone());
             }
             stats.push_layer(layer_stats);
         }
         hfsm.enter(FirstState::End).expect("HFSM: end");
 
-        Ok((stats, layer_outputs))
+        Ok(())
     }
 }
 
@@ -517,6 +648,7 @@ pub struct Inference {
     stats: RunStats,
     energy: EnergyReport,
     frequency_ghz: f64,
+    fault_stats: FaultStats,
 }
 
 impl Inference {
@@ -550,6 +682,12 @@ impl Inference {
     pub fn seconds(&self) -> f64 {
         self.stats.seconds_at(self.frequency_ghz)
     }
+
+    /// What the fault layer did during this inference (all zeros under a
+    /// fault-free plan).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
 }
 
 /// The result of one accelerator execution.
@@ -560,6 +698,7 @@ pub struct RunOutcome {
     energy: EnergyReport,
     energy_model: EnergyModel,
     frequency_ghz: f64,
+    fault_stats: FaultStats,
 }
 
 impl RunOutcome {
@@ -618,6 +757,12 @@ impl RunOutcome {
     pub fn average_power_mw(&self) -> f64 {
         self.energy
             .average_power_mw(self.stats.cycles(), self.frequency_ghz)
+    }
+
+    /// What the fault layer did during this run (all zeros under a
+    /// fault-free plan).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// Sustained fixed-point GOP/s over the run: PE multiplies, adds, and

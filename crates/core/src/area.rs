@@ -9,6 +9,7 @@
 
 use crate::config::AcceleratorConfig;
 use core::fmt;
+use shidiannao_faults::SramProtection;
 
 /// Per-component silicon area in mm².
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -78,6 +79,22 @@ pub fn area_of(cfg: &AcceleratorConfig) -> AreaReport {
         nbout_mm2: NB_MM2_PER_KB * kb(cfg.nbout_bytes),
         sb_mm2: SB_MM2_PER_KB * kb(cfg.sb_bytes),
         ib_mm2: IB_MM2_PER_KB * kb(cfg.ib_bytes),
+    }
+}
+
+/// Estimates the silicon area with SRAM protection overheads: each SRAM
+/// macro grows by the check-bit storage overhead (parity 17/16, SECDED
+/// 22/16 for 16-bit words); the NFU is unchanged. With
+/// `SramProtection::None` this is exactly [`area_of`].
+pub fn area_with_protection(cfg: &AcceleratorConfig, protection: SramProtection) -> AreaReport {
+    let base = area_of(cfg);
+    let storage = protection.storage_overhead();
+    AreaReport {
+        nfu_mm2: base.nfu_mm2,
+        nbin_mm2: base.nbin_mm2 * storage,
+        nbout_mm2: base.nbout_mm2 * storage,
+        sb_mm2: base.sb_mm2 * storage,
+        ib_mm2: base.ib_mm2 * storage,
     }
 }
 
@@ -182,6 +199,19 @@ mod tests {
         let big = area_of(&AcceleratorConfig::paper());
         assert!(small.nfu_mm2 < big.nfu_mm2);
         assert_eq!(small.sb_mm2, big.sb_mm2);
+    }
+
+    #[test]
+    fn protection_grows_srams_but_not_the_nfu() {
+        let cfg = AcceleratorConfig::paper();
+        let base = area_of(&cfg);
+        assert_eq!(area_with_protection(&cfg, SramProtection::None), base);
+        let secded = area_with_protection(&cfg, SramProtection::Secded);
+        assert_eq!(secded.nfu_mm2, base.nfu_mm2);
+        assert!((secded.sb_mm2 / base.sb_mm2 - 22.0 / 16.0).abs() < 1e-12);
+        let parity = area_with_protection(&cfg, SramProtection::Parity);
+        assert!(parity.total_mm2() > base.total_mm2());
+        assert!(parity.total_mm2() < secded.total_mm2());
     }
 
     #[test]

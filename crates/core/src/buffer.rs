@@ -30,6 +30,23 @@ impl fmt::Display for CapacityError {
 
 impl std::error::Error for CapacityError {}
 
+/// Error raised when a buffer is read (or finished) in a state that holds
+/// no data — e.g. a read before any [`NeuronBuffer::load`], or taking an
+/// output after a failed load left the buffer empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptyBufferError {
+    /// Which buffer (and role) was empty.
+    pub buffer: &'static str,
+}
+
+impl fmt::Display for EmptyBufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} is empty: read before a successful load", self.buffer)
+    }
+}
+
+impl std::error::Error for EmptyBufferError {}
+
 /// A neuron buffer (NBin or NBout) with its controller.
 ///
 /// The physical organisation follows §6 / Fig. 11: `2 × Py` banks of
@@ -117,8 +134,10 @@ impl NeuronBuffer {
         self.stack.take()
     }
 
-    fn neuron(&self, map: usize, x: usize, y: usize) -> Fx {
-        self.stack.as_ref().expect("NB read before load")[map][(x, y)]
+    fn loaded(&self) -> Result<&MapStack<Fx>, EmptyBufferError> {
+        self.stack.as_ref().ok_or(EmptyBufferError {
+            buffer: "NB (input role)",
+        })
     }
 
     /// The bank group (0 or 1) a column index belongs to (Fig. 11).
@@ -130,6 +149,10 @@ impl NeuronBuffer {
     /// Mode (a)/(b) (or (e) when strided): read a `w × h` tile of neurons
     /// whose top-left input coordinate is `(x0, y0)`, consecutive PEs
     /// `stride` apart. Returns row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
     pub fn read_tile(
         &self,
         map: usize,
@@ -137,7 +160,8 @@ impl NeuronBuffer {
         (w, h): (usize, usize),
         (sx, sy): (usize, usize),
         stats: &mut LayerStats,
-    ) -> Vec<Fx> {
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
+        let stack = self.loaded()?;
         let mode = if sx == 1 && sy == 1 {
             if self.bank_group_of(x0) == 0 {
                 ReadMode::A
@@ -157,13 +181,17 @@ impl NeuronBuffer {
         let mut out = Vec::with_capacity(w * h);
         for j in 0..h {
             for i in 0..w {
-                out.push(self.neuron(map, x0 + i * sx, y0 + j * sy));
+                out.push(stack[map][(x0 + i * sx, y0 + j * sy)]);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Mode (c): read up to `Px` neurons of one row from a single bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
     ///
     /// # Panics
     ///
@@ -175,20 +203,25 @@ impl NeuronBuffer {
         n: usize,
         sx: usize,
         stats: &mut LayerStats,
-    ) -> Vec<Fx> {
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
         assert!(
             n <= self.px,
             "mode (c) reads at most Px={} neurons",
             self.px
         );
+        let stack = self.loaded()?;
         let mode = if sx == 1 { ReadMode::C } else { ReadMode::E };
         stats.nbin_read(mode, (n * 2) as u64);
         stats.bank_conflict_cycles +=
             bank_extra_cycles(self.py, (0..n).map(|i| ((x0 + i * sx) / self.px, y0)));
-        (0..n).map(|i| self.neuron(map, x0 + i * sx, y0)).collect()
+        Ok((0..n).map(|i| stack[map][(x0 + i * sx, y0)]).collect())
     }
 
     /// Mode (f): read one neuron per bank — a column of up to `Py` neurons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
     ///
     /// # Panics
     ///
@@ -200,45 +233,52 @@ impl NeuronBuffer {
         n: usize,
         sy: usize,
         stats: &mut LayerStats,
-    ) -> Vec<Fx> {
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
         assert!(
             n <= self.py,
             "mode (f) reads at most Py={} neurons",
             self.py
         );
+        let stack = self.loaded()?;
         let mode = if sy == 1 { ReadMode::F } else { ReadMode::E };
         stats.nbin_read(mode, (n * 2) as u64);
         stats.bank_conflict_cycles +=
             bank_extra_cycles(self.py, (0..n).map(|j| (x0 / self.px, y0 + j * sy)));
-        (0..n).map(|j| self.neuron(map, x0, y0 + j * sy)).collect()
+        Ok((0..n).map(|j| stack[map][(x0, y0 + j * sy)]).collect())
     }
 
     /// Mode (d): read a single neuron by flat (map-major, row-major) index
     /// — the classifier-layer broadcast read.
-    pub fn read_single(&self, flat: usize, stats: &mut LayerStats) -> Fx {
-        let stack = self.stack.as_ref().expect("NB read before load");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn read_single(&self, flat: usize, stats: &mut LayerStats) -> Result<Fx, EmptyBufferError> {
+        let stack = self.loaded()?;
         let per_map = stack.width() * stack.height();
         let map = flat / per_map;
         let rem = flat % per_map;
         stats.nbin_read(ReadMode::D, 2);
-        self.neuron(map, rem % stack.width(), rem / stack.width())
+        Ok(stack[map][(rem % stack.width(), rem / stack.width())])
     }
 
     /// Mode (e): gather arbitrary strided coordinates (pooling windows);
     /// one access delivering `coords.len()` neurons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
     pub fn read_gather(
         &self,
         map: usize,
         coords: &[(usize, usize)],
         stats: &mut LayerStats,
-    ) -> Vec<Fx> {
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
+        let stack = self.loaded()?;
         stats.nbin_read(ReadMode::E, (coords.len() * 2) as u64);
         stats.bank_conflict_cycles +=
             bank_extra_cycles(self.py, coords.iter().map(|&(x, y)| (x / self.px, y)));
-        coords
-            .iter()
-            .map(|&(x, y)| self.neuron(map, x, y))
-            .collect()
+        Ok(coords.iter().map(|&(x, y)| stack[map][(x, y)]).collect())
     }
 
     /// Starts collecting a new output layer of `count` maps of `w × h`.
@@ -314,18 +354,24 @@ impl NeuronBuffer {
 
     /// Finishes the output layer and returns it.
     ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if no output was begun.
+    ///
     /// # Panics
     ///
     /// Panics if not every output neuron was written exactly once in
     /// aggregate (coverage check).
-    pub fn finish_output(&mut self) -> MapStack<Fx> {
-        let out = self.out.take().expect("finish before begin_output");
+    pub fn finish_output(&mut self) -> Result<MapStack<Fx>, EmptyBufferError> {
+        let out = self.out.take().ok_or(EmptyBufferError {
+            buffer: "NB (output role)",
+        })?;
         assert_eq!(
             self.out_written as usize,
             out.neuron_count(),
             "output coverage mismatch"
         );
-        out
+        Ok(out)
     }
 
     /// Finishes the output layer and installs it as this buffer's *input*
@@ -335,18 +381,18 @@ impl NeuronBuffer {
     /// layer handoff costs zero copies (versus
     /// [`finish_output`](Self::finish_output) + [`load`](Self::load)).
     ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if no output was begun.
+    ///
     /// # Panics
     ///
     /// Panics like [`finish_output`](Self::finish_output) if the output
     /// coverage is incomplete.
-    pub fn finish_output_into_input(&mut self) {
-        let out = self.out.take().expect("finish before begin_output");
-        assert_eq!(
-            self.out_written as usize,
-            out.neuron_count(),
-            "output coverage mismatch"
-        );
+    pub fn finish_output_into_input(&mut self) -> Result<(), EmptyBufferError> {
+        let out = self.finish_output()?;
         self.stack = Some(out);
+        Ok(())
     }
 
     /// Block-write counts per bank group `(group 0, group 1)` since the
@@ -499,7 +545,7 @@ mod tests {
     fn tile_read_is_row_major_and_counted() {
         let nb = nb();
         let mut s = LayerStats::new("t");
-        let tile = nb.read_tile(0, (1, 1), (2, 2), (1, 1), &mut s);
+        let tile = nb.read_tile(0, (1, 1), (2, 2), (1, 1), &mut s).unwrap();
         assert_eq!(
             tile,
             vec![
@@ -517,9 +563,9 @@ mod tests {
     fn tile_mode_depends_on_group_and_stride() {
         let nb = nb();
         let mut s = LayerStats::new("t");
-        nb.read_tile(0, (2, 0), (2, 2), (1, 1), &mut s); // x0=2, px=2 → group 1
+        nb.read_tile(0, (2, 0), (2, 2), (1, 1), &mut s).unwrap(); // x0=2, px=2 → group 1
         assert_eq!(s.reads_by_mode[ReadMode::B as usize], 1);
-        nb.read_tile(0, (0, 0), (2, 2), (2, 2), &mut s); // strided
+        nb.read_tile(0, (0, 0), (2, 2), (2, 2), &mut s).unwrap(); // strided
         assert_eq!(s.reads_by_mode[ReadMode::E as usize], 1);
     }
 
@@ -527,7 +573,7 @@ mod tests {
     fn strided_tile_gathers_correctly() {
         let nb = nb();
         let mut s = LayerStats::new("t");
-        let tile = nb.read_tile(0, (0, 0), (2, 2), (2, 2), &mut s);
+        let tile = nb.read_tile(0, (0, 0), (2, 2), (2, 2), &mut s).unwrap();
         assert_eq!(
             tile,
             vec![
@@ -543,9 +589,9 @@ mod tests {
     fn row_and_col_reads() {
         let nb = nb();
         let mut s = LayerStats::new("t");
-        let row = nb.read_row(1, (0, 2), 2, 1, &mut s);
+        let row = nb.read_row(1, (0, 2), 2, 1, &mut s).unwrap();
         assert_eq!(row, vec![Fx::from_int(0), Fx::from_int(1)]); // 120%60, 121%60
-        let col = nb.read_col(0, (3, 0), 2, 1, &mut s);
+        let col = nb.read_col(0, (3, 0), 2, 1, &mut s).unwrap();
         assert_eq!(col, vec![Fx::from_int(3), Fx::from_int(13)]);
         assert_eq!(s.reads_by_mode[ReadMode::C as usize], 1);
         assert_eq!(s.reads_by_mode[ReadMode::F as usize], 1);
@@ -564,7 +610,7 @@ mod tests {
         let nb = nb();
         let mut s = LayerStats::new("t");
         // flat 17 → map 1, position (1, 0) → value (100+1)%60 = 41.
-        assert_eq!(nb.read_single(17, &mut s), Fx::from_int(41));
+        assert_eq!(nb.read_single(17, &mut s).unwrap(), Fx::from_int(41));
         assert_eq!(s.reads_by_mode[ReadMode::D as usize], 1);
         assert_eq!(s.nbin.read_bytes, 2);
     }
@@ -573,7 +619,7 @@ mod tests {
     fn gather_counts_one_access() {
         let nb = nb();
         let mut s = LayerStats::new("t");
-        let vals = nb.read_gather(0, &[(0, 0), (3, 3)], &mut s);
+        let vals = nb.read_gather(0, &[(0, 0), (3, 3)], &mut s).unwrap();
         assert_eq!(vals, vec![Fx::from_int(0), Fx::from_int(33)]);
         assert_eq!(s.nbin.read_accesses, 1);
         assert_eq!(s.nbin.read_bytes, 4);
@@ -588,7 +634,7 @@ mod tests {
         nb.write_block(0, (0, 0), (2, 2), &vals, &mut s);
         nb.write_block(0, (2, 0), (2, 2), &vals, &mut s);
         assert_eq!(nb.write_group_histogram(), [1, 1]);
-        let out = nb.finish_output();
+        let out = nb.finish_output().unwrap();
         assert_eq!(out[0][(0, 0)], Fx::from_int(0));
         assert_eq!(out[0][(3, 1)], Fx::from_int(3));
         assert_eq!(s.nbout.write_bytes, 16);
@@ -632,6 +678,27 @@ mod tests {
         ib.fetch(&mut s);
         assert_eq!(s.ib.read_bytes, 8);
         assert_eq!(ib.capacity_bytes(), 16);
+    }
+
+    #[test]
+    fn reads_before_load_are_typed_errors() {
+        let nb = NeuronBuffer::new(2, 2, 4096);
+        let mut s = LayerStats::new("t");
+        let err = nb.read_tile(0, (0, 0), (2, 2), (1, 1), &mut s).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        assert!(nb.read_row(0, (0, 0), 2, 1, &mut s).is_err());
+        assert!(nb.read_col(0, (0, 0), 2, 1, &mut s).is_err());
+        assert!(nb.read_single(0, &mut s).is_err());
+        assert!(nb.read_gather(0, &[(0, 0)], &mut s).is_err());
+        // No access was metered for a failed read.
+        assert_eq!(s.nbin.read_bytes, 0);
+    }
+
+    #[test]
+    fn finish_without_begin_is_a_typed_error() {
+        let mut nb = NeuronBuffer::new(2, 2, 4096);
+        assert!(nb.finish_output().is_err());
+        assert!(nb.finish_output_into_input().is_err());
     }
 
     #[test]

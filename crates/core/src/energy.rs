@@ -10,6 +10,7 @@
 
 use crate::stats::{LayerStats, RunStats};
 use core::fmt;
+use shidiannao_faults::SramProtection;
 
 /// Per-event energies in picojoules.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,6 +52,28 @@ impl EnergyModel {
             sb_byte_pj: 0.66,
             sb_access_pj: 0.46,
             ib_byte_pj: 23.8,
+        }
+    }
+
+    /// Derives a model with SRAM protection overheads applied: per-byte
+    /// SRAM energies scale with the check-bit storage overhead (parity
+    /// 17/16, SECDED 22/16 for 16-bit words) and per-access energies with
+    /// the encode/decode logic overhead. `SramProtection::None` returns
+    /// the model unchanged, so the Table 4 calibration is unaffected.
+    pub fn with_sram_protection(&self, protection: SramProtection) -> EnergyModel {
+        let storage = protection.storage_overhead();
+        let logic = protection.logic_overhead();
+        EnergyModel {
+            pe_busy_pj: self.pe_busy_pj,
+            pe_idle_pj: self.pe_idle_pj,
+            alu_op_pj: self.alu_op_pj,
+            nb_read_byte_pj: self.nb_read_byte_pj * storage,
+            nb_read_access_pj: self.nb_read_access_pj * logic,
+            nb_write_byte_pj: self.nb_write_byte_pj * storage,
+            nb_write_access_pj: self.nb_write_access_pj * logic,
+            sb_byte_pj: self.sb_byte_pj * storage,
+            sb_access_pj: self.sb_access_pj * logic,
+            ib_byte_pj: self.ib_byte_pj * storage,
         }
     }
 
@@ -229,6 +252,20 @@ mod tests {
         let mut idle = LayerStats::new("i");
         idle.pe_total_slots = 1000;
         assert!(m.charge(&busy).nfu_nj > m.charge(&idle).nfu_nj);
+    }
+
+    #[test]
+    fn sram_protection_scales_sram_energy_only() {
+        let base = EnergyModel::paper_65nm();
+        assert_eq!(base.with_sram_protection(SramProtection::None), base);
+        let secded = base.with_sram_protection(SramProtection::Secded);
+        assert_eq!(secded.pe_busy_pj, base.pe_busy_pj);
+        assert_eq!(secded.alu_op_pj, base.alu_op_pj);
+        assert!((secded.nb_read_byte_pj / base.nb_read_byte_pj - 22.0 / 16.0).abs() < 1e-12);
+        assert!((secded.sb_access_pj / base.sb_access_pj - 1.25).abs() < 1e-12);
+        let parity = base.with_sram_protection(SramProtection::Parity);
+        assert!(parity.nb_read_byte_pj < secded.nb_read_byte_pj);
+        assert!(parity.nb_read_byte_pj > base.nb_read_byte_pj);
     }
 
     #[test]

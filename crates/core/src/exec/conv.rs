@@ -1,7 +1,8 @@
 //! Convolutional-layer executor (§8.1, Fig. 13).
 
 use super::window::{blocks, run_pass, Pass};
-use super::{Engine, WindowOp};
+use super::{bias_addr, conv_weight_addr, Engine, WindowOp};
+use crate::accel::RunError;
 use shidiannao_cnn::{Layer, LayerBody};
 use shidiannao_fixed::Fx;
 
@@ -14,7 +15,7 @@ use shidiannao_fixed::Fx;
 /// window pass sweeps the kernel, accumulating into the PEs; the ALU then
 /// applies the activation and the output register array flushes the block
 /// to NBout.
-pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
     let LayerBody::Conv {
         table,
         kernel,
@@ -27,16 +28,15 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
     };
     let out_dims = layer.out_dims();
     let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
-    // Weights are served from the resident SB image (§6), not from the
-    // network description.
-    let (store, layer_index) = (eng.store, eng.layer_index);
 
     for o in 0..layer.out_maps() {
         for (origin, active) in blocks(out_dims, pe_dims) {
             // Load the output map's bias into every active PE (one SB
-            // broadcast).
+            // broadcast). Weights are served from the resident SB image
+            // (§6), not from the network description.
             eng.sb.read_broadcast(eng.stats);
-            let bias = store.bias(layer_index, o);
+            let bias = eng.store.bias(eng.layer_index, o);
+            let bias = eng.sb_value(bias_addr(o), bias)?;
             for py in 0..active.1 {
                 for px in 0..active.0 {
                     eng.nfu.pe_mut(px, py).reset_accumulator(bias);
@@ -56,8 +56,13 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
                         stride: *stride,
                     },
                     WindowOp::Mac,
-                    |kx, ky| store.conv_weight(layer_index, o, j, (kx, ky), *kernel),
-                );
+                    |eng, kx, ky| {
+                        let w = eng
+                            .store
+                            .conv_weight(eng.layer_index, o, j, (kx, ky), *kernel);
+                        eng.sb_value(conv_weight_addr(o, j, (kx, ky)), w)
+                    },
+                )?;
             }
 
             // Epilogue: drain accumulators through the ALU and flush the
@@ -76,4 +81,5 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
             eng.nbout.write_block(o, origin, active, &vals, eng.stats);
         }
     }
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Classifier-layer executor (§8.3).
 
-use super::Engine;
+use super::{bias_addr, fc_weight_addr, Engine};
+use crate::accel::RunError;
 use shidiannao_cnn::{Layer, LayerBody};
 use shidiannao_fixed::Fx;
 use std::collections::BTreeSet;
@@ -13,7 +14,7 @@ use std::collections::BTreeSet;
 /// output neuron until it completes. Sparse classifiers (Table 2's
 /// sub-full kernel counts) iterate the *union* of the group's input
 /// indices; PEs whose row skips an index idle that cycle.
-pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
     let LayerBody::Fc {
         weights,
         activation,
@@ -24,7 +25,6 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
     let pe_count = eng.cfg.pe_count();
     let px = eng.cfg.pe_cols;
     let out_count = layer.out_maps();
-    let (store, layer_index) = (eng.store, eng.layer_index);
 
     for group_start in (0..out_count).step_by(pe_count) {
         let group_len = pe_count.min(out_count - group_start);
@@ -32,9 +32,9 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
         // Load the group's biases (one wide SB read).
         eng.sb.read_wide(group_len, eng.stats);
         for i in 0..group_len {
-            eng.nfu
-                .pe_mut(i % px, i / px)
-                .reset_accumulator(store.bias(layer_index, group_start + i));
+            let bias = eng.store.bias(eng.layer_index, group_start + i);
+            let bias = eng.sb_value(bias_addr(group_start + i), bias)?;
+            eng.nfu.pe_mut(i % px, i / px).reset_accumulator(bias);
         }
 
         // The distinct input indices any PE in the group needs, ascending
@@ -46,7 +46,7 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
 
         for &idx in &union {
             // One broadcast neuron (mode (d)) + one wide synapse read.
-            let neuron = eng.nbin.read_single(idx, eng.stats);
+            let neuron = eng.nb_single(idx)?;
             eng.sb.read_wide(pe_count, eng.stats);
             let mut busy = 0;
             for (i, cursor) in cursors.iter_mut().enumerate() {
@@ -54,7 +54,10 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
                 if *cursor < row.len() && row[*cursor].0 == idx {
                     // The row's sparsity pattern is decoder metadata; the
                     // weight itself streams from the SB image.
-                    let w = store.fc_weight(layer_index, group_start + i, *cursor);
+                    let w = eng
+                        .store
+                        .fc_weight(eng.layer_index, group_start + i, *cursor);
+                    let w = eng.sb_value(fc_weight_addr(group_start + i, *cursor), w)?;
                     eng.nfu.pe_mut(i % px, i / px).mac(neuron, w);
                     eng.stats.pe_muls += 1;
                     eng.stats.pe_adds += 1;
@@ -75,4 +78,5 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
         eng.tick_idle(1);
         eng.nbout.write_scalar_group(group_start, &vals, eng.stats);
     }
+    Ok(())
 }

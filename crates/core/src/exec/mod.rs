@@ -4,6 +4,12 @@
 //! reads in the modes §7.1 assigns to its layer type, propagating data
 //! between PEs through the FIFOs, and producing output neurons that are
 //! **bit-identical** to the golden reference in `shidiannao-cnn`.
+//!
+//! All SRAM reads route through the `Engine`'s fault-filtering wrappers:
+//! with an inactive [`FaultState`] they are pass-throughs, and with an
+//! active one every word is filtered by address through the seeded fault
+//! plan, so faulted executions are replayable and independent of the read
+//! mode that happened to deliver a word.
 
 mod conv;
 mod fc;
@@ -14,6 +20,7 @@ mod window;
 
 pub(crate) use window::WindowOp;
 
+use crate::accel::RunError;
 use crate::alu::Alu;
 use crate::buffer::{NeuronBuffer, SynapseBuffer};
 use crate::config::AcceleratorConfig;
@@ -22,6 +29,8 @@ use crate::nfu::Nfu;
 use crate::sb::SynapseStore;
 use crate::stats::LayerStats;
 use shidiannao_cnn::{Layer, LayerBody};
+use shidiannao_faults::{FaultSite, FaultState};
+use shidiannao_fixed::Fx;
 
 /// Mutable execution context threaded through the layer executors.
 pub(crate) struct Engine<'a> {
@@ -35,37 +44,44 @@ pub(crate) struct Engine<'a> {
     pub alu: &'a Alu,
     pub hfsm: &'a mut Hfsm,
     pub stats: &'a mut LayerStats,
+    pub faults: &'a mut FaultState,
 }
 
 impl Engine<'_> {
     /// Executes one layer; results are collected in `nbout`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::FaultDetected`] when SRAM protection detects an
+    /// uncorrectable error, or [`RunError::EmptyBuffer`] on a read from an
+    /// unloaded buffer.
+    ///
     /// # Panics
     ///
     /// Panics on HFSM scheduling violations (internal invariants).
-    pub(crate) fn run_layer(&mut self, layer: &Layer) {
+    pub(crate) fn run_layer(&mut self, layer: &Layer) -> Result<(), RunError> {
         match layer.body() {
             LayerBody::Conv { .. } => {
                 self.hfsm.enter(FirstState::Conv).expect("HFSM: conv entry");
                 if packed::applies(self, layer) {
-                    packed::run_conv(self, layer);
+                    packed::run_conv(self, layer)
                 } else {
-                    conv::run(self, layer);
+                    conv::run(self, layer)
                 }
             }
             LayerBody::Pool { .. } => {
                 self.hfsm.enter(FirstState::Pool).expect("HFSM: pool entry");
-                pool::run(self, layer);
+                pool::run(self, layer)
             }
             LayerBody::Fc { .. } => {
                 self.hfsm
                     .enter(FirstState::Classifier)
                     .expect("HFSM: classifier entry");
-                fc::run(self, layer);
+                fc::run(self, layer)
             }
             LayerBody::Lrn(_) | LayerBody::Lcn { .. } => {
                 self.hfsm.enter(FirstState::Norm).expect("HFSM: norm entry");
-                norm::run(self, layer);
+                norm::run(self, layer)
             }
         }
     }
@@ -85,4 +101,158 @@ impl Engine<'_> {
         self.stats.cycles += n;
         self.stats.pe_total_slots += n * self.cfg.pe_count() as u64;
     }
+
+    // ----- fault-filtered SRAM read wrappers -------------------------
+    //
+    // Each wrapper performs the metered buffer read and then filters
+    // every delivered word through the fault plan, addressed by the
+    // word's *logical* NB cell `(map, x, y)` (or flat index / weight
+    // coordinate). Addressing by cell — not by access count — gives
+    // persistent-faulty-cell semantics: the same cell faults identically
+    // whichever read mode delivers it, so faulted runs are bit-identical
+    // across the prepared/session/legacy paths.
+
+    /// Mode (a)/(b)/(e) tile read through the fault filter.
+    pub(crate) fn nb_tile(
+        &mut self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+        (sx, sy): (usize, usize),
+    ) -> Result<Vec<Fx>, RunError> {
+        let mut vals = self
+            .nbin
+            .read_tile(map, (x0, y0), (w, h), (sx, sy), self.stats)?;
+        if self.faults.active() {
+            let layer = self.layer_index;
+            for (n, v) in vals.iter_mut().enumerate() {
+                let (i, j) = (n % w, n / w);
+                let addr = [map as u64, (x0 + i * sx) as u64, (y0 + j * sy) as u64];
+                *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
+            }
+        }
+        Ok(vals)
+    }
+
+    /// Mode (c) row read through the fault filter.
+    pub(crate) fn nb_row(
+        &mut self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        n: usize,
+        sx: usize,
+    ) -> Result<Vec<Fx>, RunError> {
+        let mut vals = self.nbin.read_row(map, (x0, y0), n, sx, self.stats)?;
+        if self.faults.active() {
+            let layer = self.layer_index;
+            for (i, v) in vals.iter_mut().enumerate() {
+                let addr = [map as u64, (x0 + i * sx) as u64, y0 as u64];
+                *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
+            }
+        }
+        Ok(vals)
+    }
+
+    /// Mode (f) column read through the fault filter.
+    pub(crate) fn nb_col(
+        &mut self,
+        map: usize,
+        (x0, y0): (usize, usize),
+        n: usize,
+        sy: usize,
+    ) -> Result<Vec<Fx>, RunError> {
+        let mut vals = self.nbin.read_col(map, (x0, y0), n, sy, self.stats)?;
+        if self.faults.active() {
+            let layer = self.layer_index;
+            for (j, v) in vals.iter_mut().enumerate() {
+                let addr = [map as u64, x0 as u64, (y0 + j * sy) as u64];
+                *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
+            }
+        }
+        Ok(vals)
+    }
+
+    /// Mode (d) single-neuron read through the fault filter. Classifier
+    /// layers address by flat index; a layer is either spatial or flat,
+    /// so the address spaces cannot collide within one layer epoch.
+    pub(crate) fn nb_single(&mut self, flat: usize) -> Result<Fx, RunError> {
+        let v = self.nbin.read_single(flat, self.stats)?;
+        if self.faults.active() {
+            let layer = self.layer_index;
+            return Ok(self
+                .faults
+                .filter_value(FaultSite::NbIn, layer, [flat as u64, 0, 0], v)?);
+        }
+        Ok(v)
+    }
+
+    /// Mode (e) gather read through the fault filter.
+    pub(crate) fn nb_gather(
+        &mut self,
+        map: usize,
+        coords: &[(usize, usize)],
+    ) -> Result<Vec<Fx>, RunError> {
+        let mut vals = self.nbin.read_gather(map, coords, self.stats)?;
+        if self.faults.active() {
+            let layer = self.layer_index;
+            for (v, &(x, y)) in vals.iter_mut().zip(coords) {
+                let addr = [map as u64, x as u64, y as u64];
+                *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
+            }
+        }
+        Ok(vals)
+    }
+
+    /// Filters one synapse word (weight or bias) served from the SB
+    /// image. The caller meters the SB access; `addr` is the weight's
+    /// logical coordinate in the image.
+    #[inline]
+    pub(crate) fn sb_value(&mut self, addr: [u64; 3], v: Fx) -> Result<Fx, RunError> {
+        if self.faults.active() {
+            let layer = self.layer_index;
+            return Ok(self.faults.filter_value(FaultSite::Sb, layer, addr, v)?);
+        }
+        Ok(v)
+    }
+
+    /// Filters one word of a staged NBout re-read (the decomposed LCN
+    /// sub-layers re-read μ and v from NBout; `pass` tags which staged
+    /// map). Other NBout contents manifest through the next layer's NBin
+    /// reads after the role swap, so they are not separately injected.
+    #[inline]
+    pub(crate) fn nbout_value(
+        &mut self,
+        pass: u64,
+        (x, y): (usize, usize),
+        v: Fx,
+    ) -> Result<Fx, RunError> {
+        if self.faults.active() {
+            let layer = self.layer_index;
+            return Ok(self.faults.filter_value(
+                FaultSite::NbOut,
+                layer,
+                [pass, x as u64, y as u64],
+                v,
+            )?);
+        }
+        Ok(v)
+    }
+}
+
+/// SB-image address of a per-output bias word.
+#[inline]
+pub(crate) fn bias_addr(out_unit: usize) -> [u64; 3] {
+    [out_unit as u64, u64::MAX, 0]
+}
+
+/// SB-image address of a convolution kernel word.
+#[inline]
+pub(crate) fn conv_weight_addr(o: usize, j: usize, (kx, ky): (usize, usize)) -> [u64; 3] {
+    [o as u64, j as u64, ((ky as u64) << 32) | kx as u64]
+}
+
+/// SB-image address of a classifier weight word.
+#[inline]
+pub(crate) fn fc_weight_addr(out_unit: usize, slot: usize) -> [u64; 3] {
+    [out_unit as u64, slot as u64, u64::MAX]
 }

@@ -7,12 +7,20 @@
 
 use super::window::blocks;
 use super::Engine;
+use crate::accel::RunError;
 use shidiannao_cnn::{Layer, LayerBody, LrnSpec};
 use shidiannao_fixed::{Accum, Fx};
 use shidiannao_tensor::FeatureMap;
 
+// NBout staged-read tags for the fault filter: LCN stages μ and v through
+// NBout and re-reads them in later sub-passes; each re-read pass is its
+// own fault address space.
+const STAGE_MU: u64 = 0;
+const STAGE_V_SQUARE: u64 = 1;
+const STAGE_V_DIVIDE: u64 = 2;
+
 /// Dispatches a normalization layer.
-pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
     match layer.body() {
         LayerBody::Lrn(spec) => run_lrn(eng, layer, spec),
         LayerBody::Lcn { gauss, .. } => run_lcn(eng, layer, gauss),
@@ -23,7 +31,7 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
 /// LRN (formula (3), Fig. 15): per position, square-accumulate the
 /// cross-map window in the PEs, apply the `k + α·s` scale in the NFU, and
 /// divide in the ALU.
-fn run_lrn(eng: &mut Engine<'_>, layer: &Layer, spec: &LrnSpec) {
+fn run_lrn(eng: &mut Engine<'_>, layer: &Layer, spec: &LrnSpec) -> Result<(), RunError> {
     let dims = layer.in_dims();
     let maps = layer.in_maps();
     let half = spec.window_maps / 2;
@@ -43,7 +51,7 @@ fn run_lrn(eng: &mut Engine<'_>, layer: &Layer, spec: &LrnSpec) {
             // Square-accumulate pass: one tile read + one square MAC per
             // window map per cycle.
             for j in lo..=hi {
-                let vals = eng.nbin.read_tile(j, origin, active, (1, 1), eng.stats);
+                let vals = eng.nb_tile(j, origin, active, (1, 1))?;
                 for py in 0..ah {
                     for px in 0..aw {
                         let v = vals[py * aw + px];
@@ -65,12 +73,13 @@ fn run_lrn(eng: &mut Engine<'_>, layer: &Layer, spec: &LrnSpec) {
             eng.stats.pe_adds += (aw * ah) as u64;
             eng.tick(aw * ah);
             // Divide the layer's own neurons in the ALU and flush.
-            let mut own = eng.nbin.read_tile(mi, origin, active, (1, 1), eng.stats);
+            let mut own = eng.nb_tile(mi, origin, active, (1, 1))?;
             let div_cycles = eng.alu.divide_elementwise(&mut own, &denoms, eng.stats);
             eng.tick_idle(div_cycles.max(1));
             eng.nbout.write_block(mi, origin, active, &own, eng.stats);
         }
     }
+    Ok(())
 }
 
 /// LCN (formulae (4)–(6), Fig. 16): Gaussian subtractive pass, weighted
@@ -78,7 +87,7 @@ fn run_lrn(eng: &mut Engine<'_>, layer: &Layer, spec: &LrnSpec) {
 ///
 /// Intermediate maps (μ, v, δ) are staged through NBout like the paper's
 /// decomposed sub-layers; their traffic is charged to NBout.
-fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
+fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) -> Result<(), RunError> {
     let (w, h) = layer.in_dims();
     let maps = layer.in_maps();
     let win = gauss.width();
@@ -112,7 +121,7 @@ fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
                             lanes.push((px, py));
                         }
                     }
-                    let vals = eng.nbin.read_gather(j, &coords, eng.stats);
+                    let vals = eng.nb_gather(j, &coords)?;
                     for (&(px, py), v) in lanes.iter().zip(vals) {
                         eng.nfu.pe_mut(px, py).mac(wgt, v);
                         eng.stats.pe_muls += 1;
@@ -138,13 +147,15 @@ fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
         let mut vj = FeatureMap::filled(w, h, Fx::ZERO);
         for (origin, active) in blocks((w, h), pe_dims) {
             let (aw, ah) = active;
-            let own = eng.nbin.read_tile(j, origin, active, (1, 1), eng.stats);
-            // μ arrives back from NBout.
+            let own = eng.nb_tile(j, origin, active, (1, 1))?;
+            // μ arrives back from NBout (a staged re-read: fault-filtered
+            // per word).
             eng.stats.nbout.read((aw * ah * 2) as u64);
             for py in 0..ah {
                 for px in 0..aw {
                     let (x, y) = (origin.0 + px, origin.1 + py);
-                    vj[(x, y)] = own[py * aw + px] - mu[(x, y)];
+                    let m = eng.nbout_value(STAGE_MU, (x, y), mu[(x, y)])?;
+                    vj[(x, y)] = own[py * aw + px] - m;
                 }
             }
             eng.stats.pe_adds += (aw * ah) as u64;
@@ -175,8 +186,10 @@ fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
                             if xx < half || yy < half || xx - half >= w || yy - half >= h {
                                 continue;
                             }
-                            // v is staged in NBout; charge the re-read.
-                            let s = vj[(xx - half, yy - half)].squared();
+                            // v is staged in NBout; charge (and fault-
+                            // filter) the re-read.
+                            let c = (xx - half, yy - half);
+                            let s = eng.nbout_value(STAGE_V_SQUARE, c, vj[c])?.squared();
                             eng.nfu.pe_mut(px, py).mac(wgt, s);
                             eng.stats.pe_muls += 2; // square + weight
                             eng.stats.pe_adds += 1;
@@ -224,7 +237,7 @@ fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
                 for px in 0..aw {
                     let (x, y) = (origin.0 + px, origin.1 + py);
                     let d = mean_delta.max(delta[(x, y)]);
-                    let vv = vj[(x, y)];
+                    let vv = eng.nbout_value(STAGE_V_DIVIDE, (x, y), vj[(x, y)])?;
                     vals.push(if d == Fx::ZERO { vv } else { vv / d });
                 }
             }
@@ -234,4 +247,5 @@ fn run_lcn(eng: &mut Engine<'_>, layer: &Layer, gauss: &FeatureMap<Fx>) {
             eng.nbout.write_block(j, origin, active, &vals, eng.stats);
         }
     }
+    Ok(())
 }

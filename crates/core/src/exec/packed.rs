@@ -13,7 +13,8 @@
 //! regular inter-PE propagation schedule no longer applies across
 //! sub-block boundaries, so the FIFOs sit unused.
 
-use super::Engine;
+use super::{bias_addr, conv_weight_addr, Engine};
+use crate::accel::RunError;
 use shidiannao_cnn::{ConnectionTable, Layer, LayerBody};
 use shidiannao_fixed::Fx;
 
@@ -42,7 +43,7 @@ pub(crate) fn applies(eng: &Engine<'_>, layer: &Layer) -> bool {
 /// `group_start + s`. Each cycle sweeps one kernel position for one input
 /// map of the group's *union* of connected inputs; sub-blocks whose map
 /// is not connected to that input idle.
-pub(super) fn run_conv(eng: &mut Engine<'_>, layer: &Layer) {
+pub(super) fn run_conv(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
     let LayerBody::Conv {
         table,
         kernel,
@@ -53,7 +54,6 @@ pub(super) fn run_conv(eng: &mut Engine<'_>, layer: &Layer) {
     else {
         unreachable!("packed executor fed a non-conv layer");
     };
-    let (store, layer_index) = (eng.store, eng.layer_index);
     let (ow, oh) = layer.out_dims();
     let pack_x = eng.cfg.pe_cols / ow;
     let pack_y = eng.cfg.pe_rows / oh;
@@ -68,7 +68,8 @@ pub(super) fn run_conv(eng: &mut Engine<'_>, layer: &Layer) {
         for s in 0..group_len {
             let (bx, by) = (s % pack_x, s / pack_x);
             eng.sb.read_broadcast(eng.stats);
-            let bias = store.bias(layer_index, group_start + s);
+            let bias = eng.store.bias(eng.layer_index, group_start + s);
+            let bias = eng.sb_value(bias_addr(group_start + s), bias)?;
             for py in 0..oh {
                 for px in 0..ow {
                     eng.nfu
@@ -99,15 +100,12 @@ pub(super) fn run_conv(eng: &mut Engine<'_>, layer: &Layer) {
                         // banks — the MUX-mesh cost is modeled as one
                         // access per sub-block) and streams its own
                         // kernel value.
-                        let vals = eng.nbin.read_tile(
-                            im,
-                            (kx, ky),
-                            (ow, oh),
-                            (stride.0, stride.1),
-                            eng.stats,
-                        );
+                        let vals = eng.nb_tile(im, (kx, ky), (ow, oh), (stride.0, stride.1))?;
                         eng.sb.read_broadcast(eng.stats);
-                        let k = store.conv_weight(layer_index, o, j, (kx, ky), *kernel);
+                        let k = eng
+                            .store
+                            .conv_weight(eng.layer_index, o, j, (kx, ky), *kernel);
+                        let k = eng.sb_value(conv_weight_addr(o, j, (kx, ky)), k)?;
                         for py in 0..oh {
                             for px in 0..ow {
                                 eng.nfu
@@ -141,6 +139,7 @@ pub(super) fn run_conv(eng: &mut Engine<'_>, layer: &Layer) {
 
         group_start += group_len;
     }
+    Ok(())
 }
 
 fn union_inputs(table: &ConnectionTable, start: usize, len: usize) -> Vec<usize> {

@@ -2,6 +2,7 @@
 
 use super::window::{blocks, run_pass, Pass};
 use super::{Engine, WindowOp};
+use crate::accel::RunError;
 use shidiannao_cnn::{Layer, LayerBody, PoolKind};
 use shidiannao_fixed::Fx;
 
@@ -14,7 +15,7 @@ use shidiannao_fixed::Fx;
 /// "can be treated in a way similar to a convolutional layer, except that
 /// there is no synapse" — it routes through the shared window sweep with
 /// inter-PE propagation.
-pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
+pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
     let LayerBody::Pool {
         window,
         stride,
@@ -57,8 +58,8 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
                         PoolKind::Max => WindowOp::Max,
                         PoolKind::Avg => WindowOp::Add,
                     },
-                    |_, _| Fx::ZERO,
-                );
+                    |_, _, _| Ok(Fx::ZERO),
+                )?;
             } else {
                 // Fig. 14 flow: one gather per window element, mode (e).
                 for wy in 0..window.1 {
@@ -77,7 +78,7 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
                                 }
                             }
                         }
-                        let vals = eng.nbin.read_gather(m, &coords, eng.stats);
+                        let vals = eng.nb_gather(m, &coords)?;
                         for (&(px, py), v) in lanes.iter().zip(vals) {
                             let pe = eng.nfu.pe_mut(px, py);
                             match kind {
@@ -125,4 +126,5 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) {
             eng.nbout.write_block(m, origin, active, &vals, eng.stats);
         }
     }
+    Ok(())
 }

@@ -9,6 +9,7 @@
 //! walkthrough prescribes.
 
 use super::Engine;
+use crate::accel::RunError;
 use crate::hfsm::SecondState;
 use shidiannao_fixed::Fx;
 
@@ -52,17 +53,17 @@ impl Pass {
 }
 
 /// Runs one window pass, feeding each active PE one neuron per cycle and
-/// applying `op`. For [`WindowOp::Mac`], `kernel_value(kx, ky)` supplies
-/// the synapse broadcast from SB that cycle (the engine charges the SB
-/// read).
+/// applying `op`. For [`WindowOp::Mac`], `kernel_value(eng, kx, ky)`
+/// supplies the synapse broadcast from SB that cycle (the engine charges
+/// the SB read; the closure routes the word through the fault filter).
 ///
-/// Returns nothing; accumulation lives in the PEs.
+/// Accumulation lives in the PEs.
 pub(crate) fn run_pass(
     eng: &mut Engine<'_>,
     pass: Pass,
     op: WindowOp,
-    mut kernel_value: impl FnMut(usize, usize) -> Fx,
-) {
+    mut kernel_value: impl FnMut(&mut Engine<'_>, usize, usize) -> Result<Fx, RunError>,
+) -> Result<(), RunError> {
     let (aw, ah) = pass.active;
     let (kx_max, ky_max) = pass.kernel;
     let (sx, sy) = pass.stride;
@@ -85,24 +86,12 @@ pub(crate) fn run_pass(
             // Values received this cycle, row-major over the active block.
             let values: Vec<Fx> = if !propagate {
                 // Fig. 7 ablation: every PE re-reads from NBin each cycle.
-                eng.nbin.read_tile(
-                    pass.map,
-                    pass.input_at(0, 0, kx, ky),
-                    (aw, ah),
-                    (sx, sy),
-                    eng.stats,
-                )
+                eng.nb_tile(pass.map, pass.input_at(0, 0, kx, ky), (aw, ah), (sx, sy))?
             } else if kx == 0 && ky == 0 {
                 // Fig. 13 cycle #0: full tile fill, read mode (a)/(b)
                 // (or (e) when strided).
                 eng.hfsm.step(SecondState::Fill).expect("HFSM: fill");
-                eng.nbin.read_tile(
-                    pass.map,
-                    pass.input_at(0, 0, 0, 0),
-                    (aw, ah),
-                    (sx, sy),
-                    eng.stats,
-                )
+                eng.nb_tile(pass.map, pass.input_at(0, 0, 0, 0), (aw, ah), (sx, sy))?
             } else if kx == 0 {
                 // New kernel row (Fig. 13 cycle #3).
                 eng.hfsm.step(SecondState::NextRow).expect("HFSM: next row");
@@ -110,13 +99,7 @@ pub(crate) fn run_pass(
                 if ky < sy {
                     // The row below never read this input row within this
                     // window: everyone refills from NBin.
-                    eng.nbin.read_tile(
-                        pass.map,
-                        pass.input_at(0, 0, 0, ky),
-                        (aw, ah),
-                        (sx, sy),
-                        eng.stats,
-                    )
+                    eng.nb_tile(pass.map, pass.input_at(0, 0, 0, ky), (aw, ah), (sx, sy))?
                 } else {
                     // Upper rows pop the FIFO-V of the PE below; the bottom
                     // active row reads Px neurons from one bank (mode (c)).
@@ -127,13 +110,7 @@ pub(crate) fn run_pass(
                             eng.stats.fifo_pops += 1;
                         }
                     }
-                    let bottom = eng.nbin.read_row(
-                        pass.map,
-                        pass.input_at(0, ah - 1, 0, ky),
-                        aw,
-                        sx,
-                        eng.stats,
-                    );
+                    let bottom = eng.nb_row(pass.map, pass.input_at(0, ah - 1, 0, ky), aw, sx)?;
                     vals[(ah - 1) * aw..].copy_from_slice(&bottom);
                     vals
                 }
@@ -141,13 +118,7 @@ pub(crate) fn run_pass(
                 // Horizontal step (Fig. 13 cycles #1–#2).
                 eng.hfsm.step(SecondState::HMode).expect("HFSM: h-mode");
                 if kx < sx {
-                    eng.nbin.read_tile(
-                        pass.map,
-                        pass.input_at(0, 0, kx, ky),
-                        (aw, ah),
-                        (sx, sy),
-                        eng.stats,
-                    )
+                    eng.nb_tile(pass.map, pass.input_at(0, 0, kx, ky), (aw, ah), (sx, sy))?
                 } else {
                     // Left PEs pop the right neighbour's FIFO-H; the
                     // rightmost active column reads a column (mode (f)).
@@ -158,13 +129,7 @@ pub(crate) fn run_pass(
                             eng.stats.fifo_pops += 1;
                         }
                     }
-                    let right = eng.nbin.read_col(
-                        pass.map,
-                        pass.input_at(aw - 1, 0, kx, ky),
-                        ah,
-                        sy,
-                        eng.stats,
-                    );
+                    let right = eng.nb_col(pass.map, pass.input_at(aw - 1, 0, kx, ky), ah, sy)?;
                     for py in 0..ah {
                         vals[py * aw + (aw - 1)] = right[py];
                     }
@@ -176,7 +141,7 @@ pub(crate) fn run_pass(
             // column values additionally enter FIFO-V (Fig. 13 legend).
             let k = if op == WindowOp::Mac {
                 eng.sb.read_broadcast(eng.stats);
-                kernel_value(kx, ky)
+                kernel_value(eng, kx, ky)?
             } else {
                 Fx::ZERO
             };
@@ -213,6 +178,7 @@ pub(crate) fn run_pass(
         }
     }
     eng.nfu.record_fifo_peaks(eng.stats);
+    Ok(())
 }
 
 /// Enumerates the `Px × Py`-aligned output blocks covering a `w × h`

@@ -41,6 +41,11 @@
 //! # }
 //! ```
 
+// Library run paths report failures as typed errors (`RunError`,
+// `EmptyBufferError`) rather than panicking; contract violations still use
+// `assert!`/`.expect()` which these lints deliberately do not cover.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod area;
 pub mod compiler;
 pub mod energy;
@@ -60,10 +65,17 @@ mod stats;
 
 pub use accel::{Accelerator, Inference, PreparedNetwork, RunError, RunOutcome, Session};
 pub use alu::Alu;
-pub use buffer::{CapacityError, InstructionBuffer, NeuronBuffer, SynapseBuffer};
+pub use buffer::{CapacityError, EmptyBufferError, InstructionBuffer, NeuronBuffer, SynapseBuffer};
 pub use config::{AcceleratorConfig, ConfigError};
 pub use hfsm::{FirstState, Hfsm, SecondState, TransitionError};
 pub use nfu::Nfu;
 pub use pe::Pe;
 pub use sb::SynapseStore;
 pub use stats::{BufferTraffic, LayerStats, ReadMode, RunStats};
+
+// Re-export the fault-injection vocabulary so downstream crates can drive
+// fault campaigns without depending on `shidiannao-faults` directly.
+pub use shidiannao_faults::{
+    DetectedFault, FaultConfig, FaultPlan, FaultSite, FaultState, FaultStats, PeStuck,
+    PeStuckTarget, ScanlineFault, SramProtection,
+};

@@ -134,6 +134,20 @@ impl Nfu {
         }
     }
 
+    /// Installs per-PE stuck-at faults from a map of `(x, y)` to fault
+    /// descriptor. Passing a closure that always returns `None` clears any
+    /// previously installed faults. Stuck faults survive [`Nfu::reset`].
+    pub fn set_stuck_faults(
+        &mut self,
+        f: impl Fn(usize, usize) -> Option<shidiannao_faults::PeStuck>,
+    ) {
+        for y in 0..self.py {
+            for x in 0..self.px {
+                self.pes[y * self.px + x].set_stuck(f(x, y));
+            }
+        }
+    }
+
     /// Folds all PEs' peak FIFO occupancies into the layer statistics.
     pub fn record_fifo_peaks(&self, stats: &mut LayerStats) {
         for pe in &self.pes {
@@ -218,5 +232,22 @@ mod tests {
     fn pe_access_is_bounds_checked() {
         let nfu = Nfu::new(2, 2);
         let _ = nfu.pe(2, 0);
+    }
+
+    #[test]
+    fn stuck_faults_install_per_pe_and_survive_reset() {
+        use shidiannao_faults::{PeStuck, PeStuckTarget};
+        let mut nfu = Nfu::new(2, 2);
+        let fault = PeStuck {
+            mask: 1,
+            value: 1,
+            target: PeStuckTarget::Output,
+        };
+        nfu.set_stuck_faults(|x, y| (x == 1 && y == 0).then_some(fault));
+        nfu.reset();
+        assert_eq!(nfu.pe(1, 0).stuck(), Some(fault));
+        assert_eq!(nfu.pe(0, 0).stuck(), None);
+        nfu.set_stuck_faults(|_, _| None);
+        assert_eq!(nfu.pe(1, 0).stuck(), None);
     }
 }

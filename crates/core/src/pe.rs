@@ -1,5 +1,6 @@
 //! A single processing element (Fig. 6).
 
+use shidiannao_faults::{PeStuck, PeStuckTarget};
 use shidiannao_fixed::{Accum, Fx};
 use std::collections::VecDeque;
 
@@ -28,6 +29,9 @@ pub struct Pe {
     v_depth: usize,
     h_peak: usize,
     v_peak: usize,
+    // Hardware stuck-at fault: survives reset() (it is a property of the
+    // silicon, not of the architectural state).
+    stuck: Option<PeStuck>,
 }
 
 impl Default for Pe {
@@ -42,6 +46,7 @@ impl Default for Pe {
             v_depth: 1,
             h_peak: 0,
             v_peak: 0,
+            stuck: None,
         }
     }
 }
@@ -57,9 +62,38 @@ impl Pe {
 
     /// Restores the PE to its power-on state (accumulator, registers,
     /// FIFOs, and peak counters) — called between inferences so a reused
-    /// mesh behaves exactly like a freshly constructed one.
+    /// mesh behaves exactly like a freshly constructed one. A configured
+    /// stuck-at fault persists: it models broken silicon, not state.
     pub fn reset(&mut self) {
+        let stuck = self.stuck;
         *self = Pe::new();
+        self.stuck = stuck;
+    }
+
+    /// Installs (or clears) a stuck-at datapath fault.
+    pub fn set_stuck(&mut self, stuck: Option<PeStuck>) {
+        self.stuck = stuck;
+    }
+
+    /// The configured stuck-at fault, if any.
+    pub fn stuck(&self) -> Option<PeStuck> {
+        self.stuck
+    }
+
+    #[inline]
+    fn stuck_output(&self, v: Fx) -> Fx {
+        match self.stuck {
+            Some(f) if f.target == PeStuckTarget::Output => f.apply(v),
+            _ => v,
+        }
+    }
+
+    #[inline]
+    fn stuck_fifo(&self, v: Fx) -> Fx {
+        match self.stuck {
+            Some(f) if f.target == PeStuckTarget::Fifo => f.apply(v),
+            _ => v,
+        }
     }
 
     /// Begins a new output neuron for MAC/add work, pre-loading the bias.
@@ -91,22 +125,22 @@ impl Pe {
     }
 
     /// Reads the accumulator out through the PE output path (truncate +
-    /// saturate).
+    /// saturate, then through any stuck-at output fault).
     #[inline]
     pub fn accumulator(&self) -> Fx {
-        self.acc.to_fx()
+        self.stuck_output(self.acc.to_fx())
     }
 
     /// Divides the accumulated sum by `count` (average pooling read-out).
     #[inline]
     pub fn accumulator_mean(&self, count: usize) -> Fx {
-        self.acc.mean(count)
+        self.stuck_output(self.acc.mean(count))
     }
 
     /// The comparator register (max pooling result).
     #[inline]
     pub fn comparator(&self) -> Fx {
-        self.cmp_reg
+        self.stuck_output(self.cmp_reg)
     }
 
     /// Latches a final value into the output register (what the NB
@@ -163,7 +197,8 @@ impl Pe {
     /// Panics if the FIFO is empty (a scheduling bug: the propagation
     /// schedule guarantees the value was pushed `Sx` cycles earlier).
     pub fn pop_h(&mut self) -> Fx {
-        self.fifo_h.pop_front().expect("FIFO-H underflow")
+        let v = self.fifo_h.pop_front().expect("FIFO-H underflow");
+        self.stuck_fifo(v)
     }
 
     /// Pops the oldest FIFO-V entry — called on behalf of the upper
@@ -173,7 +208,8 @@ impl Pe {
     ///
     /// Panics if the FIFO is empty.
     pub fn pop_v(&mut self) -> Fx {
-        self.fifo_v.pop_front().expect("FIFO-V underflow")
+        let v = self.fifo_v.pop_front().expect("FIFO-V underflow");
+        self.stuck_fifo(v)
     }
 
     /// Clears FIFO-H (kernel-row boundary).
@@ -289,6 +325,53 @@ mod tests {
         let mut pe = Pe::new();
         pe.latch_output(Fx::from_f32(1.5));
         assert_eq!(pe.output(), Fx::from_f32(1.5));
+    }
+
+    #[test]
+    fn stuck_output_fault_pins_bits_on_readout() {
+        let mut pe = Pe::new();
+        // Bit 0 stuck at 1 on the output path.
+        pe.set_stuck(Some(PeStuck {
+            mask: 0x0001,
+            value: 0x0001,
+            target: PeStuckTarget::Output,
+        }));
+        pe.reset_accumulator(Fx::ZERO);
+        assert_eq!(pe.accumulator().to_bits(), 0x0001);
+        // FIFO path is unaffected by an Output-target fault.
+        pe.push_h(Fx::ZERO);
+        assert_eq!(pe.pop_h(), Fx::ZERO);
+    }
+
+    #[test]
+    fn stuck_fifo_fault_corrupts_propagated_values_only() {
+        let mut pe = Pe::new();
+        pe.set_stuck(Some(PeStuck {
+            mask: 0x0100,
+            value: 0x0000,
+            target: PeStuckTarget::Fifo,
+        }));
+        pe.set_fifo_depths(2, 2);
+        pe.push_h(Fx::from_bits(0x01FF));
+        assert_eq!(pe.pop_h().to_bits(), 0x00FF);
+        pe.reset_accumulator(Fx::from_bits(0x0100));
+        assert_eq!(pe.accumulator().to_bits(), 0x0100);
+    }
+
+    #[test]
+    fn stuck_fault_survives_reset() {
+        let mut pe = Pe::new();
+        let fault = PeStuck {
+            mask: 0x8000,
+            value: 0x8000,
+            target: PeStuckTarget::Output,
+        };
+        pe.set_stuck(Some(fault));
+        pe.reset();
+        assert_eq!(pe.stuck(), Some(fault));
+        pe.set_stuck(None);
+        pe.reset();
+        assert_eq!(pe.stuck(), None);
     }
 
     #[test]

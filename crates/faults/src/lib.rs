@@ -1,0 +1,902 @@
+//! Seeded, deterministic fault injection for the ShiDianNao simulator.
+//!
+//! ShiDianNao deploys next to the sensor in embedded devices (§2, §10.2),
+//! where SRAM soft errors, datapath faults, and corrupted scanline streams
+//! are operating conditions rather than exceptions. This crate models them
+//! as a *replayable* fault layer:
+//!
+//! * [`FaultPlan`] — every fault decision is a pure hash of
+//!   `(seed, site, layer, address)`, so a faulty SRAM cell stays faulty
+//!   for a whole layer epoch and the exact same faults replay from a
+//!   single `u64` seed regardless of access order or run path,
+//! * [`SramProtection`] — none / parity-detect / SECDED-correct word
+//!   codes, with the storage and codec overheads the energy/area models
+//!   charge,
+//! * [`PeStuck`] — stuck-at faults in PE accumulator read-out and FIFO
+//!   datapaths,
+//! * [`ScanlineFault`] — dropped or corrupted sensor scanlines.
+//!
+//! The crate is dependency-light (only the fixed-point type) so the core
+//! simulator, the sensor front-end, and the bench harness can all share
+//! one fault vocabulary.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+use core::fmt;
+use shidiannao_fixed::Fx;
+
+/// Word-level SRAM protection code (per 16-bit data word).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SramProtection {
+    /// Raw SRAM: every flip silently corrupts data.
+    #[default]
+    None,
+    /// One parity bit per word (17/16): detects any odd number of flips
+    /// (detected errors abort the run); even-bit flips pass silently.
+    Parity,
+    /// Hamming SECDED (22/16): corrects single-bit flips, detects (but
+    /// cannot correct) double-bit flips.
+    Secded,
+}
+
+impl SramProtection {
+    /// Every protection level, in increasing strength.
+    pub const ALL: [SramProtection; 3] = [
+        SramProtection::None,
+        SramProtection::Parity,
+        SramProtection::Secded,
+    ];
+
+    /// Check bits stored per 16-bit word (0 / 1 / 6).
+    #[inline]
+    pub fn check_bits(self) -> u32 {
+        match self {
+            SramProtection::None => 0,
+            SramProtection::Parity => 1,
+            SramProtection::Secded => 6,
+        }
+    }
+
+    /// Storage overhead factor: `(16 + check_bits) / 16`. Scales SRAM
+    /// area and per-byte access energy.
+    #[inline]
+    pub fn storage_overhead(self) -> f64 {
+        (16.0 + self.check_bits() as f64) / 16.0
+    }
+
+    /// Encoder/decoder logic overhead per access — a first-order factor
+    /// for the XOR tree (parity) or syndrome decode + correction mux
+    /// (SECDED) on the SRAM access path.
+    #[inline]
+    pub fn logic_overhead(self) -> f64 {
+        match self {
+            SramProtection::None => 1.0,
+            SramProtection::Parity => 1.05,
+            SramProtection::Secded => 1.25,
+        }
+    }
+
+    /// Stable lowercase label (used in reports and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            SramProtection::None => "none",
+            SramProtection::Parity => "parity",
+            SramProtection::Secded => "secded",
+        }
+    }
+}
+
+impl fmt::Display for SramProtection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which on-chip memory a fault struck (also the hash-domain separator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Neuron-buffer reads in the NBin role (the six Fig. 10 modes).
+    NbIn,
+    /// Staged NBout re-reads (the decomposed LCN sub-layers).
+    NbOut,
+    /// Synapse-buffer reads (weights and biases).
+    Sb,
+    /// Instruction-buffer fetches.
+    Ib,
+    /// PE datapath state (stuck-at faults).
+    Pe,
+    /// Sensor scanline stream.
+    Scanline,
+}
+
+impl FaultSite {
+    fn domain(self) -> u64 {
+        match self {
+            FaultSite::NbIn => 0x4E42_494E,
+            FaultSite::NbOut => 0x4E42_4F55,
+            FaultSite::Sb => 0x5342_5342,
+            FaultSite::Ib => 0x4942_4942,
+            FaultSite::Pe => 0x5045_5045,
+            FaultSite::Scanline => 0x5343_414E,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::NbIn => "nbin",
+            FaultSite::NbOut => "nbout",
+            FaultSite::Sb => "sb",
+            FaultSite::Ib => "ib",
+            FaultSite::Pe => "pe",
+            FaultSite::Scanline => "scanline",
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The 64-bit finalizer of `splitmix64` — the only mixing primitive the
+/// fault layer uses, so every decision is a cheap pure function.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Hashes `(seed, site, layer, address)` into a uniform `u64`.
+#[inline]
+fn mix(seed: u64, site: FaultSite, layer: u64, addr: [u64; 3]) -> u64 {
+    let mut h = splitmix64(seed ^ 0x5851_F42D_4C95_7F2D);
+    for (i, w) in [site.domain(), layer, addr[0], addr[1], addr[2]]
+        .into_iter()
+        .enumerate()
+    {
+        h = splitmix64(h ^ w.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    }
+    h
+}
+
+#[inline]
+fn rate_to_threshold(rate: f64) -> u64 {
+    // Saturating cast: a rate of 1.0 (or more) faults every access.
+    (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+}
+
+/// Fault rates and protection for building a [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed replaying the entire fault pattern.
+    pub seed: u64,
+    /// Per-word bit-flip probability on neuron-buffer reads.
+    pub nb_flip_rate: f64,
+    /// Per-word bit-flip probability on synapse-buffer reads.
+    pub sb_flip_rate: f64,
+    /// Per-fetch bit-flip probability on instruction words.
+    pub ib_flip_rate: f64,
+    /// Probability that a PE has a stuck-at datapath fault.
+    pub pe_stuck_rate: f64,
+    /// Per-scanline probability of a dropped or corrupted row.
+    pub scanline_rate: f64,
+    /// Fraction of SRAM flips that strike two bits of the same word
+    /// (the multi-bit-upset share; defeats parity, saturates SECDED).
+    pub double_flip_share: f64,
+    /// SRAM protection code in force.
+    pub protection: SramProtection,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration.
+    pub fn zero() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            nb_flip_rate: 0.0,
+            sb_flip_rate: 0.0,
+            ib_flip_rate: 0.0,
+            pe_stuck_rate: 0.0,
+            scanline_rate: 0.0,
+            double_flip_share: 0.0,
+            protection: SramProtection::None,
+        }
+    }
+
+    /// One rate for every SRAM site (the bench sweep's knob), with a 10 %
+    /// multi-bit-upset share and a matching PE/scanline rate.
+    pub fn uniform(seed: u64, rate: f64, protection: SramProtection) -> FaultConfig {
+        FaultConfig {
+            seed,
+            nb_flip_rate: rate,
+            sb_flip_rate: rate,
+            ib_flip_rate: rate,
+            pe_stuck_rate: rate,
+            scanline_rate: rate,
+            double_flip_share: 0.1,
+            protection,
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::zero()
+    }
+}
+
+/// A compiled, copyable fault plan: thresholds in hash space plus the
+/// protection code. Every fault decision is a pure function of the plan
+/// and the access address, so the same plan replays the same faults on
+/// any run path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    nb_threshold: u64,
+    sb_threshold: u64,
+    ib_threshold: u64,
+    pe_threshold: u64,
+    scan_threshold: u64,
+    double_threshold: u64,
+    protection: SramProtection,
+}
+
+impl FaultPlan {
+    /// Compiles a configuration into a plan.
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            seed: cfg.seed,
+            nb_threshold: rate_to_threshold(cfg.nb_flip_rate),
+            sb_threshold: rate_to_threshold(cfg.sb_flip_rate),
+            ib_threshold: rate_to_threshold(cfg.ib_flip_rate),
+            pe_threshold: rate_to_threshold(cfg.pe_stuck_rate),
+            scan_threshold: rate_to_threshold(cfg.scanline_rate),
+            double_threshold: rate_to_threshold(cfg.double_flip_share),
+            protection: cfg.protection,
+        }
+    }
+
+    /// The fault-free plan (what a plain [`session`] runs under).
+    ///
+    /// [`session`]: https://docs.rs/shidiannao-core
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(FaultConfig::zero())
+    }
+
+    /// The seed the plan replays from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The protection code in force.
+    #[inline]
+    pub fn protection(&self) -> SramProtection {
+        self.protection
+    }
+
+    /// `true` when no fault of any kind can ever fire.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.nb_threshold == 0
+            && self.sb_threshold == 0
+            && self.ib_threshold == 0
+            && self.pe_threshold == 0
+            && self.scan_threshold == 0
+    }
+
+    /// `true` when an SRAM read/fetch can fault (the simulator's
+    /// fast-path check).
+    #[inline]
+    pub fn has_sram_faults(&self) -> bool {
+        self.nb_threshold != 0 || self.sb_threshold != 0 || self.ib_threshold != 0
+    }
+
+    /// `true` when the sensor stream can fault.
+    #[inline]
+    pub fn has_scanline_faults(&self) -> bool {
+        self.scan_threshold != 0
+    }
+
+    /// Derives a sibling plan with the same rates and protection but a
+    /// deterministically re-mixed seed — used by the degradation
+    /// pipeline's per-(frame, region, attempt) retries.
+    pub fn with_salt(self, salt: u64) -> FaultPlan {
+        FaultPlan {
+            seed: splitmix64(self.seed ^ splitmix64(salt ^ 0xD1B5_4A32_D192_ED03)),
+            ..self
+        }
+    }
+
+    fn threshold_of(&self, site: FaultSite) -> u64 {
+        match site {
+            FaultSite::NbIn | FaultSite::NbOut => self.nb_threshold,
+            FaultSite::Sb => self.sb_threshold,
+            FaultSite::Ib => self.ib_threshold,
+            FaultSite::Pe => self.pe_threshold,
+            FaultSite::Scanline => self.scan_threshold,
+        }
+    }
+
+    /// The raw fault decision for one word access: `None` when the word
+    /// is clean, otherwise the flip mask (1 or 2 bits set).
+    #[inline]
+    pub fn flip_mask(&self, site: FaultSite, layer: usize, addr: [u64; 3]) -> Option<u16> {
+        let t = self.threshold_of(site);
+        if t == 0 {
+            return None;
+        }
+        let h = mix(self.seed, site, layer as u64, addr);
+        if h >= t {
+            return None;
+        }
+        let h2 = splitmix64(h);
+        let bit1 = (h2 >> 8) % 16;
+        let mut mask = 1u16 << bit1;
+        if h2 < self.double_threshold {
+            let bit2 = (bit1 + 1 + ((h2 >> 24) % 15)) % 16;
+            mask |= 1 << bit2;
+        }
+        Some(mask)
+    }
+
+    /// The stuck-at fault (if any) of the PE at mesh position `(x, y)` —
+    /// a per-PE manufacturing/wear fault, independent of layers.
+    pub fn pe_stuck(&self, x: usize, y: usize) -> Option<PeStuck> {
+        if self.pe_threshold == 0 {
+            return None;
+        }
+        let h = mix(self.seed, FaultSite::Pe, 0, [x as u64, y as u64, 0]);
+        if h >= self.pe_threshold {
+            return None;
+        }
+        let h2 = splitmix64(h);
+        let mask = 1u16 << ((h2 >> 8) % 16);
+        Some(PeStuck {
+            mask,
+            value: if h2 & 1 == 0 { 0 } else { mask },
+            target: if (h2 >> 4) & 1 == 0 {
+                PeStuckTarget::Output
+            } else {
+                PeStuckTarget::Fifo
+            },
+        })
+    }
+
+    /// The scanline fault (if any) striking row `row` of frame `frame`.
+    pub fn scanline_fault(&self, frame: u64, row: u64) -> Option<ScanlineFault> {
+        if self.scan_threshold == 0 {
+            return None;
+        }
+        let h = mix(self.seed, FaultSite::Scanline, 0, [frame, row, 0]);
+        if h >= self.scan_threshold {
+            return None;
+        }
+        let h2 = splitmix64(h);
+        if h2 & 1 == 0 {
+            Some(ScanlineFault::Dropped)
+        } else {
+            Some(ScanlineFault::Corrupted {
+                xor: ((h2 >> 8) as u8) | 1,
+                burst: h2 >> 16,
+            })
+        }
+    }
+}
+
+/// A stuck-at fault in one PE's datapath: the masked bit always reads as
+/// `value`'s bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeStuck {
+    /// The stuck bit (exactly one bit set).
+    pub mask: u16,
+    /// The value the stuck bit reads as (`0` or `mask`).
+    pub value: u16,
+    /// Which datapath the fault sits on.
+    pub target: PeStuckTarget,
+}
+
+/// Where in the PE a stuck-at fault manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeStuckTarget {
+    /// The accumulator/comparator read-out path (every result the PE
+    /// produces).
+    Output,
+    /// The inter-PE FIFO read port (every value a neighbour pops).
+    Fifo,
+}
+
+impl PeStuck {
+    /// Applies the stuck bit to a 16-bit datapath value.
+    #[inline]
+    pub fn apply_bits(&self, bits: i16) -> i16 {
+        ((bits as u16 & !self.mask) | self.value) as i16
+    }
+
+    /// Applies the stuck bit to a fixed-point value.
+    #[inline]
+    pub fn apply(&self, v: Fx) -> Fx {
+        Fx::from_bits(self.apply_bits(v.to_bits()))
+    }
+}
+
+/// A fault on the sensor's scanline stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanlineFault {
+    /// The row never arrived; the row buffer holds the previous row.
+    Dropped,
+    /// A burst of pixels in the row is bit-corrupted.
+    Corrupted {
+        /// XOR pattern applied to each corrupted pixel (never zero).
+        xor: u8,
+        /// Seed the sensor scales into the burst's start and length.
+        burst: u64,
+    },
+}
+
+/// A detected-uncorrectable SRAM error: the protection code saw the flip
+/// but could not (or does not) correct it, so the run aborts instead of
+/// silently corrupting data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectedFault {
+    /// The memory the fault struck.
+    pub site: FaultSite,
+    /// Layer epoch (0 = the load phase / first layer's reads).
+    pub layer: usize,
+    /// Site-specific word address.
+    pub addr: [u64; 3],
+    /// `true` for a double-bit upset (what saturates SECDED).
+    pub double_bit: bool,
+    /// The protection code that raised the detection.
+    pub protection: SramProtection,
+}
+
+impl fmt::Display for DetectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} detected an uncorrectable {}-bit fault in {} (layer {}, word {:?})",
+            self.protection,
+            if self.double_bit { "double" } else { "single" },
+            self.site,
+            self.layer,
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for DetectedFault {}
+
+/// Counters for what the fault layer did during one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faulted neuron-buffer word reads (NBin modes + staged NBout).
+    pub nb_faults: u64,
+    /// Faulted synapse-buffer word reads.
+    pub sb_faults: u64,
+    /// Faulted instruction fetches.
+    pub ib_faults: u64,
+    /// Flips that reached the datapath unnoticed (silent corruption).
+    pub silent: u64,
+    /// Flips corrected in place (SECDED single-bit).
+    pub corrected: u64,
+    /// Flips detected but not corrected (aborts the run).
+    pub detected: u64,
+    /// Double-bit upsets among the injected faults.
+    pub double_bit: u64,
+}
+
+impl FaultStats {
+    /// Total faulted word accesses.
+    pub fn total_faults(&self) -> u64 {
+        self.nb_faults + self.sb_faults + self.ib_faults
+    }
+
+    /// Element-wise accumulation.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.nb_faults += other.nb_faults;
+        self.sb_faults += other.sb_faults;
+        self.ib_faults += other.ib_faults;
+        self.silent += other.silent;
+        self.corrected += other.corrected;
+        self.detected += other.detected;
+        self.double_bit += other.double_bit;
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults (nb {}, sb {}, ib {}): {} silent, {} corrected, {} detected",
+            self.total_faults(),
+            self.nb_faults,
+            self.sb_faults,
+            self.ib_faults,
+            self.silent,
+            self.corrected,
+            self.detected
+        )
+    }
+}
+
+/// A plan plus its running counters — the object the simulator threads
+/// through an execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultState {
+    plan: FaultPlan,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Wraps a plan with zeroed counters.
+    pub fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// A fault-free state.
+    pub fn none() -> FaultState {
+        FaultState::new(FaultPlan::none())
+    }
+
+    /// The plan in force.
+    #[inline]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// `true` when SRAM reads need fault filtering (the hot-path gate:
+    /// a zero-rate plan must add no per-read work).
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.plan.has_sram_faults()
+    }
+
+    /// Counters since the last [`FaultState::reset_stats`].
+    #[inline]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters (each run starts fresh).
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::default();
+    }
+
+    fn count_site(&mut self, site: FaultSite) {
+        match site {
+            FaultSite::NbIn | FaultSite::NbOut => self.stats.nb_faults += 1,
+            FaultSite::Sb => self.stats.sb_faults += 1,
+            FaultSite::Ib => self.stats.ib_faults += 1,
+            FaultSite::Pe | FaultSite::Scanline => {}
+        }
+    }
+
+    fn resolve(
+        &mut self,
+        site: FaultSite,
+        layer: usize,
+        addr: [u64; 3],
+        mask: u16,
+    ) -> Result<u16, DetectedFault> {
+        self.count_site(site);
+        let double = mask.count_ones() > 1;
+        if double {
+            self.stats.double_bit += 1;
+        }
+        let detected = DetectedFault {
+            site,
+            layer,
+            addr,
+            double_bit: double,
+            protection: self.plan.protection,
+        };
+        match self.plan.protection {
+            SramProtection::None => {
+                self.stats.silent += 1;
+                Ok(mask)
+            }
+            // Parity detects odd flip counts; an even (double) flip
+            // preserves parity and slips through silently.
+            SramProtection::Parity => {
+                if double {
+                    self.stats.silent += 1;
+                    Ok(mask)
+                } else {
+                    self.stats.detected += 1;
+                    Err(detected)
+                }
+            }
+            // SECDED corrects singles, detects-but-cannot-correct
+            // doubles.
+            SramProtection::Secded => {
+                if double {
+                    self.stats.detected += 1;
+                    Err(detected)
+                } else {
+                    self.stats.corrected += 1;
+                    Ok(0)
+                }
+            }
+        }
+    }
+
+    /// Filters one 16-bit data word read from an SRAM: returns the value
+    /// as the datapath sees it, or the detection that aborts the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectedFault`] when the protection code detects an
+    /// uncorrectable flip.
+    #[inline]
+    pub fn filter_value(
+        &mut self,
+        site: FaultSite,
+        layer: usize,
+        addr: [u64; 3],
+        v: Fx,
+    ) -> Result<Fx, DetectedFault> {
+        match self.plan.flip_mask(site, layer, addr) {
+            None => Ok(v),
+            Some(mask) => {
+                let applied = self.resolve(site, layer, addr, mask)?;
+                Ok(Fx::from_bits(v.to_bits() ^ applied as i16))
+            }
+        }
+    }
+
+    /// Filters one value-free word access (instruction fetches): the
+    /// datapath consequence of a silent instruction flip is not modeled —
+    /// it is counted, and under protection it detects/corrects exactly
+    /// like a data word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectedFault`] when the protection code detects an
+    /// uncorrectable flip.
+    #[inline]
+    pub fn filter_word(
+        &mut self,
+        site: FaultSite,
+        layer: usize,
+        addr: [u64; 3],
+    ) -> Result<(), DetectedFault> {
+        match self.plan.flip_mask(site, layer, addr) {
+            None => Ok(()),
+            Some(mask) => {
+                let _ = self.resolve(site, layer, addr, mask)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rate: f64, protection: SramProtection) -> FaultPlan {
+        FaultPlan::new(FaultConfig::uniform(42, rate, protection))
+    }
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let p = FaultPlan::none();
+        assert!(p.is_zero());
+        assert!(!p.has_sram_faults());
+        assert!(!p.has_scanline_faults());
+        for a in 0..1000u64 {
+            assert_eq!(p.flip_mask(FaultSite::NbIn, 0, [a, 1, 2]), None);
+        }
+        assert_eq!(p.pe_stuck(3, 3), None);
+        assert_eq!(p.scanline_fault(0, 7), None);
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seeded() {
+        let a = plan(0.01, SramProtection::None);
+        let b = plan(0.01, SramProtection::None);
+        let c = FaultPlan::new(FaultConfig::uniform(43, 0.01, SramProtection::None));
+        let mut diverged = false;
+        for addr in 0..10_000u64 {
+            let m1 = a.flip_mask(FaultSite::Sb, 2, [addr, 0, 0]);
+            assert_eq!(m1, b.flip_mask(FaultSite::Sb, 2, [addr, 0, 0]));
+            if m1 != c.flip_mask(FaultSite::Sb, 2, [addr, 0, 0]) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds must produce different faults");
+    }
+
+    #[test]
+    fn rate_controls_fault_frequency() {
+        let p = plan(0.01, SramProtection::None);
+        let hits = (0..100_000u64)
+            .filter(|&a| p.flip_mask(FaultSite::NbIn, 0, [a, 0, 0]).is_some())
+            .count();
+        // 1 % ± generous slack.
+        assert!((500..2000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn double_share_produces_two_bit_masks() {
+        let p = plan(0.05, SramProtection::None);
+        let mut singles = 0;
+        let mut doubles = 0;
+        for a in 0..100_000u64 {
+            if let Some(m) = p.flip_mask(FaultSite::NbIn, 1, [a, 0, 0]) {
+                match m.count_ones() {
+                    1 => singles += 1,
+                    2 => doubles += 1,
+                    n => panic!("mask with {n} bits"),
+                }
+            }
+        }
+        assert!(singles > 0 && doubles > 0);
+        // ~10 % of faults are double-bit.
+        let share = doubles as f64 / (singles + doubles) as f64;
+        assert!((0.05..0.2).contains(&share), "{share}");
+    }
+
+    #[test]
+    fn protection_semantics() {
+        // Find a single-bit and a double-bit fault address.
+        let p_none = plan(0.05, SramProtection::None);
+        let single = (0..100_000u64)
+            .find(|&a| {
+                p_none
+                    .flip_mask(FaultSite::NbIn, 0, [a, 0, 0])
+                    .is_some_and(|m| m.count_ones() == 1)
+            })
+            .expect("single-bit fault exists");
+        let double = (0..100_000u64)
+            .find(|&a| {
+                p_none
+                    .flip_mask(FaultSite::NbIn, 0, [a, 0, 0])
+                    .is_some_and(|m| m.count_ones() == 2)
+            })
+            .expect("double-bit fault exists");
+        let v = Fx::from_f32(1.25);
+
+        // None: both corrupt silently.
+        let mut s = FaultState::new(p_none);
+        assert_ne!(s.filter_value(FaultSite::NbIn, 0, [single, 0, 0], v), Ok(v));
+        assert_ne!(s.filter_value(FaultSite::NbIn, 0, [double, 0, 0], v), Ok(v));
+        assert_eq!(s.stats().silent, 2);
+        assert_eq!(s.stats().double_bit, 1);
+
+        // Parity: single detected, double slips through.
+        let mut s = FaultState::new(plan(0.05, SramProtection::Parity));
+        assert!(s
+            .filter_value(FaultSite::NbIn, 0, [single, 0, 0], v)
+            .is_err());
+        let d = s.filter_value(FaultSite::NbIn, 0, [double, 0, 0], v);
+        assert!(d.is_ok() && d != Ok(v));
+        assert_eq!((s.stats().detected, s.stats().silent), (1, 1));
+
+        // SECDED: single corrected, double detected.
+        let mut s = FaultState::new(plan(0.05, SramProtection::Secded));
+        assert_eq!(s.filter_value(FaultSite::NbIn, 0, [single, 0, 0], v), Ok(v));
+        let err = s
+            .filter_value(FaultSite::NbIn, 0, [double, 0, 0], v)
+            .expect_err("double-bit detected");
+        assert!(err.double_bit);
+        assert!(err.to_string().contains("double-bit"));
+        assert_eq!((s.stats().corrected, s.stats().detected), (1, 1));
+    }
+
+    #[test]
+    fn sites_are_domain_separated() {
+        let p = plan(0.01, SramProtection::None);
+        let mut differs = false;
+        for a in 0..10_000u64 {
+            if p.flip_mask(FaultSite::NbIn, 0, [a, 0, 0])
+                != p.flip_mask(FaultSite::Sb, 0, [a, 0, 0])
+            {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn pe_stuck_is_per_position_and_applies_bits() {
+        let p = plan(0.2, SramProtection::None);
+        let stuck = (0..64)
+            .filter_map(|i| p.pe_stuck(i % 8, i / 8))
+            .collect::<Vec<_>>();
+        assert!(!stuck.is_empty(), "20 % of 64 PEs should include faults");
+        for f in &stuck {
+            assert_eq!(f.mask.count_ones(), 1);
+            assert!(f.value == 0 || f.value == f.mask);
+            let v = Fx::from_f32(-0.75);
+            let out = f.apply(v);
+            assert_eq!(out.to_bits() as u16 & f.mask, f.value);
+            assert_eq!(out.to_bits() as u16 & !f.mask, v.to_bits() as u16 & !f.mask);
+        }
+        assert_eq!(p.pe_stuck(0, 0), p.pe_stuck(0, 0));
+    }
+
+    #[test]
+    fn scanline_faults_fire_and_replay() {
+        let p = plan(0.05, SramProtection::None);
+        let faults: Vec<_> = (0..2000u64)
+            .filter_map(|row| p.scanline_fault(3, row).map(|f| (row, f)))
+            .collect();
+        assert!(!faults.is_empty());
+        assert!(faults
+            .iter()
+            .any(|(_, f)| matches!(f, ScanlineFault::Dropped)));
+        assert!(faults
+            .iter()
+            .any(|(_, f)| matches!(f, ScanlineFault::Corrupted { .. })));
+        for (row, f) in &faults {
+            assert_eq!(p.scanline_fault(3, *row), Some(*f));
+            if let ScanlineFault::Corrupted { xor, .. } = f {
+                assert_ne!(*xor, 0, "corruption must change the pixel");
+            }
+        }
+    }
+
+    #[test]
+    fn with_salt_changes_the_pattern_deterministically() {
+        let p = plan(0.01, SramProtection::None);
+        let salted = p.with_salt(7);
+        assert_eq!(salted, p.with_salt(7));
+        assert_ne!(salted.seed(), p.seed());
+        assert_eq!(p.with_salt(8).protection(), p.protection());
+    }
+
+    #[test]
+    fn protection_overheads() {
+        assert_eq!(SramProtection::None.storage_overhead(), 1.0);
+        assert_eq!(SramProtection::Parity.storage_overhead(), 17.0 / 16.0);
+        assert_eq!(SramProtection::Secded.storage_overhead(), 22.0 / 16.0);
+        assert!(SramProtection::Parity.logic_overhead() > 1.0);
+        assert!(SramProtection::Secded.logic_overhead() > SramProtection::Parity.logic_overhead());
+        assert_eq!(SramProtection::Secded.label(), "secded");
+        assert_eq!(format!("{}", SramProtection::Parity), "parity");
+    }
+
+    #[test]
+    fn stats_absorb_and_display() {
+        let mut a = FaultStats {
+            nb_faults: 1,
+            sb_faults: 2,
+            ib_faults: 3,
+            silent: 4,
+            corrected: 5,
+            detected: 6,
+            double_bit: 7,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.total_faults(), 12);
+        assert_eq!(a.silent, 8);
+        assert!(a.to_string().contains("12 faults"));
+    }
+
+    #[test]
+    fn filter_word_counts_ib_fetches() {
+        let mut s = FaultState::new(plan(0.05, SramProtection::None));
+        let mut faulted = 0;
+        for f in 0..10_000u64 {
+            if s.filter_word(FaultSite::Ib, 1, [f, 0, 0]).is_err() {
+                unreachable!("unprotected words never detect");
+            }
+            faulted = s.stats().ib_faults;
+        }
+        assert!(faulted > 0);
+        assert_eq!(s.stats().total_faults(), s.stats().ib_faults);
+        s.reset_stats();
+        assert_eq!(s.stats().total_faults(), 0);
+    }
+}

@@ -19,9 +19,54 @@
 //!   argument ("a few tens of pixel rows"),
 //! * [`frames_per_second`] — the fps arithmetic.
 
+// Streaming paths report failures as typed [`StreamError`]s; the
+// `assert!`-based contract checks on the legacy panicking APIs remain.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 use core::fmt;
+use shidiannao_faults::{FaultPlan, ScanlineFault};
 use shidiannao_fixed::Fx;
 use shidiannao_tensor::{FeatureMap, MapStack};
+
+/// A failure on the sensor streaming path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// A requested region does not fit inside the frame.
+    RegionOutOfBounds {
+        /// Region origin `(x0, y0)`.
+        origin: (usize, usize),
+        /// Region dimensions `(w, h)`.
+        region: (usize, usize),
+        /// Frame dimensions `(width, height)`.
+        frame: (usize, usize),
+    },
+    /// A frame's dimensions do not match the grid it is streamed through.
+    FrameMismatch {
+        /// The frame's dimensions.
+        frame: (usize, usize),
+        /// The grid's expected frame dimensions.
+        grid: (usize, usize),
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::RegionOutOfBounds {
+                origin: (x0, y0),
+                region: (w, h),
+                frame: (fw, fh),
+            } => write!(f, "region {w}x{h}@({x0},{y0}) exceeds frame {fw}x{fh}"),
+            StreamError::FrameMismatch { frame, grid } => write!(
+                f,
+                "frame {}x{} does not match the grid's {}x{}",
+                frame.0, frame.1, grid.0, grid.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// A captured frame: one 8-bit grayscale pixel array plus its sequence
 /// number.
@@ -57,35 +102,67 @@ impl Frame {
     ///
     /// # Panics
     ///
-    /// Panics if the region exceeds the frame.
-    pub fn region(&self, (x0, y0): (usize, usize), (w, h): (usize, usize)) -> MapStack<Fx> {
+    /// Panics if the region exceeds the frame. [`Frame::try_region`] is
+    /// the non-panicking variant.
+    #[allow(clippy::panic)]
+    pub fn region(&self, origin: (usize, usize), dims: (usize, usize)) -> MapStack<Fx> {
+        match self.try_region(origin, dims) {
+            Ok(stack) => stack,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Extracts a region, or reports [`StreamError::RegionOutOfBounds`] if
+    /// it does not fit inside the frame.
+    pub fn try_region(
+        &self,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+    ) -> Result<MapStack<Fx>, StreamError> {
         let (fw, fh) = self.dims();
-        assert!(
-            x0 + w <= fw && y0 + h <= fh,
-            "region {w}x{h}@({x0},{y0}) exceeds frame {fw}x{fh}"
-        );
+        if x0 + w > fw || y0 + h > fh {
+            return Err(StreamError::RegionOutOfBounds {
+                origin: (x0, y0),
+                region: (w, h),
+                frame: (fw, fh),
+            });
+        }
         let map = FeatureMap::from_fn(w, h, |x, y| {
             Fx::from_f32(self.pixels[(x0 + x, y0 + y)] as f32 / 256.0)
         });
         let mut stack = MapStack::new(w, h);
         stack.push(map).expect("region map matches its own stack");
-        stack
+        Ok(stack)
     }
 
     /// Like [`Frame::region`] but replicated across `maps` identical input
     /// maps (for benchmarks with multi-channel inputs, e.g. ConvNN's 3).
+    #[allow(clippy::panic)]
     pub fn region_stacked(
         &self,
         origin: (usize, usize),
         dims: (usize, usize),
         maps: usize,
     ) -> MapStack<Fx> {
-        let single = self.region(origin, dims);
+        match self.try_region_stacked(origin, dims, maps) {
+            Ok(stack) => stack,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Frame::region_stacked`].
+    pub fn try_region_stacked(
+        &self,
+        origin: (usize, usize),
+        dims: (usize, usize),
+        maps: usize,
+    ) -> Result<MapStack<Fx>, StreamError> {
+        let single = self.try_region(origin, dims)?;
         let mut stack = MapStack::new(dims.0, dims.1);
         for _ in 0..maps {
             stack.push(single[0].clone()).expect("same dims");
         }
-        stack
+        Ok(stack)
     }
 }
 
@@ -170,6 +247,94 @@ impl FrameSource for SyntheticSensor {
 
     fn dims(&self) -> (usize, usize) {
         (self.width, self.height)
+    }
+}
+
+/// A [`FrameSource`] wrapper that injects deterministic scanline faults
+/// from a [`FaultPlan`] — the sensor-link half of the fault model.
+///
+/// Real sensor links drop or corrupt whole scanlines (a missed HSYNC, a
+/// burst on the serial link), not individual pixels. Per the plan:
+///
+/// * a **dropped** row repeats the previous delivered row (what a
+///   line-buffer front-end holds when the line never arrives); row 0
+///   drops to black,
+/// * a **corrupted** row XORs a non-zero pattern over a burst of pixels.
+///
+/// The same `(plan, frame index, row)` always produces the same fault, so
+/// faulty streams are replayable from the seed alone.
+#[derive(Clone, Debug)]
+pub struct FaultySensor<S: FrameSource> {
+    inner: S,
+    plan: FaultPlan,
+    dropped: u64,
+    corrupted: u64,
+}
+
+impl<S: FrameSource> FaultySensor<S> {
+    /// Wraps a source with a fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultySensor<S> {
+        FaultySensor {
+            inner,
+            plan,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Scanlines dropped so far.
+    pub fn dropped_rows(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Scanlines corrupted so far.
+    pub fn corrupted_rows(&self) -> u64 {
+        self.corrupted
+    }
+
+    fn apply_faults(&mut self, frame: Frame) -> Frame {
+        if !self.plan.has_scanline_faults() {
+            return frame;
+        }
+        let (w, h) = frame.dims();
+        let index = frame.index();
+        let mut pixels = frame.pixels().clone();
+        for y in 0..h {
+            match self.plan.scanline_fault(index, y as u64) {
+                None => {}
+                Some(ScanlineFault::Dropped) => {
+                    self.dropped += 1;
+                    for x in 0..w {
+                        pixels[(x, y)] = if y == 0 { 0 } else { pixels[(x, y - 1)] };
+                    }
+                }
+                Some(ScanlineFault::Corrupted { xor, burst }) => {
+                    self.corrupted += 1;
+                    let start = (burst as usize) % w;
+                    let len = ((burst >> 16) as usize % w).max(1);
+                    for x in start..(start + len).min(w) {
+                        pixels[(x, y)] ^= xor;
+                    }
+                }
+            }
+        }
+        Frame::new(index, pixels)
+    }
+}
+
+impl<S: FrameSource> FrameSource for FaultySensor<S> {
+    fn next_frame(&mut self) -> Frame {
+        let frame = self.inner.next_frame();
+        self.apply_faults(frame)
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        self.inner.dims()
     }
 }
 
@@ -258,6 +423,7 @@ impl RegionGrid {
     /// # Panics
     ///
     /// Panics if the frame does not match the grid's frame dimensions.
+    /// [`RegionGrid::try_stream`] is the non-panicking variant.
     pub fn stream<'a>(&self, frame: &'a Frame, maps: usize) -> RegionStream<'a> {
         assert_eq!(frame.dims(), self.frame, "frame does not match the grid");
         RegionStream {
@@ -266,6 +432,27 @@ impl RegionGrid {
             maps,
             next: 0,
         }
+    }
+
+    /// Streams a frame's regions, or reports [`StreamError::FrameMismatch`]
+    /// if the frame's dimensions differ from the grid's.
+    pub fn try_stream<'a>(
+        &self,
+        frame: &'a Frame,
+        maps: usize,
+    ) -> Result<RegionStream<'a>, StreamError> {
+        if frame.dims() != self.frame {
+            return Err(StreamError::FrameMismatch {
+                frame: frame.dims(),
+                grid: self.frame,
+            });
+        }
+        Ok(RegionStream {
+            frame,
+            grid: *self,
+            maps,
+            next: 0,
+        })
     }
 }
 
@@ -453,6 +640,74 @@ mod tests {
         // 1 073 regions × 0.047 ms ≈ 50 ms → ~20 fps (§10.2).
         let fps = frames_per_second(1073, 0.047e-3);
         assert!((fps - 19.8).abs() < 0.3, "{fps}");
+    }
+
+    #[test]
+    fn try_region_reports_out_of_bounds() {
+        let mut cam = SyntheticSensor::new(8, 8, 1);
+        let f = cam.next_frame();
+        let err = f.try_region((4, 4), (8, 8)).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::RegionOutOfBounds {
+                origin: (4, 4),
+                region: (8, 8),
+                frame: (8, 8),
+            }
+        );
+        assert!(err.to_string().contains("exceeds frame"));
+        assert!(f.try_region((0, 0), (8, 8)).is_ok());
+        assert!(f.try_region_stacked((4, 4), (8, 8), 2).is_err());
+    }
+
+    #[test]
+    fn try_stream_reports_frame_mismatch() {
+        let g = RegionGrid::new((32, 24), (16, 12), (8, 8));
+        let mut cam = SyntheticSensor::new(16, 16, 2);
+        let f = cam.next_frame();
+        let err = g.try_stream(&f, 1).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::FrameMismatch {
+                frame: (16, 16),
+                grid: (32, 24),
+            }
+        );
+        let mut ok_cam = SyntheticSensor::new(32, 24, 2);
+        let ok = ok_cam.next_frame();
+        assert_eq!(g.try_stream(&ok, 1).unwrap().count(), g.count());
+    }
+
+    #[test]
+    fn faulty_sensor_with_zero_plan_is_transparent() {
+        let mut plain = SyntheticSensor::new(32, 24, 5);
+        let mut faulty = FaultySensor::new(SyntheticSensor::new(32, 24, 5), FaultPlan::none());
+        for _ in 0..3 {
+            assert_eq!(plain.next_frame(), faulty.next_frame());
+        }
+        assert_eq!(faulty.dropped_rows() + faulty.corrupted_rows(), 0);
+        assert_eq!(faulty.dims(), (32, 24));
+    }
+
+    #[test]
+    fn faulty_sensor_is_deterministic_and_injects_rows() {
+        use shidiannao_faults::FaultConfig;
+        let cfg = FaultConfig {
+            seed: 99,
+            scanline_rate: 0.2,
+            ..FaultConfig::zero()
+        };
+        let plan = FaultPlan::new(cfg);
+        let mut a = FaultySensor::new(SyntheticSensor::new(32, 24, 5), plan);
+        let mut b = FaultySensor::new(SyntheticSensor::new(32, 24, 5), plan);
+        let (fa, fb) = (a.next_frame(), b.next_frame());
+        assert_eq!(fa, fb);
+        // At a 20% row rate over 24 rows, some fault fires with
+        // overwhelming probability for this fixed seed.
+        assert!(a.dropped_rows() + a.corrupted_rows() > 0);
+        // The faulty frame differs from the clean one.
+        let clean = SyntheticSensor::new(32, 24, 5).next_frame();
+        assert_ne!(fa, clean);
     }
 
     #[test]

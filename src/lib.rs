@@ -41,6 +41,7 @@ pub mod pipeline;
 pub use shidiannao_baseline as baseline;
 pub use shidiannao_cnn as cnn;
 pub use shidiannao_core as sim;
+pub use shidiannao_faults as faults;
 pub use shidiannao_fixed as fixed;
 pub use shidiannao_sensor as sensor;
 pub use shidiannao_tensor as tensor;
@@ -50,8 +51,11 @@ pub mod prelude {
     pub use crate::baseline::{CpuModel, DianNao, DianNaoConfig, GpuModel};
     pub use crate::cnn::{zoo, Layer, Network, NetworkBuilder};
     pub use crate::fixed::{Accum, Fx, Pla};
-    pub use crate::pipeline::StreamingPipeline;
+    pub use crate::pipeline::{DegradePolicy, StreamingPipeline};
     pub use crate::sensor::{FrameSource, RegionStream};
-    pub use crate::sim::{Accelerator, AcceleratorConfig, PreparedNetwork, Session};
+    pub use crate::sim::{
+        Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, PreparedNetwork, Session,
+        SramProtection,
+    };
     pub use crate::tensor::{FeatureMap, MapStack, WindowGrid};
 }

@@ -8,8 +8,8 @@
 
 use crate::cnn::Network;
 use crate::fixed::Fx;
-use crate::sensor::{Frame, RegionGrid, RowBuffer};
-use crate::sim::{Accelerator, PreparedNetwork, RunError};
+use crate::sensor::{Frame, RegionGrid, RowBuffer, StreamError};
+use crate::sim::{Accelerator, FaultPlan, FaultStats, PreparedNetwork, RunError};
 use core::fmt;
 
 /// Error constructing or running a [`StreamingPipeline`].
@@ -24,6 +24,8 @@ pub enum PipelineError {
     },
     /// The accelerator rejected the network or a region.
     Run(RunError),
+    /// The sensor stream rejected the frame.
+    Stream(StreamError),
 }
 
 impl fmt::Display for PipelineError {
@@ -35,6 +37,7 @@ impl fmt::Display for PipelineError {
                 region.0, region.1, network.0, network.1
             ),
             PipelineError::Run(e) => e.fmt(f),
+            PipelineError::Stream(e) => e.fmt(f),
         }
     }
 }
@@ -44,6 +47,12 @@ impl std::error::Error for PipelineError {}
 impl From<RunError> for PipelineError {
     fn from(e: RunError) -> PipelineError {
         PipelineError::Run(e)
+    }
+}
+
+impl From<StreamError> for PipelineError {
+    fn from(e: StreamError) -> PipelineError {
+        PipelineError::Stream(e)
     }
 }
 
@@ -191,13 +200,9 @@ impl StreamingPipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::Run`] if a region run fails (cannot
-    /// happen after a successful [`StreamingPipeline::new`] unless the
-    /// frame mismatches the grid).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame's dimensions do not match the grid.
+    /// Returns [`PipelineError::Stream`] if the frame's dimensions do not
+    /// match the grid, and [`PipelineError::Run`] if a region run fails
+    /// (cannot happen after a successful [`StreamingPipeline::new`]).
     pub fn process_frame(&self, frame: &Frame) -> Result<FrameReport, PipelineError> {
         let mut results = Vec::with_capacity(self.grid.count());
         let mut compute_cycles = 0;
@@ -208,7 +213,7 @@ impl StreamingPipeline {
         // One session serves the whole frame: buffers and the PE mesh
         // stay allocated, and no region recompiles or rebuilds anything.
         let mut session = self.prepared.session();
-        for (origin, region) in origins.into_iter().zip(self.grid.stream(frame, maps)) {
+        for (origin, region) in origins.into_iter().zip(self.grid.try_stream(frame, maps)?) {
             let run = session.infer(&region)?;
             let load = run.stats().layers()[0].cycles;
             load_cycles += load;
@@ -226,6 +231,211 @@ impl StreamingPipeline {
             energy_nj,
             frequency_ghz: self.prepared.config().frequency_ghz,
         })
+    }
+
+    /// Runs a frame under a fault plan with graceful degradation instead
+    /// of frame abort.
+    ///
+    /// Each region runs in a fault-injecting session salted by
+    /// `(frame, region, attempt)`, so every attempt sees an independent —
+    /// but fully replayable — fault pattern. When SRAM protection detects
+    /// an uncorrectable error the region is **retried** up to
+    /// `policy.max_retries` times (a real controller would re-fetch the
+    /// region from the row buffer), then **dropped**; the cycles burned by
+    /// failed attempts are still charged. A per-frame cycle budget acts as
+    /// the watchdog: once spent, remaining regions are dropped without
+    /// running. The frame always completes with per-region outcomes
+    /// rather than propagating [`RunError::FaultDetected`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Stream`] on a frame/grid mismatch and
+    /// [`PipelineError::Run`] only for non-fault failures.
+    pub fn process_frame_degraded(
+        &self,
+        frame: &Frame,
+        plan: FaultPlan,
+        policy: &DegradePolicy,
+    ) -> Result<DegradedFrameReport, PipelineError> {
+        let maps = self.network().input_maps();
+        let origins: Vec<_> = self.grid.origins().collect();
+        let mut results = Vec::with_capacity(origins.len());
+        let mut cycles = 0u64;
+        let mut energy_nj = 0.0;
+        let mut fault_stats = FaultStats::default();
+        let mut session = self.prepared.session_with_faults(plan);
+        for ((ri, origin), region) in origins
+            .into_iter()
+            .enumerate()
+            .zip(self.grid.try_stream(frame, maps)?)
+        {
+            if policy
+                .frame_cycle_budget
+                .is_some_and(|budget| cycles >= budget)
+            {
+                results.push(DegradedRegionResult {
+                    origin,
+                    outcome: RegionOutcome::DroppedBudget,
+                    output: None,
+                });
+                continue;
+            }
+            let mut outcome = RegionOutcome::DroppedFaulty;
+            let mut output = None;
+            for attempt in 0..=policy.max_retries {
+                let salt = (frame.index() << 32) ^ ((ri as u64) << 8) ^ attempt as u64;
+                session.set_fault_plan(plan.with_salt(salt));
+                match session.infer(&region) {
+                    Ok(run) => {
+                        cycles += run.stats().cycles();
+                        energy_nj += run.energy().total_nj();
+                        fault_stats.absorb(run.fault_stats());
+                        output = Some(run.output_flat());
+                        outcome = if attempt == 0 {
+                            RegionOutcome::Ok
+                        } else {
+                            RegionOutcome::Degraded { retries: attempt }
+                        };
+                        break;
+                    }
+                    Err(RunError::FaultDetected(_)) => {
+                        // The aborted attempt's cycles are real time the
+                        // watchdog saw pass; charge them before retrying.
+                        cycles += session.last_cycles();
+                        fault_stats.absorb(session.fault_stats());
+                    }
+                    Err(e) => return Err(PipelineError::Run(e)),
+                }
+            }
+            results.push(DegradedRegionResult {
+                origin,
+                outcome,
+                output,
+            });
+        }
+        Ok(DegradedFrameReport {
+            results,
+            cycles,
+            energy_nj,
+            frequency_ghz: self.prepared.config().frequency_ghz,
+            fault_stats,
+        })
+    }
+}
+
+/// How [`StreamingPipeline::process_frame_degraded`] responds to detected
+/// faults and deadline pressure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Attempts after the first before a faulted region is dropped.
+    pub max_retries: u32,
+    /// Per-frame cycle budget (the watchdog): once spent, remaining
+    /// regions are dropped unrun. `None` disables the watchdog.
+    pub frame_cycle_budget: Option<u64>,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            max_retries: 2,
+            frame_cycle_budget: None,
+        }
+    }
+}
+
+/// What happened to one region under graceful degradation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionOutcome {
+    /// Completed on the first attempt.
+    Ok,
+    /// Completed after `retries` additional attempts.
+    Degraded {
+        /// Retry count that led to success.
+        retries: u32,
+    },
+    /// Every attempt hit a detected fault; the region was skipped.
+    DroppedFaulty,
+    /// The frame's cycle budget ran out before this region started.
+    DroppedBudget,
+}
+
+/// One region's result under graceful degradation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedRegionResult {
+    /// Region origin within the frame.
+    pub origin: (usize, usize),
+    /// How the region completed (or didn't).
+    pub outcome: RegionOutcome,
+    /// The network outputs, present unless the region was dropped.
+    pub output: Option<Vec<Fx>>,
+}
+
+/// A whole frame's outcome under graceful degradation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedFrameReport {
+    results: Vec<DegradedRegionResult>,
+    cycles: u64,
+    energy_nj: f64,
+    frequency_ghz: f64,
+    fault_stats: FaultStats,
+}
+
+impl DegradedFrameReport {
+    /// Per-region outcomes, in the grid's row-major order.
+    pub fn results(&self) -> &[DegradedRegionResult] {
+        &self.results
+    }
+
+    /// Regions that completed on the first attempt.
+    pub fn ok_regions(&self) -> usize {
+        self.count(|o| o == RegionOutcome::Ok)
+    }
+
+    /// Regions that completed only after retries.
+    pub fn degraded_regions(&self) -> usize {
+        self.count(|o| matches!(o, RegionOutcome::Degraded { .. }))
+    }
+
+    /// Regions dropped (faulted out or over budget).
+    pub fn dropped_regions(&self) -> usize {
+        self.count(|o| {
+            matches!(
+                o,
+                RegionOutcome::DroppedFaulty | RegionOutcome::DroppedBudget
+            )
+        })
+    }
+
+    /// Fraction of regions that produced an output.
+    pub fn coverage(&self) -> f64 {
+        if self.results.is_empty() {
+            return 1.0;
+        }
+        (self.ok_regions() + self.degraded_regions()) as f64 / self.results.len() as f64
+    }
+
+    /// Total cycles spent, including failed attempts.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Frame latency in seconds (retries included).
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.frequency_ghz * 1e9)
+    }
+
+    /// Energy of the successful runs in nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_nj
+    }
+
+    /// Aggregated fault-injection statistics across all attempts.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    fn count(&self, pred: impl Fn(RegionOutcome) -> bool) -> usize {
+        self.results.iter().filter(|r| pred(r.outcome)).count()
     }
 }
 
@@ -278,6 +488,93 @@ mod tests {
         let err = StreamingPipeline::new(Accelerator::new(AcceleratorConfig::paper()), net, grid)
             .unwrap_err();
         assert!(err.to_string().contains("expects 20x20"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_frame_is_a_typed_stream_error() {
+        let (pipe, _) = small_pipeline();
+        let mut wrong = SyntheticSensor::new(64, 64, 3);
+        let err = pipe.process_frame(&wrong.next_frame()).unwrap_err();
+        assert!(matches!(err, PipelineError::Stream(_)), "{err:?}");
+    }
+
+    #[test]
+    fn degraded_run_with_zero_plan_matches_plain_run() {
+        let (pipe, mut cam) = small_pipeline();
+        let frame = cam.next_frame();
+        let plain = pipe.process_frame(&frame).unwrap();
+        let degraded = pipe
+            .process_frame_degraded(&frame, FaultPlan::none(), &DegradePolicy::default())
+            .unwrap();
+        assert_eq!(degraded.ok_regions(), pipe.grid().count());
+        assert_eq!(degraded.degraded_regions(), 0);
+        assert_eq!(degraded.dropped_regions(), 0);
+        assert_eq!(degraded.coverage(), 1.0);
+        assert_eq!(degraded.fault_stats().total_faults(), 0);
+        for (d, p) in degraded.results().iter().zip(plain.results()) {
+            assert_eq!(d.origin, p.origin);
+            assert_eq!(d.output.as_deref(), Some(p.output.as_slice()));
+        }
+    }
+
+    #[test]
+    fn detected_faults_degrade_or_drop_but_never_abort_the_frame() {
+        use crate::sim::{FaultConfig, SramProtection};
+        let (pipe, mut cam) = small_pipeline();
+        let frame = cam.next_frame();
+        // Parity at a high flip rate: detections are certain, so the
+        // degradation path (retry, then drop) must carry the frame.
+        let plan = FaultPlan::new(FaultConfig::uniform(11, 1e-3, SramProtection::Parity));
+        let policy = DegradePolicy {
+            max_retries: 1,
+            frame_cycle_budget: None,
+        };
+        let report = pipe.process_frame_degraded(&frame, plan, &policy).unwrap();
+        assert_eq!(report.results().len(), pipe.grid().count());
+        assert!(report.fault_stats().detected > 0);
+        assert!(report.dropped_regions() + report.degraded_regions() > 0);
+        assert!(report.cycles() > 0);
+        // Replayable: same plan, same frame, same outcome.
+        let again = pipe.process_frame_degraded(&frame, plan, &policy).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_drops_remaining_regions() {
+        let (pipe, mut cam) = small_pipeline();
+        let frame = cam.next_frame();
+        let unlimited = pipe
+            .process_frame_degraded(&frame, FaultPlan::none(), &DegradePolicy::default())
+            .unwrap();
+        let per_region = unlimited.cycles() / pipe.grid().count() as u64;
+        // Budget for roughly one region: the rest must be dropped unrun.
+        let policy = DegradePolicy {
+            max_retries: 0,
+            frame_cycle_budget: Some(per_region + 1),
+        };
+        let report = pipe
+            .process_frame_degraded(&frame, FaultPlan::none(), &policy)
+            .unwrap();
+        assert!(report.ok_regions() >= 1);
+        assert!(report.dropped_regions() >= 1);
+        assert_eq!(
+            report.ok_regions() + report.dropped_regions(),
+            pipe.grid().count()
+        );
+        assert!(report.coverage() < 1.0);
+        // Budget zero drops everything before any work.
+        let none = pipe
+            .process_frame_degraded(
+                &frame,
+                FaultPlan::none(),
+                &DegradePolicy {
+                    max_retries: 0,
+                    frame_cycle_budget: Some(0),
+                },
+            )
+            .unwrap();
+        assert_eq!(none.dropped_regions(), pipe.grid().count());
+        assert_eq!(none.cycles(), 0);
     }
 
     #[test]
