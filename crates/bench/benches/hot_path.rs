@@ -1,0 +1,133 @@
+//! Microbenchmarks of the steady-state hot path: the six NB controller
+//! read modes, the SB broadcast, and a full prepared-session inference
+//! on a small network (one window-sweep executor pass end to end).
+//!
+//! These isolate the per-cycle costs the throughput harness only sees in
+//! aggregate, so a regression in (say) mode (c) row reads shows up here
+//! before it dilutes into a whole-network number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shidiannao_cnn::{ConvSpec, FcSpec, NetworkBuilder, PoolSpec};
+use shidiannao_core::{
+    Accelerator, AcceleratorConfig, LayerStats, NeuronBuffer, ReadScratch, SynapseBuffer,
+};
+use shidiannao_fixed::Fx;
+use shidiannao_tensor::{FeatureMap, MapStack};
+use std::hint::black_box;
+
+/// An NB loaded with one 32 × 32 map, paper geometry (8 × 8 banking).
+fn loaded_nb() -> NeuronBuffer {
+    let mut nb = NeuronBuffer::new(8, 8, 64 * 1024);
+    let stack = MapStack::from_fn(32, 32, 1, |_| {
+        FeatureMap::from_fn(32, 32, |x, y| {
+            Fx::from_f32(((x * 31 + y) % 97) as f32 / 97.0)
+        })
+    });
+    nb.load(stack).expect("fits");
+    nb
+}
+
+fn bench_nb_read_modes(c: &mut Criterion) {
+    let nb = loaded_nb();
+    let mut stats = LayerStats::new("bench");
+    let mut scratch = ReadScratch::default();
+    let mut out = Vec::new();
+    let mut g = c.benchmark_group("nb_read");
+    g.sample_size(10_000);
+    g.bench_function("tile_a", |b| {
+        b.iter(|| {
+            nb.read_tile_into(
+                0,
+                (0, 0),
+                (8, 8),
+                (1, 1),
+                &mut stats,
+                &mut scratch,
+                &mut out,
+            )
+        })
+    });
+    g.bench_function("tile_b", |b| {
+        b.iter(|| {
+            nb.read_tile_into(
+                0,
+                (9, 0),
+                (8, 8),
+                (1, 1),
+                &mut stats,
+                &mut scratch,
+                &mut out,
+            )
+        })
+    });
+    g.bench_function("row_c", |b| {
+        b.iter(|| nb.read_row_into(0, (4, 7), 8, 1, &mut stats, &mut scratch, &mut out))
+    });
+    g.bench_function("single_d", |b| b.iter(|| nb.read_single(123, &mut stats)));
+    g.bench_function("tile_e_strided", |b| {
+        b.iter(|| {
+            nb.read_tile_into(
+                0,
+                (0, 0),
+                (8, 8),
+                (2, 2),
+                &mut stats,
+                &mut scratch,
+                &mut out,
+            )
+        })
+    });
+    let coords: Vec<(usize, usize)> = (0..8).map(|i| (i * 2, i * 3 % 32)).collect();
+    g.bench_function("gather_e", |b| {
+        b.iter(|| nb.read_gather_into(0, &coords, &mut stats, &mut scratch, &mut out))
+    });
+    g.bench_function("col_f", |b| {
+        b.iter(|| nb.read_col_into(0, (7, 4), 8, 1, &mut stats, &mut scratch, &mut out))
+    });
+    g.finish();
+    black_box(stats.nbin.read_bytes);
+}
+
+fn bench_sb_broadcast(c: &mut Criterion) {
+    let sb = SynapseBuffer::new(128 * 1024);
+    let mut stats = LayerStats::new("bench");
+    let mut g = c.benchmark_group("sb");
+    g.sample_size(10_000);
+    g.bench_function("broadcast", |b| b.iter(|| sb.read_broadcast(&mut stats)));
+    g.finish();
+    black_box(stats.sb.read_bytes);
+}
+
+/// One full prepared-session inference on a conv → pool → fc network:
+/// every executor's steady-state path, including the analytic fast
+/// window pass and classifier dot products.
+fn bench_small_inference(c: &mut Criterion) {
+    let net = NetworkBuilder::new("hotpath", 1, (16, 16))
+        .conv(ConvSpec::new(4, (5, 5)))
+        .pool(PoolSpec::max((2, 2)))
+        .fc(FcSpec::new(10))
+        .build(7)
+        .expect("valid network");
+    let input = net.random_input(9);
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    let prepared = accel.prepare(&net).expect("prepare");
+    let mut session = prepared.session();
+    // Warm the scratch arenas and recycling pools past the growth phase.
+    for _ in 0..16 {
+        let _ = session.infer_ref(&input).expect("warm-up");
+    }
+    let mut g = c.benchmark_group("session");
+    g.sample_size(200);
+    g.bench_function("infer_conv_pool_fc", |b| {
+        b.iter(|| black_box(session.infer_ref(&input).expect("infer").stats().cycles()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hot_path,
+    bench_nb_read_modes,
+    bench_sb_broadcast,
+    bench_small_inference
+);
+criterion_main!(hot_path);

@@ -7,8 +7,13 @@
 //!
 //! `harness bench` times the harness itself — each experiment serially
 //! (`RAYON_NUM_THREADS=1`) and in parallel, plus prepared-session
-//! inference throughput — and writes the machine-readable
-//! `BENCH_harness.json` next to the working directory.
+//! inference throughput through the zero-allocation fast kernel — and
+//! writes the machine-readable `BENCH_harness.json` next to the working
+//! directory. It fails if any execution path diverged or if the fast
+//! path allocated in steady state. `harness bench --smoke` is the
+//! CI-sized gate: it asserts `sim_cycles_per_inference` for all ten
+//! networks byte-identical to the repository seed, four-way path
+//! bit-identity, and a zero-allocation measured burst.
 //!
 //! `harness faults [--smoke]` runs the seeded fault-injection campaign
 //! (fault rate × SRAM protection across the zoo, plus the
@@ -64,18 +69,48 @@ fn main() -> ExitCode {
             out
         }
         "bench" => {
-            let r = perf::measure();
-            let path = "BENCH_harness.json";
-            if let Err(e) = std::fs::write(path, r.to_json()) {
-                eprintln!("could not write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            let smoke = env::args().nth(2).is_some_and(|f| f == "--smoke");
+            let r = if smoke {
+                perf::measure_smoke()
+            } else {
+                perf::measure()
+            };
             let mut out = r.render();
-            out += &format!("\nwrote {path}\n");
-            if !r.all_bit_identical() {
-                eprintln!("{out}");
-                eprintln!("parallel results diverged from serial results");
-                return ExitCode::FAILURE;
+            if smoke {
+                // The CI gate: seed-frozen cycle counts, four-way path
+                // bit-identity, zero-allocation steady state. No JSON —
+                // BENCH_harness.json holds the full run's numbers.
+                let errors = perf::smoke_errors(&r.throughput);
+                if !errors.is_empty() {
+                    eprintln!("{out}");
+                    for e in &errors {
+                        eprintln!("smoke: {e}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                out += "\nsmoke: all seed cycle counts exact, paths bit-identical, 0 allocs\n";
+            } else {
+                let path = "BENCH_harness.json";
+                if let Err(e) = std::fs::write(path, r.to_json()) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                out += &format!("\nwrote {path}\n");
+                if !r.all_bit_identical() {
+                    eprintln!("{out}");
+                    eprintln!("parallel results diverged from serial results");
+                    return ExitCode::FAILURE;
+                }
+                if !r.all_paths_bit_identical() {
+                    eprintln!("{out}");
+                    eprintln!("an execution path diverged (legacy / run / infer / infer_ref)");
+                    return ExitCode::FAILURE;
+                }
+                if !r.zero_alloc_steady_state() {
+                    eprintln!("{out}");
+                    eprintln!("the fast path allocated in steady state");
+                    return ExitCode::FAILURE;
+                }
             }
             out
         }

@@ -7,10 +7,17 @@
 //! claims against them. The experiment-to-module index lives in DESIGN.md;
 //! measured-vs-paper numbers are recorded in EXPERIMENTS.md.
 
+pub mod alloc;
 pub mod experiments;
 pub mod faults;
 pub mod perf;
 pub mod report;
+
+/// Every binary, bench, and test linking this crate counts heap
+/// allocations, so `harness bench` can certify the zero-allocation
+/// steady-state datapath (see [`alloc`]).
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 pub use experiments::{
     compute_paper_runs, design_space_sweep, fig18_speedups, fig19_energy, fig7_bandwidth,

@@ -10,9 +10,19 @@
 //!   are compared so the JSON also certifies that parallel execution is
 //!   bit-identical to serial.
 //! * **Throughput rows** — per benchmark, one `prepare` followed by a
-//!   burst of `Session::infer` calls, reported as simulated cycles/sec
-//!   and inferences/sec, next to the same burst through the legacy
-//!   one-shot `Accelerator::run` for the speedup of buffer reuse.
+//!   warmed-up burst of `Session::infer_ref` calls through the
+//!   zero-allocation fast kernel, reported as simulated cycles/sec and
+//!   inferences/sec next to the legacy one-shot `Accelerator::run` and
+//!   the frozen PR-1 baseline. Each row also carries a *correctness
+//!   certificate*: the heap allocations counted during the burst (must
+//!   be zero in steady state) and whether all four execution paths
+//!   (legacy one-shot, instrumented `Session::run`, fast-kernel
+//!   `Session::infer` and `Session::infer_ref`) produced bit-identical
+//!   outputs, statistics, and energy.
+//!
+//! `smoke_errors` distills the rows into the CI gate: seed-frozen
+//! `sim_cycles_per_inference` for all ten networks, zero steady-state
+//! allocations, and four-way path bit-identity.
 
 use crate::experiments::{self, compute_paper_runs, SEED};
 use shidiannao_cnn::zoo;
@@ -23,8 +33,60 @@ use std::time::Instant;
 /// to keep the bench subcommand short).
 const SWEEP_SIDES: [usize; 4] = [2, 4, 6, 8];
 
-/// Inferences per benchmark in the throughput burst.
+/// Inferences per benchmark in the full throughput burst.
 const BURST: usize = 10;
+
+/// Ceiling on warm-up inferences before the counted burst. Warm-up is
+/// adaptive — it stops once [`WARMUP_QUIET`] consecutive inferences
+/// perform zero heap allocations (steady state: every reusable buffer
+/// and the map recycling pool at their high-water marks). The cap only
+/// bounds a regression where a topology never converges.
+const WARMUP_CAP: usize = 512;
+
+/// Consecutive zero-allocation inferences required to declare steady
+/// state. A single quiet inference is not enough: the recycling pool's
+/// map-to-shape assignment can wander for a few runs after its first
+/// quiet one while capacities finish growing to their high-water marks.
+const WARMUP_QUIET: usize = 8;
+
+/// Inferences per benchmark in `--smoke` mode (CI-sized).
+const SMOKE_BURST: usize = 3;
+
+/// Simulated cycles per inference frozen at the repository seed; the
+/// SoA datapath must never change a cycle count (`harness bench --smoke`
+/// fails CI otherwise).
+pub const SEED_CYCLES_PER_INFERENCE: &[(&str, u64)] = &[
+    ("CNP", 31232),
+    ("MPCNN", 53231),
+    ("FaceRecog", 8357),
+    ("LeNet-5", 10017),
+    ("SimpleConv", 8353),
+    ("CFF", 3351),
+    ("NEO", 2390),
+    ("ConvNN", 17301),
+    ("Gabor", 905),
+    ("FaceAlign", 8812),
+];
+
+/// `sim_cycles_per_s` measured by PR 1 (prepared-run pipeline, pre-SoA),
+/// copied verbatim from that PR's `BENCH_harness.json` so speedups are
+/// computed against a fixed reference instead of a moving rerun.
+pub const PR1_SIM_CYCLES_PER_S: &[(&str, f64)] = &[
+    ("CNP", 2038759.1802994816),
+    ("MPCNN", 1855007.509851419),
+    ("FaceRecog", 1677878.928135524),
+    ("LeNet-5", 1265647.7660950513),
+    ("SimpleConv", 1666545.7607967944),
+    ("CFF", 1435555.2638654246),
+    ("NEO", 1461917.7461461187),
+    ("ConvNN", 1199689.549385136),
+    ("Gabor", 1575451.5061229356),
+    ("FaceAlign", 1158505.9049619182),
+];
+
+fn lookup<T: Copy>(table: &[(&str, T)], name: &str) -> Option<T> {
+    table.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
 
 /// One experiment timed serially and in parallel.
 #[derive(Clone, Debug)]
@@ -70,15 +132,52 @@ pub struct ThroughputRow {
     /// Wall-clock seconds for the same burst through the legacy one-shot
     /// `Accelerator::run` (re-preparing every time).
     pub legacy_wall_s: f64,
+    /// Inferences in the legacy burst (the smoke run shortens it).
+    pub legacy_inferences: usize,
+    /// Heap allocations counted during the (post-warm-up) burst. The
+    /// zero-allocation datapath claim requires this to be exactly 0.
+    pub steady_state_allocs: u64,
+    /// Whether the legacy one-shot, instrumented session run, and the
+    /// fast-kernel `infer`/`infer_ref` paths agreed bit-for-bit on
+    /// outputs, statistics, and energy.
+    pub paths_bit_identical: bool,
 }
 
 impl ThroughputRow {
-    /// Legacy / session wall-clock ratio: what buffer reuse buys.
+    /// Legacy / session wall-clock ratio: what buffer reuse plus the SoA
+    /// fast kernel buy over re-preparing and re-instrumenting each run.
     pub fn session_speedup(&self) -> f64 {
-        if self.wall_s == 0.0 {
+        if self.wall_s == 0.0 || self.legacy_inferences == 0 {
             return 0.0;
         }
-        self.legacy_wall_s / self.wall_s
+        let legacy_per_inf = self.legacy_wall_s / self.legacy_inferences as f64;
+        let session_per_inf = self.wall_s / self.inferences as f64;
+        if session_per_inf == 0.0 {
+            return 0.0;
+        }
+        legacy_per_inf / session_per_inf
+    }
+
+    /// Heap allocations per simulated cycle over the burst (0.0 in the
+    /// steady state the tentpole demands).
+    pub fn allocs_per_cycle(&self) -> f64 {
+        let cycles = self.sim_cycles_per_inference * self.inferences as u64;
+        if cycles == 0 {
+            return f64::NAN;
+        }
+        self.steady_state_allocs as f64 / cycles as f64
+    }
+
+    /// The frozen PR-1 `sim_cycles_per_s` for this network, if it is one
+    /// of the ten baseline benchmarks.
+    pub fn pr1_sim_cycles_per_s(&self) -> Option<f64> {
+        lookup(PR1_SIM_CYCLES_PER_S, &self.name)
+    }
+
+    /// Throughput relative to the frozen PR-1 baseline.
+    pub fn speedup_vs_pr1(&self) -> Option<f64> {
+        self.pr1_sim_cycles_per_s()
+            .map(|base| self.sim_cycles_per_s / base)
     }
 }
 
@@ -119,6 +218,16 @@ impl PerfReport {
         self.experiments.iter().all(|e| e.bit_identical)
     }
 
+    /// Whether every benchmark's four execution paths agreed bit-for-bit.
+    pub fn all_paths_bit_identical(&self) -> bool {
+        self.throughput.iter().all(|t| t.paths_bit_identical)
+    }
+
+    /// Whether no benchmark's measured burst touched the heap.
+    pub fn zero_alloc_steady_state(&self) -> bool {
+        self.throughput.iter().all(|t| t.steady_state_allocs == 0)
+    }
+
     /// The `BENCH_harness.json` document (no external JSON dependency —
     /// every value is a string-free number, a bool, or an escaped-free
     /// benchmark name).
@@ -153,7 +262,10 @@ impl PerfReport {
                 "    {{\"name\": \"{}\", \"prepare_s\": {}, \"inferences\": {}, \
                  \"wall_s\": {}, \"sim_cycles_per_inference\": {}, \
                  \"sim_cycles_per_s\": {}, \"inferences_per_s\": {}, \
-                 \"legacy_wall_s\": {}, \"session_speedup\": {}}}{}\n",
+                 \"legacy_wall_s\": {}, \"session_speedup\": {}, \
+                 \"steady_state_allocs\": {}, \"allocs_per_cycle\": {}, \
+                 \"pr1_sim_cycles_per_s\": {}, \"speedup_vs_pr1\": {}, \
+                 \"paths_bit_identical\": {}}}{}\n",
                 t.name,
                 json_f64(t.prepare_s),
                 t.inferences,
@@ -163,6 +275,13 @@ impl PerfReport {
                 json_f64(t.inferences_per_s),
                 json_f64(t.legacy_wall_s),
                 json_f64(t.session_speedup()),
+                t.steady_state_allocs,
+                json_f64(t.allocs_per_cycle()),
+                t.pr1_sim_cycles_per_s()
+                    .map_or_else(|| "null".to_string(), json_f64),
+                t.speedup_vs_pr1()
+                    .map_or_else(|| "null".to_string(), json_f64),
+                t.paths_bit_identical,
                 comma(i, self.throughput.len()),
             );
         }
@@ -172,45 +291,46 @@ impl PerfReport {
 
     /// Human-readable rendering of the same numbers.
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "Harness performance ({} worker threads)\n\
-             experiment           serial (s)  parallel (s)  speedup  bit-identical\n",
-            self.threads
-        );
-        for e in &self.experiments {
+        let mut out = format!("Harness performance ({} worker threads)\n", self.threads);
+        if !self.experiments.is_empty() {
+            out += "experiment           serial (s)  parallel (s)  speedup  bit-identical\n";
+            for e in &self.experiments {
+                out += &format!(
+                    "{:<20} {:>10.3} {:>13.3} {:>7.2}x  {}\n",
+                    e.name,
+                    e.serial_s,
+                    e.parallel_s,
+                    e.speedup(),
+                    if e.bit_identical { "yes" } else { "NO" },
+                );
+            }
             out += &format!(
-                "{:<20} {:>10.3} {:>13.3} {:>7.2}x  {}\n",
-                e.name,
-                e.serial_s,
-                e.parallel_s,
-                e.speedup(),
-                if e.bit_identical { "yes" } else { "NO" },
+                "{:<20} {:>10.3} {:>13.3} {:>7.2}x  {}\n\n",
+                "total",
+                self.total_serial_s(),
+                self.total_parallel_s(),
+                self.total_speedup(),
+                if self.all_bit_identical() {
+                    "yes"
+                } else {
+                    "NO"
+                },
             );
         }
-        out += &format!(
-            "{:<20} {:>10.3} {:>13.3} {:>7.2}x  {}\n\n",
-            "total",
-            self.total_serial_s(),
-            self.total_parallel_s(),
-            self.total_speedup(),
-            if self.all_bit_identical() {
-                "yes"
-            } else {
-                "NO"
-            },
-        );
-        out += &format!(
-            "Prepared-session throughput ({BURST} inferences per benchmark)\n\
-             CNN          cycles/inf   sim cycles/s   inf/s   vs one-shot\n"
-        );
+        out += "Prepared-session throughput (fast kernel, warmed burst)\n\
+                CNN          cycles/inf   sim cycles/s   inf/s   vs one-shot  vs PR-1  allocs  4-path\n";
         for t in &self.throughput {
             out += &format!(
-                "{:<12} {:>10} {:>14.3e} {:>7.1} {:>10.2}x\n",
+                "{:<12} {:>10} {:>14.3e} {:>7.1} {:>10.2}x {:>7}  {:>6}  {}\n",
                 t.name,
                 t.sim_cycles_per_inference,
                 t.sim_cycles_per_s,
                 t.inferences_per_s,
                 t.session_speedup(),
+                t.speedup_vs_pr1()
+                    .map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}x")),
+                t.steady_state_allocs,
+                if t.paths_bit_identical { "yes" } else { "NO" },
             );
         }
         out
@@ -288,49 +408,95 @@ pub fn measure_experiments() -> Vec<ExperimentTiming> {
     ]
 }
 
+/// Measures one benchmark: bit-identity certificate across all four
+/// execution paths, then a warmed, allocation-counted `infer_ref` burst,
+/// then the legacy one-shot burst for comparison.
+fn measure_one(
+    b: shidiannao_cnn::NetworkBuilder,
+    burst: usize,
+    legacy_runs: usize,
+) -> ThroughputRow {
+    let net = b.build(SEED).expect("benchmark topologies are valid");
+    let input = net.random_input(SEED ^ 0xABCD);
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+
+    let start = Instant::now();
+    let prepared = accel
+        .prepare(&net)
+        .expect("benchmarks fit the paper config");
+    let prepare_s = start.elapsed().as_secs_f64();
+
+    // Certificate: legacy one-shot, instrumented session run, and the
+    // fast-kernel infer/infer_ref must agree bit-for-bit on outputs,
+    // statistics, and energy before any of them is worth timing.
+    let legacy = accel
+        .run(&net, &input)
+        .expect("benchmarks fit the paper config");
+    let mut session = prepared.session();
+    let run = session.run(&input).expect("instrumented session run");
+    let inf = session.infer(&input).expect("fast-kernel infer");
+    let paths_bit_identical = {
+        let r = session.infer_ref(&input).expect("fast-kernel infer_ref");
+        r.output() == inf.output() && r.stats() == inf.stats() && r.energy() == inf.energy()
+    } && run.output() == legacy.output()
+        && inf.output_flat() == legacy.output()
+        && run.stats() == legacy.stats()
+        && inf.stats() == legacy.stats()
+        && run.energy() == legacy.energy()
+        && inf.energy() == legacy.energy();
+
+    // Warm up until whole inferences stop allocating — scratch slabs
+    // and the map recycling pool grow toward their high-water marks
+    // over the first runs — then count heap allocations over the timed
+    // burst.
+    let mut quiet = 0;
+    for _ in 0..WARMUP_CAP {
+        let (allocs, ()) = crate::alloc::count_allocations(|| {
+            let _ = session.infer_ref(&input).expect("warm-up infer_ref");
+        });
+        quiet = if allocs == 0 { quiet + 1 } else { 0 };
+        if quiet >= WARMUP_QUIET {
+            break;
+        }
+    }
+    let mut cycles = 0;
+    let start = Instant::now();
+    let (steady_state_allocs, ()) = crate::alloc::count_allocations(|| {
+        for _ in 0..burst {
+            let r = session.infer_ref(&input).expect("input shape matches");
+            cycles = r.stats().cycles();
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..legacy_runs {
+        accel
+            .run(&net, &input)
+            .expect("benchmarks fit the paper config");
+    }
+    let legacy_wall_s = start.elapsed().as_secs_f64();
+
+    ThroughputRow {
+        name: net.name().to_string(),
+        prepare_s,
+        inferences: burst,
+        wall_s,
+        sim_cycles_per_inference: cycles,
+        sim_cycles_per_s: cycles as f64 * burst as f64 / wall_s,
+        inferences_per_s: burst as f64 / wall_s,
+        legacy_wall_s,
+        legacy_inferences: legacy_runs,
+        steady_state_allocs,
+        paths_bit_identical,
+    }
+}
+
 /// Measures prepared-session inference throughput for every benchmark.
 pub fn measure_throughput() -> Vec<ThroughputRow> {
     zoo::all()
         .into_iter()
-        .map(|b| {
-            let net = b.build(SEED).expect("benchmark topologies are valid");
-            let input = net.random_input(SEED ^ 0xABCD);
-            let accel = Accelerator::new(AcceleratorConfig::paper());
-
-            let start = Instant::now();
-            let prepared = accel
-                .prepare(&net)
-                .expect("benchmarks fit the paper config");
-            let prepare_s = start.elapsed().as_secs_f64();
-
-            let mut session = prepared.session();
-            let start = Instant::now();
-            let mut cycles = 0;
-            for _ in 0..BURST {
-                let inf = session.infer(&input).expect("input shape matches");
-                cycles = inf.stats().cycles();
-            }
-            let wall_s = start.elapsed().as_secs_f64();
-
-            let start = Instant::now();
-            for _ in 0..BURST {
-                accel
-                    .run(&net, &input)
-                    .expect("benchmarks fit the paper config");
-            }
-            let legacy_wall_s = start.elapsed().as_secs_f64();
-
-            ThroughputRow {
-                name: net.name().to_string(),
-                prepare_s,
-                inferences: BURST,
-                wall_s,
-                sim_cycles_per_inference: cycles,
-                sim_cycles_per_s: cycles as f64 * BURST as f64 / wall_s,
-                inferences_per_s: BURST as f64 / wall_s,
-                legacy_wall_s,
-            }
-        })
+        .map(|b| measure_one(b, BURST, BURST))
         .collect()
 }
 
@@ -343,9 +509,76 @@ pub fn measure() -> PerfReport {
     }
 }
 
+/// The CI-sized measurement: throughput certificates only (no
+/// serial-vs-parallel experiment timings), with a short burst.
+pub fn measure_smoke() -> PerfReport {
+    PerfReport {
+        threads: rayon::current_num_threads(),
+        experiments: Vec::new(),
+        throughput: zoo::all()
+            .into_iter()
+            .map(|b| measure_one(b, SMOKE_BURST, 1))
+            .collect(),
+    }
+}
+
+/// The CI gate over a set of throughput rows: every frozen benchmark
+/// present with its seed-exact `sim_cycles_per_inference`, all four
+/// execution paths bit-identical, and a zero-allocation steady state.
+/// Returns the list of violations (empty means pass).
+pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for &(name, expect) in SEED_CYCLES_PER_INFERENCE {
+        match rows.iter().find(|r| r.name == name) {
+            None => errors.push(format!("{name}: missing from the throughput rows")),
+            Some(row) => {
+                if row.sim_cycles_per_inference != expect {
+                    errors.push(format!(
+                        "{name}: sim_cycles_per_inference {} != seed-frozen {expect}",
+                        row.sim_cycles_per_inference
+                    ));
+                }
+            }
+        }
+    }
+    for row in rows {
+        if !row.paths_bit_identical {
+            errors.push(format!(
+                "{}: execution paths diverged (legacy / run / infer / infer_ref)",
+                row.name
+            ));
+        }
+        if row.steady_state_allocs != 0 {
+            errors.push(format!(
+                "{}: fast path allocated {} times in steady state ({} allocs/cycle)",
+                row.name,
+                row.steady_state_allocs,
+                row.allocs_per_cycle()
+            ));
+        }
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn probe_row() -> ThroughputRow {
+        ThroughputRow {
+            name: "LeNet-5".into(),
+            prepare_s: 0.001,
+            inferences: 10,
+            wall_s: 0.5,
+            sim_cycles_per_inference: 10017,
+            sim_cycles_per_s: 20000.0,
+            inferences_per_s: 20.0,
+            legacy_wall_s: 1.0,
+            legacy_inferences: 10,
+            steady_state_allocs: 0,
+            paths_bit_identical: true,
+        }
+    }
 
     #[test]
     fn json_f64_is_json_safe() {
@@ -370,16 +603,7 @@ mod tests {
                 parallel_s: 1.0,
                 bit_identical: true,
             }],
-            throughput: vec![ThroughputRow {
-                name: "LeNet-5".into(),
-                prepare_s: 0.001,
-                inferences: 10,
-                wall_s: 0.5,
-                sim_cycles_per_inference: 1000,
-                sim_cycles_per_s: 20000.0,
-                inferences_per_s: 20.0,
-                legacy_wall_s: 1.0,
-            }],
+            throughput: vec![probe_row()],
         };
         let json = report.to_json();
         for key in [
@@ -395,10 +619,65 @@ mod tests {
             "\"sim_cycles_per_s\"",
             "\"inferences_per_s\"",
             "\"session_speedup\"",
+            "\"steady_state_allocs\"",
+            "\"allocs_per_cycle\"",
+            "\"pr1_sim_cycles_per_s\"",
+            "\"speedup_vs_pr1\"",
+            "\"paths_bit_identical\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!((report.total_speedup() - 2.0).abs() < 1e-12);
         assert!(report.all_bit_identical());
+        assert!(report.all_paths_bit_identical());
+        assert!(report.zero_alloc_steady_state());
+    }
+
+    #[test]
+    fn row_derives_baseline_metrics() {
+        let row = probe_row();
+        assert_eq!(row.allocs_per_cycle(), 0.0);
+        let base = row.pr1_sim_cycles_per_s().expect("LeNet-5 has a baseline");
+        assert!((row.speedup_vs_pr1().unwrap() - 20000.0 / base).abs() < 1e-12);
+        assert!((row.session_speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_errors_flags_every_violation_class() {
+        // A clean ten-row set passes.
+        let clean: Vec<ThroughputRow> = SEED_CYCLES_PER_INFERENCE
+            .iter()
+            .map(|&(name, cycles)| ThroughputRow {
+                name: name.into(),
+                sim_cycles_per_inference: cycles,
+                ..probe_row()
+            })
+            .collect();
+        assert!(smoke_errors(&clean).is_empty());
+
+        // Drift, divergence, allocation, and absence each produce an error.
+        let mut bad = clean.clone();
+        bad[0].sim_cycles_per_inference += 1;
+        bad[1].paths_bit_identical = false;
+        bad[2].steady_state_allocs = 7;
+        bad.pop();
+        let errors = smoke_errors(&bad);
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("seed-frozen")));
+        assert!(errors.iter().any(|e| e.contains("diverged")));
+        assert!(errors.iter().any(|e| e.contains("allocated")));
+        assert!(errors.iter().any(|e| e.contains("missing")));
+    }
+
+    #[test]
+    fn baseline_tables_cover_the_same_networks() {
+        assert_eq!(SEED_CYCLES_PER_INFERENCE.len(), 10);
+        assert_eq!(PR1_SIM_CYCLES_PER_S.len(), 10);
+        for &(name, _) in SEED_CYCLES_PER_INFERENCE {
+            assert!(
+                lookup(PR1_SIM_CYCLES_PER_S, name).is_some(),
+                "{name} missing a PR-1 baseline"
+            );
+        }
     }
 }

@@ -7,11 +7,11 @@ use crate::buffer::{
 use crate::compiler::{self, CompileError, Program};
 use crate::config::{AcceleratorConfig, ConfigError};
 use crate::energy::{EnergyModel, EnergyReport};
-use crate::exec::Engine;
+use crate::exec::{Engine, Scratch};
 use crate::hfsm::{FirstState, Hfsm};
 use crate::nfu::Nfu;
 use crate::sb::SynapseStore;
-use crate::stats::{LayerStats, RunStats};
+use crate::stats::RunStats;
 use core::fmt;
 use shidiannao_cnn::Network;
 use shidiannao_faults::{DetectedFault, FaultPlan, FaultSite, FaultState, FaultStats};
@@ -250,6 +250,10 @@ impl Accelerator {
         let layer_instruction_counts = (0..network.layers().len())
             .map(|i| program.layer_instruction_count(network, i))
             .collect();
+        // `Layer::label` formats a fresh `String`; render each label once
+        // here so steady-state inference only copies bytes into recycled
+        // stats slots.
+        let layer_labels = network.layers().iter().map(|l| l.label()).collect();
         Ok(PreparedNetwork {
             config: self.config.clone(),
             energy_model: self.energy_model,
@@ -257,6 +261,7 @@ impl Accelerator {
             program,
             store,
             layer_instruction_counts,
+            layer_labels,
         })
     }
 
@@ -348,6 +353,7 @@ pub struct PreparedNetwork {
     program: Program,
     store: SynapseStore,
     layer_instruction_counts: Vec<usize>,
+    layer_labels: Vec<String>,
 }
 
 impl PreparedNetwork {
@@ -406,6 +412,8 @@ impl PreparedNetwork {
             nfu,
             alu: Alu::new(cfg.alu_lanes),
             faults: FaultState::new(plan),
+            scratch: Scratch::default(),
+            stats: RunStats::new(),
             last_cycles: 0,
         }
     }
@@ -436,10 +444,16 @@ impl PreparedNetwork {
 }
 
 /// Reusable execution state over a [`PreparedNetwork`]: the neuron
-/// buffers, synapse buffer, instruction buffer, PE mesh, and ALU stay
-/// allocated across inferences. Each run resets the mesh to its power-on
-/// state first, so results and statistics are bit-identical to a
-/// freshly constructed accelerator's.
+/// buffers, synapse buffer, instruction buffer, PE mesh, ALU, statistics
+/// slots, and the executors' scratch arena stay allocated across
+/// inferences. Each run resets the mesh to its power-on state first, so
+/// results and statistics are bit-identical to a freshly constructed
+/// accelerator's.
+///
+/// After the first inference has grown every buffer to the network's
+/// high-water mark, a [`Session::infer_ref`] call performs **zero heap
+/// allocations** (asserted by the benchmark harness's counting
+/// allocator).
 pub struct Session<'p> {
     prepared: &'p PreparedNetwork,
     nbin: NeuronBuffer,
@@ -449,6 +463,8 @@ pub struct Session<'p> {
     nfu: Nfu,
     alu: Alu,
     faults: FaultState,
+    scratch: Scratch,
+    stats: RunStats,
     last_cycles: u64,
 }
 
@@ -491,7 +507,9 @@ impl<'p> Session<'p> {
     ///
     /// Returns [`RunError::InputShape`] when the input mismatches.
     pub fn run(&mut self, input: &MapStack<Fx>) -> Result<RunOutcome, RunError> {
-        let (stats, layer_outputs) = self.execute(input, true)?;
+        let mut layer_outputs = Vec::new();
+        self.execute(input, Some(&mut layer_outputs))?;
+        let stats = self.stats.clone();
         let energy = self.prepared.energy_model.charge_run(&stats);
         Ok(RunOutcome {
             layer_outputs,
@@ -504,18 +522,23 @@ impl<'p> Session<'p> {
     }
 
     /// Executes one inference without keeping per-layer output traces —
-    /// the high-throughput path for streaming workloads. The final
-    /// output, statistics, and energy are identical to
-    /// [`Session::run`]'s.
+    /// the owned-result streaming path. The final output, statistics,
+    /// and energy are identical to [`Session::run`]'s.
+    ///
+    /// Taking the output stack out of the buffer costs the next run one
+    /// stack allocation; throughput-critical callers that only need to
+    /// *look* at the result should use [`Session::infer_ref`], which is
+    /// allocation-free in steady state.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::InputShape`] when the input mismatches.
     pub fn infer(&mut self, input: &MapStack<Fx>) -> Result<Inference, RunError> {
-        let (stats, _) = self.execute(input, false)?;
+        self.execute(input, None)?;
         let output = self.nbin.take().ok_or(EmptyBufferError {
             buffer: "NB (final output)",
         })?;
+        let stats = self.stats.clone();
         let energy = self.prepared.energy_model.charge_run(&stats);
         Ok(Inference {
             output,
@@ -526,30 +549,55 @@ impl<'p> Session<'p> {
         })
     }
 
-    /// The cycle-by-cycle inference loop shared by `run` and `infer`.
-    /// Leaves the final layer's output installed in the buffer currently
-    /// holding the NBin role. Cycles charged up to an abort (including a
+    /// Executes one inference and returns the result *borrowed* from the
+    /// session: the output stack stays installed in the buffer and the
+    /// statistics live in the session's recycled slots, so once the
+    /// session's buffers have grown to the network's high-water mark this
+    /// path performs **zero heap allocations** per inference. Output,
+    /// statistics, and energy are bit-identical to [`Session::run`]'s and
+    /// [`Session::infer`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InputShape`] when the input mismatches.
+    pub fn infer_ref(&mut self, input: &MapStack<Fx>) -> Result<InferenceRef<'_>, RunError> {
+        self.execute(input, None)?;
+        let energy = self.prepared.energy_model.charge_run(&self.stats);
+        let output = self.nbin.contents().ok_or(EmptyBufferError {
+            buffer: "NB (final output)",
+        })?;
+        Ok(InferenceRef {
+            output,
+            stats: &self.stats,
+            energy,
+            frequency_ghz: self.prepared.config.frequency_ghz,
+            fault_stats: self.faults.stats(),
+        })
+    }
+
+    /// The cycle-by-cycle inference loop shared by `run`, `infer`, and
+    /// `infer_ref` (`trace` is `Some` only for `run`). Statistics land in
+    /// the session's recycled [`RunStats`] slots; the final layer's
+    /// output is left installed in the buffer currently holding the NBin
+    /// role. Cycles charged up to an abort (including a
     /// [`RunError::FaultDetected`] one) are recorded in
     /// [`Session::last_cycles`] either way.
     fn execute(
         &mut self,
         input: &MapStack<Fx>,
-        record_trace: bool,
-    ) -> Result<(RunStats, Vec<MapStack<Fx>>), RunError> {
+        trace: Option<&mut Vec<MapStack<Fx>>>,
+    ) -> Result<(), RunError> {
         self.faults.reset_stats();
-        let mut stats = RunStats::new();
-        let mut layer_outputs = Vec::new();
-        let result = self.execute_inner(input, record_trace, &mut stats, &mut layer_outputs);
-        self.last_cycles = stats.cycles();
-        result.map(|()| (stats, layer_outputs))
+        self.stats.restart();
+        let result = self.execute_inner(input, trace);
+        self.last_cycles = self.stats.cycles();
+        result
     }
 
     fn execute_inner(
         &mut self,
         input: &MapStack<Fx>,
-        record_trace: bool,
-        stats: &mut RunStats,
-        layer_outputs: &mut Vec<MapStack<Fx>>,
+        mut trace: Option<&mut Vec<MapStack<Fx>>>,
     ) -> Result<(), RunError> {
         let network = &self.prepared.network;
         let expected = (
@@ -566,55 +614,57 @@ impl<'p> Session<'p> {
         let store = &self.prepared.store;
         self.nfu.reset();
         let mut hfsm = Hfsm::new();
+        // Fast-kernel selection (§perf in DESIGN.md): the bulk-SoA sweep
+        // kernel runs only when nothing needs per-word / per-PE
+        // instrumentation — no fault plan filtering SRAM reads, no
+        // stuck-at faults installed in the mesh, and no layer trace being
+        // recorded. It is bit-identical to the instrumented path in
+        // outputs, statistics, and energy.
+        let fast = trace.is_none() && !self.faults.active() && !self.nfu.any_stuck();
 
         // Load phase: the sensor/host streams the image into NBin at one
         // bank-width write per cycle.
-        let mut load = LayerStats::new("Load");
+        let load = self.stats.begin_layer("Load");
         hfsm.enter(FirstState::Load).expect("HFSM: load");
-        self.ib.fetch(&mut load);
+        self.ib.fetch(load);
         self.faults.filter_word(FaultSite::Ib, 0, [0, 0, 0])?;
         let input_bytes = input.neuron_count() * 2;
         load.cycles = input_bytes.div_ceil(cfg.nb_bank_width_bytes()) as u64;
         load.nbin.write(input_bytes as u64);
-        self.nbin.load(input.clone())?;
-        stats.push_layer(load);
+        self.nbin.load_from(input)?;
 
-        if record_trace {
-            layer_outputs.reserve(network.layers().len());
+        if let Some(outputs) = trace.as_deref_mut() {
+            outputs.reserve(network.layers().len());
         }
         for (i, layer) in network.layers().iter().enumerate() {
-            let mut layer_stats = LayerStats::new(layer.label());
             let (ow, oh) = layer.out_dims();
             self.nbout.begin_output(ow, oh, layer.out_maps())?;
+            let layer_stats = self.stats.begin_layer(&self.prepared.layer_labels[i]);
             for f in 0..self.prepared.layer_instruction_counts[i] {
-                self.ib.fetch(&mut layer_stats);
+                self.ib.fetch(layer_stats);
                 // Fetches are addressed per layer epoch (the load fetch is
                 // epoch 0).
                 self.faults
                     .filter_word(FaultSite::Ib, i + 1, [f as u64, 0, 0])?;
             }
-            {
-                let mut engine = Engine {
-                    cfg,
-                    nbin: &self.nbin,
-                    nbout: &mut self.nbout,
-                    sb: &self.sb,
-                    store,
-                    layer_index: i,
-                    nfu: &mut self.nfu,
-                    alu: &self.alu,
-                    hfsm: &mut hfsm,
-                    stats: &mut layer_stats,
-                    faults: &mut self.faults,
-                };
-                let run = engine.run_layer(layer);
-                if let Err(e) = run {
-                    // Keep the aborted layer's cycles so watchdog budgets
-                    // can charge the wasted attempt.
-                    stats.push_layer(layer_stats);
-                    return Err(e);
-                }
-            }
+            let mut engine = Engine {
+                cfg,
+                nbin: &self.nbin,
+                nbout: &mut self.nbout,
+                sb: &self.sb,
+                store,
+                layer_index: i,
+                nfu: &mut self.nfu,
+                alu: &self.alu,
+                hfsm: &mut hfsm,
+                stats: &mut *layer_stats,
+                faults: &mut self.faults,
+                scratch: &mut self.scratch,
+                fast,
+            };
+            // On an abort the slot keeps the layer's cycles so watchdog
+            // budgets can charge the wasted attempt.
+            engine.run_layer(layer)?;
             if cfg.model_bank_conflicts {
                 // Conflicting banked requests serialize: the stall cycles
                 // extend the layer with the whole mesh idle.
@@ -626,13 +676,12 @@ impl<'p> Session<'p> {
             // layer's input in place, with no copy.
             self.nbout.finish_output_into_input()?;
             core::mem::swap(&mut self.nbin, &mut self.nbout);
-            if record_trace {
+            if let Some(outputs) = trace.as_deref_mut() {
                 let installed = self.nbin.contents().ok_or(EmptyBufferError {
                     buffer: "NB (installed output)",
                 })?;
-                layer_outputs.push(installed.clone());
+                outputs.push(installed.clone());
             }
-            stats.push_layer(layer_stats);
         }
         hfsm.enter(FirstState::End).expect("HFSM: end");
 
@@ -687,6 +736,52 @@ impl Inference {
     /// fault-free plan).
     pub fn fault_stats(&self) -> &FaultStats {
         &self.fault_stats
+    }
+}
+
+/// A borrowed inference result from [`Session::infer_ref`]: the output
+/// stack and statistics are views into the session's reusable storage
+/// (valid until the next run), so producing one allocates nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct InferenceRef<'s> {
+    output: &'s MapStack<Fx>,
+    stats: &'s RunStats,
+    energy: EnergyReport,
+    frequency_ghz: f64,
+    fault_stats: &'s FaultStats,
+}
+
+impl InferenceRef<'_> {
+    /// The final layer's output stack.
+    pub fn output(&self) -> &MapStack<Fx> {
+        self.output
+    }
+
+    /// The final layer's output, flattened map-major (comparable to
+    /// [`RunOutcome::output`]).
+    pub fn output_flat(&self) -> Vec<Fx> {
+        self.output.flatten()
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &RunStats {
+        self.stats
+    }
+
+    /// Energy charged by the prepared network's model.
+    pub fn energy(&self) -> &EnergyReport {
+        &self.energy
+    }
+
+    /// Wall-clock seconds for this inference.
+    pub fn seconds(&self) -> f64 {
+        self.stats.seconds_at(self.frequency_ghz)
+    }
+
+    /// What the fault layer did during this inference (all zeros under a
+    /// fault-free plan).
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.fault_stats
     }
 }
 

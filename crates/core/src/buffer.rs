@@ -1,11 +1,16 @@
 //! The on-chip SRAM buffers: NBin/NBout neuron buffers with the six-mode
 //! NB controller (Figs. 9–11), the synapse buffer, and the instruction
 //! buffer.
+//!
+//! Every read mode has a `*_into` form that fills caller-owned scratch
+//! storage — the steady-state simulation path allocates nothing. The
+//! `Vec`-returning forms are thin wrappers kept for tests and one-shot
+//! callers.
 
 use crate::stats::{LayerStats, ReadMode};
 use core::fmt;
 use shidiannao_fixed::Fx;
-use shidiannao_tensor::MapStack;
+use shidiannao_tensor::{FeatureMap, MapStack};
 
 /// Error raised when data does not fit an on-chip buffer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,6 +52,29 @@ impl fmt::Display for EmptyBufferError {
 
 impl std::error::Error for EmptyBufferError {}
 
+/// Reusable working storage for bank-conflict accounting.
+///
+/// `loads` is the per-bank word-count histogram (`2 × Py` banks);
+/// `words` holds the deduplicated word list for irregular (gather)
+/// access patterns. Owned by the session's scratch arena so that
+/// steady-state conflict modelling allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ReadScratch {
+    words: Vec<(usize, usize)>,
+    loads: Vec<u32>,
+}
+
+impl ReadScratch {
+    /// Resets the per-bank histogram for a buffer with `py` banks per
+    /// group and returns the bank count.
+    #[inline]
+    fn reset_loads(&mut self, py: usize) -> usize {
+        self.loads.clear();
+        self.loads.resize(2 * py, 0);
+        2 * py
+    }
+}
+
 /// A neuron buffer (NBin or NBout) with its controller.
 ///
 /// The physical organisation follows §6 / Fig. 11: `2 × Py` banks of
@@ -55,7 +83,15 @@ impl std::error::Error for EmptyBufferError {}
 /// bank index `y mod Py` within the group. The controller exposes the six
 /// read modes of Fig. 10 and the block write mode of §7.1; every access is
 /// tallied into [`LayerStats`].
-#[derive(Clone, Debug, PartialEq)]
+///
+/// A retired output stack is kept as `spare` storage and recycled by the
+/// next [`NeuronBuffer::begin_output`], so the per-layer role swap churns
+/// no allocations once shapes have been seen. Maps shed when a reshape
+/// shrinks the map count are parked in a recycle `pool` rather than
+/// dropped, so layer sequences whose map counts oscillate (1 input map →
+/// many conv maps → few classifier maps) also settle at a high-water mark
+/// and then allocate nothing.
+#[derive(Clone, Debug)]
 pub struct NeuronBuffer {
     px: usize,
     py: usize,
@@ -66,22 +102,24 @@ pub struct NeuronBuffer {
     out_written: u64,
     // Bank-group usage histogram for the Fig. 11 write-parity invariant.
     write_groups: [u64; 2],
+    // Retired stack recycled by begin_output (not architectural state).
+    spare: Option<MapStack<Fx>>,
+    // Maps shed by shrinking reshapes, reused before allocating anew
+    // (not architectural state).
+    pool: Vec<FeatureMap<Fx>>,
 }
 
-/// Serialization penalty of one banked access: the distinct
-/// `(column segment, row)` SRAM words a request touches are served in
-/// parallel across banks, but words mapping to the same bank — same
-/// segment parity (bank group) and same `row mod Py` — share a port and
-/// serialize. Returns the extra cycles beyond the first.
-fn bank_extra_cycles(py: usize, words: impl Iterator<Item = (usize, usize)>) -> u64 {
-    let mut distinct: Vec<(usize, usize)> = words.collect();
-    distinct.sort_unstable();
-    distinct.dedup();
-    let mut loads = std::collections::HashMap::new();
-    for (seg, y) in distinct {
-        *loads.entry((seg % 2, y % py)).or_insert(0u64) += 1;
+impl PartialEq for NeuronBuffer {
+    fn eq(&self, other: &NeuronBuffer) -> bool {
+        // `spare` is recycled storage, not architectural state.
+        self.px == other.px
+            && self.py == other.py
+            && self.capacity_bytes == other.capacity_bytes
+            && self.stack == other.stack
+            && self.out == other.out
+            && self.out_written == other.out_written
+            && self.write_groups == other.write_groups
     }
-    loads.values().copied().max().unwrap_or(1).saturating_sub(1)
 }
 
 impl NeuronBuffer {
@@ -95,6 +133,8 @@ impl NeuronBuffer {
             out: None,
             out_written: 0,
             write_groups: [0, 0],
+            spare: None,
+            pool: Vec::new(),
         }
     }
 
@@ -124,6 +164,30 @@ impl NeuronBuffer {
         Ok(())
     }
 
+    /// [`NeuronBuffer::load`] from a borrowed stack, reusing the storage
+    /// of whatever the buffer previously held (capacity-reusing
+    /// `clone_from`) — the steady-state way to stream a new input frame
+    /// in without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the stack exceeds capacity.
+    pub fn load_from(&mut self, source: &MapStack<Fx>) -> Result<(), CapacityError> {
+        let needed = source.neuron_count() * 2;
+        if needed > self.capacity_bytes {
+            return Err(CapacityError {
+                buffer: "NB",
+                needed,
+                available: self.capacity_bytes,
+            });
+        }
+        match &mut self.stack {
+            Some(stack) => stack.clone_from_recycling(source, &mut self.pool),
+            None => self.stack = Some(source.clone()),
+        }
+        Ok(())
+    }
+
     /// The currently loaded layer, if any.
     pub fn contents(&self) -> Option<&MapStack<Fx>> {
         self.stack.as_ref()
@@ -146,21 +210,103 @@ impl NeuronBuffer {
         (x / self.px) % 2
     }
 
+    /// Serialization penalty of a *rectangular* access: the `x`-walk
+    /// visits column segments in non-decreasing order and the `y`-walk
+    /// visits `h` distinct rows, so the distinct `(segment, row)` word
+    /// set is (deduplicated segments) × (rows) — no sort needed. Words
+    /// mapping to the same bank (same segment parity, same `row mod Py`)
+    /// share a port and serialize; returns the extra cycles beyond the
+    /// first.
+    fn rect_extra_cycles(
+        &self,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+        (sx, sy): (usize, usize),
+        scratch: &mut ReadScratch,
+    ) -> u64 {
+        if h == 1 {
+            // Single row: every word shares `y mod Py`, so words conflict
+            // exactly when their segments share a group parity. Count
+            // distinct segments per parity without the histogram — this
+            // is the per-sweep-cycle mode (c) path.
+            let mut counts = [0u64; 2];
+            let mut prev_seg = usize::MAX;
+            for i in 0..w {
+                let seg = (x0 + i * sx) / self.px;
+                if seg != prev_seg {
+                    prev_seg = seg;
+                    counts[seg % 2] += 1;
+                }
+            }
+            return counts[0].max(counts[1]).saturating_sub(1);
+        }
+        if w == 1 && sy == 1 && h <= self.py {
+            // Single unit-stride column of at most Py rows: one segment,
+            // all distinct banks — the per-sweep-cycle mode (f) path.
+            return 0;
+        }
+        scratch.reset_loads(self.py);
+        let mut max = 0u32;
+        let mut prev_seg = usize::MAX;
+        for i in 0..w {
+            let seg = (x0 + i * sx) / self.px;
+            if seg == prev_seg {
+                continue;
+            }
+            prev_seg = seg;
+            let group = (seg % 2) * self.py;
+            for j in 0..h {
+                let bank = group + (y0 + j * sy) % self.py;
+                scratch.loads[bank] += 1;
+                max = max.max(scratch.loads[bank]);
+            }
+        }
+        u64::from(max.max(1)) - 1
+    }
+
+    /// Serialization penalty of an irregular word set (gather reads):
+    /// dedup the words, histogram per bank, extra cycles beyond the
+    /// first.
+    fn gather_extra_cycles(
+        &self,
+        words: impl Iterator<Item = (usize, usize)>,
+        scratch: &mut ReadScratch,
+    ) -> u64 {
+        scratch.words.clear();
+        scratch.words.extend(words);
+        scratch.words.sort_unstable();
+        scratch.words.dedup();
+        scratch.reset_loads(self.py);
+        let mut max = 0u32;
+        for &(seg, y) in &scratch.words {
+            let bank = (seg % 2) * self.py + y % self.py;
+            scratch.loads[bank] += 1;
+            max = max.max(scratch.loads[bank]);
+        }
+        u64::from(max.max(1)) - 1
+    }
+
     /// Mode (a)/(b) (or (e) when strided): read a `w × h` tile of neurons
     /// whose top-left input coordinate is `(x0, y0)`, consecutive PEs
-    /// `stride` apart. Returns row-major values.
+    /// `stride` apart, into `out` (cleared first), row-major.
     ///
     /// # Errors
     ///
     /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
-    pub fn read_tile(
+    // Mirrors the NB controller port list (map, origin, extent, stride)
+    // plus the two caller-owned scratch targets; bundling them would only
+    // obscure the Fig. 10 interface.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_tile_into(
         &self,
         map: usize,
         (x0, y0): (usize, usize),
         (w, h): (usize, usize),
         (sx, sy): (usize, usize),
         stats: &mut LayerStats,
-    ) -> Result<Vec<Fx>, EmptyBufferError> {
+        scratch: &mut ReadScratch,
+        out: &mut Vec<Fx>,
+    ) -> Result<(), EmptyBufferError> {
         let stack = self.loaded()?;
         let mode = if sx == 1 && sy == 1 {
             if self.bank_group_of(x0) == 0 {
@@ -172,39 +318,68 @@ impl NeuronBuffer {
             ReadMode::E
         };
         stats.nbin_read(mode, (w * h * 2) as u64);
-        stats.bank_conflict_cycles += bank_extra_cycles(
-            self.py,
-            (0..h)
-                .flat_map(|j| (0..w).map(move |i| (i, j)))
-                .map(|(i, j)| ((x0 + i * sx) / self.px, y0 + j * sy)),
-        );
-        let mut out = Vec::with_capacity(w * h);
-        for j in 0..h {
-            for i in 0..w {
-                out.push(stack[map][(x0 + i * sx, y0 + j * sy)]);
+        stats.bank_conflict_cycles += self.rect_extra_cycles((x0, y0), (w, h), (sx, sy), scratch);
+        let fm = &stack[map];
+        out.clear();
+        if sx == 1 {
+            for j in 0..h {
+                out.extend_from_slice(&fm.row(y0 + j * sy)[x0..x0 + w]);
+            }
+        } else {
+            for j in 0..h {
+                for i in 0..w {
+                    out.push(fm[(x0 + i * sx, y0 + j * sy)]);
+                }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
-    /// Mode (c): read up to `Px` neurons of one row from a single bank.
+    /// Mode (a)/(b)/(e) tile read returning a fresh `Vec` (thin wrapper
+    /// over [`NeuronBuffer::read_tile_into`]).
     ///
     /// # Errors
     ///
     /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn read_tile(
+        &self,
+        map: usize,
+        origin: (usize, usize),
+        dims: (usize, usize),
+        stride: (usize, usize),
+        stats: &mut LayerStats,
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
+        let mut scratch = ReadScratch::default();
+        let mut out = Vec::new();
+        self.read_tile_into(map, origin, dims, stride, stats, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Mode (c): read up to `Px` neurons of one row from a single bank
+    /// into `out` (cleared first).
     ///
-    /// # Panics
+    /// The `n ≤ Px` bank-width bound is `debug_assert!`-checked only: the
+    /// executors derive `n` from the active block width, which the block
+    /// schedule caps at `Px` by construction.
     ///
-    /// Panics if `n` exceeds the bank width `Px`.
-    pub fn read_row(
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    // Mirrors the NB controller port list (map, origin, extent, stride)
+    // plus the two caller-owned scratch targets; bundling them would only
+    // obscure the Fig. 10 interface.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_row_into(
         &self,
         map: usize,
         (x0, y0): (usize, usize),
         n: usize,
         sx: usize,
         stats: &mut LayerStats,
-    ) -> Result<Vec<Fx>, EmptyBufferError> {
-        assert!(
+        scratch: &mut ReadScratch,
+        out: &mut Vec<Fx>,
+    ) -> Result<(), EmptyBufferError> {
+        debug_assert!(
             n <= self.px,
             "mode (c) reads at most Px={} neurons",
             self.px
@@ -212,29 +387,63 @@ impl NeuronBuffer {
         let stack = self.loaded()?;
         let mode = if sx == 1 { ReadMode::C } else { ReadMode::E };
         stats.nbin_read(mode, (n * 2) as u64);
-        stats.bank_conflict_cycles +=
-            bank_extra_cycles(self.py, (0..n).map(|i| ((x0 + i * sx) / self.px, y0)));
-        Ok((0..n).map(|i| stack[map][(x0 + i * sx, y0)]).collect())
+        stats.bank_conflict_cycles += self.rect_extra_cycles((x0, y0), (n, 1), (sx, 1), scratch);
+        let fm = &stack[map];
+        out.clear();
+        if sx == 1 {
+            out.extend_from_slice(&fm.row(y0)[x0..x0 + n]);
+        } else {
+            for i in 0..n {
+                out.push(fm[(x0 + i * sx, y0)]);
+            }
+        }
+        Ok(())
     }
 
-    /// Mode (f): read one neuron per bank — a column of up to `Py` neurons.
+    /// Mode (c) row read returning a fresh `Vec` (thin wrapper over
+    /// [`NeuronBuffer::read_row_into`]).
     ///
     /// # Errors
     ///
     /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn read_row(
+        &self,
+        map: usize,
+        origin: (usize, usize),
+        n: usize,
+        sx: usize,
+        stats: &mut LayerStats,
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
+        let mut scratch = ReadScratch::default();
+        let mut out = Vec::new();
+        self.read_row_into(map, origin, n, sx, stats, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Mode (f): read one neuron per bank — a column of up to `Py`
+    /// neurons — into `out` (cleared first).
     ///
-    /// # Panics
+    /// The `n ≤ Py` bank-count bound is `debug_assert!`-checked only (see
+    /// [`NeuronBuffer::read_row_into`]).
     ///
-    /// Panics if `n` exceeds the bank-group height `Py`.
-    pub fn read_col(
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    // Mirrors the NB controller port list (map, origin, extent, stride)
+    // plus the two caller-owned scratch targets; bundling them would only
+    // obscure the Fig. 10 interface.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_col_into(
         &self,
         map: usize,
         (x0, y0): (usize, usize),
         n: usize,
         sy: usize,
         stats: &mut LayerStats,
-    ) -> Result<Vec<Fx>, EmptyBufferError> {
-        assert!(
+        scratch: &mut ReadScratch,
+        out: &mut Vec<Fx>,
+    ) -> Result<(), EmptyBufferError> {
+        debug_assert!(
             n <= self.py,
             "mode (f) reads at most Py={} neurons",
             self.py
@@ -242,13 +451,37 @@ impl NeuronBuffer {
         let stack = self.loaded()?;
         let mode = if sy == 1 { ReadMode::F } else { ReadMode::E };
         stats.nbin_read(mode, (n * 2) as u64);
-        stats.bank_conflict_cycles +=
-            bank_extra_cycles(self.py, (0..n).map(|j| (x0 / self.px, y0 + j * sy)));
-        Ok((0..n).map(|j| stack[map][(x0, y0 + j * sy)]).collect())
+        stats.bank_conflict_cycles += self.rect_extra_cycles((x0, y0), (1, n), (1, sy), scratch);
+        let fm = &stack[map];
+        out.clear();
+        for j in 0..n {
+            out.push(fm[(x0, y0 + j * sy)]);
+        }
+        Ok(())
+    }
+
+    /// Mode (f) column read returning a fresh `Vec` (thin wrapper over
+    /// [`NeuronBuffer::read_col_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn read_col(
+        &self,
+        map: usize,
+        origin: (usize, usize),
+        n: usize,
+        sy: usize,
+        stats: &mut LayerStats,
+    ) -> Result<Vec<Fx>, EmptyBufferError> {
+        let mut scratch = ReadScratch::default();
+        let mut out = Vec::new();
+        self.read_col_into(map, origin, n, sy, stats, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Mode (d): read a single neuron by flat (map-major, row-major) index
-    /// — the classifier-layer broadcast read.
+    /// — the classifier-layer broadcast read. Already allocation-free.
     ///
     /// # Errors
     ///
@@ -262,8 +495,35 @@ impl NeuronBuffer {
         Ok(stack[map][(rem % stack.width(), rem / stack.width())])
     }
 
-    /// Mode (e): gather arbitrary strided coordinates (pooling windows);
-    /// one access delivering `coords.len()` neurons.
+    /// Mode (e): gather arbitrary strided coordinates (pooling windows)
+    /// into `out` (cleared first); one access delivering `coords.len()`
+    /// neurons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn read_gather_into(
+        &self,
+        map: usize,
+        coords: &[(usize, usize)],
+        stats: &mut LayerStats,
+        scratch: &mut ReadScratch,
+        out: &mut Vec<Fx>,
+    ) -> Result<(), EmptyBufferError> {
+        let stack = self.loaded()?;
+        stats.nbin_read(ReadMode::E, (coords.len() * 2) as u64);
+        stats.bank_conflict_cycles +=
+            self.gather_extra_cycles(coords.iter().map(|&(x, y)| (x / self.px, y)), scratch);
+        let fm = &stack[map];
+        out.clear();
+        for &(x, y) in coords {
+            out.push(fm[(x, y)]);
+        }
+        Ok(())
+    }
+
+    /// Mode (e) gather read returning a fresh `Vec` (thin wrapper over
+    /// [`NeuronBuffer::read_gather_into`]).
     ///
     /// # Errors
     ///
@@ -274,14 +534,118 @@ impl NeuronBuffer {
         coords: &[(usize, usize)],
         stats: &mut LayerStats,
     ) -> Result<Vec<Fx>, EmptyBufferError> {
-        let stack = self.loaded()?;
-        stats.nbin_read(ReadMode::E, (coords.len() * 2) as u64);
-        stats.bank_conflict_cycles +=
-            bank_extra_cycles(self.py, coords.iter().map(|&(x, y)| (x / self.px, y)));
-        Ok(coords.iter().map(|&(x, y)| stack[map][(x, y)]).collect())
+        let mut scratch = ReadScratch::default();
+        let mut out = Vec::new();
+        self.read_gather_into(map, coords, stats, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
-    /// Starts collecting a new output layer of `count` maps of `w × h`.
+    /// Charge-only form of [`NeuronBuffer::read_tile_into`]: tallies the
+    /// same mode, byte count, and bank-conflict cycles without moving any
+    /// data. The analytic fast path (see `exec::window`) computes PE
+    /// inputs directly from the loaded stack and uses these variants to
+    /// keep the access statistics bit-identical to the cycle-accurate
+    /// sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn charge_tile_read(
+        &self,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+        (sx, sy): (usize, usize),
+        stats: &mut LayerStats,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), EmptyBufferError> {
+        self.loaded()?;
+        let mode = if sx == 1 && sy == 1 {
+            if self.bank_group_of(x0) == 0 {
+                ReadMode::A
+            } else {
+                ReadMode::B
+            }
+        } else {
+            ReadMode::E
+        };
+        stats.nbin_read(mode, (w * h * 2) as u64);
+        stats.bank_conflict_cycles += self.rect_extra_cycles((x0, y0), (w, h), (sx, sy), scratch);
+        Ok(())
+    }
+
+    /// Charge-only form of [`NeuronBuffer::read_row_into`] (see
+    /// [`NeuronBuffer::charge_tile_read`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn charge_row_read(
+        &self,
+        (x0, y0): (usize, usize),
+        n: usize,
+        sx: usize,
+        stats: &mut LayerStats,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), EmptyBufferError> {
+        debug_assert!(
+            n <= self.px,
+            "mode (c) reads at most Px={} neurons",
+            self.px
+        );
+        self.loaded()?;
+        let mode = if sx == 1 { ReadMode::C } else { ReadMode::E };
+        stats.nbin_read(mode, (n * 2) as u64);
+        stats.bank_conflict_cycles += self.rect_extra_cycles((x0, y0), (n, 1), (sx, 1), scratch);
+        Ok(())
+    }
+
+    /// Charge-only form of [`NeuronBuffer::read_col_into`] (see
+    /// [`NeuronBuffer::charge_tile_read`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn charge_col_read(
+        &self,
+        (x0, y0): (usize, usize),
+        n: usize,
+        sy: usize,
+        stats: &mut LayerStats,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), EmptyBufferError> {
+        debug_assert!(
+            n <= self.py,
+            "mode (f) reads at most Py={} neurons",
+            self.py
+        );
+        self.loaded()?;
+        let mode = if sy == 1 { ReadMode::F } else { ReadMode::E };
+        stats.nbin_read(mode, (n * 2) as u64);
+        stats.bank_conflict_cycles += self.rect_extra_cycles((x0, y0), (1, n), (1, sy), scratch);
+        Ok(())
+    }
+
+    /// Charge-only form of [`NeuronBuffer::read_single`]: `n` mode (d)
+    /// scalar reads (see [`NeuronBuffer::charge_tile_read`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyBufferError`] if the buffer holds no input layer.
+    pub fn charge_single_reads(
+        &self,
+        n: u64,
+        stats: &mut LayerStats,
+    ) -> Result<(), EmptyBufferError> {
+        self.loaded()?;
+        stats.nbin.read_accesses += n;
+        stats.nbin.read_bytes += 2 * n;
+        stats.reads_by_mode[ReadMode::D as usize] += n;
+        Ok(())
+    }
+
+    /// Starts collecting a new output layer of `count` maps of `w × h`,
+    /// recycling the storage of a previously retired stack when one is
+    /// available.
     ///
     /// # Errors
     ///
@@ -295,7 +659,9 @@ impl NeuronBuffer {
                 available: self.capacity_bytes,
             });
         }
-        self.out = Some(MapStack::filled(w, h, count, Fx::ZERO));
+        let mut recycled = self.spare.take().unwrap_or_else(|| MapStack::new(w, h));
+        recycled.refill_recycling(w, h, count, Fx::ZERO, &mut self.pool);
+        self.out = Some(recycled);
         self.out_written = 0;
         self.write_groups = [0, 0];
         Ok(())
@@ -380,6 +746,8 @@ impl NeuronBuffer {
     /// caller swaps which physical buffer plays the NBin role, so the
     /// layer handoff costs zero copies (versus
     /// [`finish_output`](Self::finish_output) + [`load`](Self::load)).
+    /// The displaced input stack is retired into the recycle slot for the
+    /// next [`begin_output`](Self::begin_output).
     ///
     /// # Errors
     ///
@@ -391,7 +759,7 @@ impl NeuronBuffer {
     /// coverage is incomplete.
     pub fn finish_output_into_input(&mut self) -> Result<(), EmptyBufferError> {
         let out = self.finish_output()?;
-        self.stack = Some(out);
+        self.spare = self.stack.replace(out);
         Ok(())
     }
 
@@ -454,7 +822,11 @@ impl SynapseBuffer {
     }
 
     /// One broadcast kernel-value read (convolutional layers read a single
-    /// synapse per cycle and share it across all PEs, §8.1).
+    /// synapse per cycle and share it across all PEs, §8.1). Already
+    /// allocation-free: the value itself comes from the [`SynapseStore`]'s
+    /// indexed tables; this meters the SRAM traffic.
+    ///
+    /// [`SynapseStore`]: crate::SynapseStore
     #[inline]
     pub fn read_broadcast(&self, stats: &mut LayerStats) {
         stats.sb.read(2);
@@ -465,6 +837,14 @@ impl SynapseBuffer {
     #[inline]
     pub fn read_wide(&self, n: usize, stats: &mut LayerStats) {
         stats.sb.read((n * 2) as u64);
+    }
+
+    /// `count` wide reads of `n` synapses each, batched (the analytic
+    /// classifier path charges a whole group's weight stream at once).
+    #[inline]
+    pub fn read_wide_burst(&self, n: usize, count: u64, stats: &mut LayerStats) {
+        stats.sb.read_accesses += count;
+        stats.sb.read_bytes += count * (n * 2) as u64;
     }
 }
 
@@ -539,6 +919,15 @@ mod tests {
         let err = small.load(stack_4x4()).unwrap_err();
         assert_eq!(err.needed, 64);
         assert!(err.to_string().contains("overflow"));
+        assert!(small.load_from(&stack_4x4()).is_err());
+    }
+
+    #[test]
+    fn load_from_reuses_storage() {
+        let mut nb = nb();
+        let replacement = MapStack::filled(3, 3, 1, Fx::from_int(5));
+        nb.load_from(&replacement).unwrap();
+        assert_eq!(nb.contents().unwrap(), &replacement);
     }
 
     #[test]
@@ -597,6 +986,7 @@ mod tests {
         assert_eq!(s.reads_by_mode[ReadMode::F as usize], 1);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "at most Px")]
     fn row_read_bounded_by_bank_width() {
@@ -626,6 +1016,65 @@ mod tests {
     }
 
     #[test]
+    fn into_reads_match_vec_reads() {
+        let nb = nb();
+        let mut s1 = LayerStats::new("vec");
+        let mut s2 = LayerStats::new("vec");
+        let mut scratch = ReadScratch::default();
+        let mut out = Vec::new();
+
+        let want = nb.read_tile(0, (0, 1), (2, 3), (1, 1), &mut s1).unwrap();
+        nb.read_tile_into(0, (0, 1), (2, 3), (1, 1), &mut s2, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, want);
+
+        let want = nb.read_tile(1, (0, 0), (2, 2), (2, 1), &mut s1).unwrap();
+        nb.read_tile_into(1, (0, 0), (2, 2), (2, 1), &mut s2, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, want);
+
+        let want = nb.read_row(0, (1, 2), 2, 1, &mut s1).unwrap();
+        nb.read_row_into(0, (1, 2), 2, 1, &mut s2, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, want);
+
+        let want = nb.read_col(1, (2, 0), 2, 2, &mut s1).unwrap();
+        nb.read_col_into(1, (2, 0), 2, 2, &mut s2, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, want);
+
+        let coords = [(0, 0), (2, 1), (2, 1), (3, 3)];
+        let want = nb.read_gather(0, &coords, &mut s1).unwrap();
+        nb.read_gather_into(0, &coords, &mut s2, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, want);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn into_reads_meter_identically() {
+        let nb = nb();
+        let mut s1 = LayerStats::new("t");
+        let mut s2 = LayerStats::new("t");
+        let mut scratch = ReadScratch::default();
+        let mut out = Vec::new();
+        let _ = nb.read_tile(0, (1, 0), (2, 4), (1, 1), &mut s1).unwrap();
+        let _ = nb.read_gather(0, &[(0, 0), (0, 1), (2, 0)], &mut s1);
+        nb.read_tile_into(0, (1, 0), (2, 4), (1, 1), &mut s2, &mut scratch, &mut out)
+            .unwrap();
+        nb.read_gather_into(
+            0,
+            &[(0, 0), (0, 1), (2, 0)],
+            &mut s2,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(s1, s2);
+        assert_ne!(s1.bank_conflict_cycles, 0);
+    }
+
+    #[test]
     fn write_blocks_cover_output_and_track_groups() {
         let mut nb = NeuronBuffer::new(2, 2, 4096);
         nb.begin_output(4, 2, 1).unwrap();
@@ -638,6 +1087,25 @@ mod tests {
         assert_eq!(out[0][(0, 0)], Fx::from_int(0));
         assert_eq!(out[0][(3, 1)], Fx::from_int(3));
         assert_eq!(s.nbout.write_bytes, 16);
+    }
+
+    #[test]
+    fn role_swap_recycles_retired_stacks() {
+        let mut nb = nb();
+        let mut s = LayerStats::new("t");
+        nb.begin_output(1, 1, 1).unwrap();
+        nb.write_block(0, (0, 0), (1, 1), &[Fx::from_int(9)], &mut s);
+        nb.finish_output_into_input().unwrap();
+        // The displaced 4x4 input stack is now the recycle slot; the next
+        // begin_output reshapes it in place.
+        assert!(nb.spare.is_some());
+        nb.begin_output(2, 2, 3).unwrap();
+        assert!(nb.spare.is_none());
+        let out = nb.out.as_ref().unwrap();
+        assert_eq!(out.map_dims(), (2, 2));
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|m| m.iter().all(|&v| v == Fx::ZERO)));
+        assert_eq!(nb.contents().unwrap()[0][(0, 0)], Fx::from_int(9));
     }
 
     #[test]

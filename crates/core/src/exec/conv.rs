@@ -3,8 +3,8 @@
 use super::window::{blocks, run_pass, Pass};
 use super::{bias_addr, conv_weight_addr, Engine, WindowOp};
 use crate::accel::RunError;
+use core::mem;
 use shidiannao_cnn::{Layer, LayerBody};
-use shidiannao_fixed::Fx;
 
 /// Executes a convolutional layer.
 ///
@@ -67,18 +67,15 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
 
             // Epilogue: drain accumulators through the ALU and flush the
             // block (Fig. 9's output register array).
-            let mut vals: Vec<Fx> = Vec::with_capacity(active.0 * active.1);
-            for py in 0..active.1 {
-                for px in 0..active.0 {
-                    vals.push(eng.nfu.pe(px, py).accumulator());
-                }
-            }
+            let mut vals = mem::take(&mut eng.scratch.vals);
+            eng.nfu.read_accumulators_into(active, &mut vals);
             // The ALU is pipelined behind double-buffered output
             // registers: its latency overlaps the next block's compute, so
             // only the one-cycle block flush shows on the critical path.
             let _ = eng.alu.activate(&mut vals, *activation, eng.stats);
             eng.tick_idle(1);
             eng.nbout.write_block(o, origin, active, &vals, eng.stats);
+            eng.scratch.vals = vals;
         }
     }
     Ok(())

@@ -2,9 +2,9 @@
 
 use super::{bias_addr, fc_weight_addr, Engine};
 use crate::accel::RunError;
-use shidiannao_cnn::{Layer, LayerBody};
+use core::mem;
+use shidiannao_cnn::{FcWeights, Layer, LayerBody};
 use shidiannao_fixed::Fx;
-use std::collections::BTreeSet;
 
 /// Executes a (fully or partially connected) classifier layer.
 ///
@@ -15,6 +15,28 @@ use std::collections::BTreeSet;
 /// sub-full kernel counts) iterate the *union* of the group's input
 /// indices; PEs whose row skips an index idle that cycle.
 pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
+    let mut idxs = mem::take(&mut eng.scratch.idxs);
+    let mut cursors = mem::take(&mut eng.scratch.cursors);
+    let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut flat = mem::take(&mut eng.scratch.values);
+    let result = run_groups(eng, layer, &mut idxs, &mut cursors, &mut vals, &mut flat);
+    eng.scratch.idxs = idxs;
+    eng.scratch.cursors = cursors;
+    eng.scratch.vals = vals;
+    eng.scratch.values = flat;
+    result
+}
+
+/// The group loop proper, split out so the scratch buffers above can be
+/// restored even when a faulted access exits early with `?`.
+fn run_groups(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    idxs: &mut Vec<usize>,
+    cursors: &mut Vec<usize>,
+    vals: &mut Vec<Fx>,
+    flat: &mut Vec<Fx>,
+) -> Result<(), RunError> {
     let LayerBody::Fc {
         weights,
         activation,
@@ -25,6 +47,11 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
     let pe_count = eng.cfg.pe_count();
     let px = eng.cfg.pe_cols;
     let out_count = layer.out_maps();
+    // Full connectivity means the union loop below degenerates to
+    // `0..in_count` for every group — the fast path exploits that to
+    // skip building (and sorting) the explicit index union.
+    let dense = (0..out_count).all(|n| weights.row(n).len() == weights.in_count());
+    let mut flattened = false;
 
     for group_start in (0..out_count).step_by(pe_count) {
         let group_len = pe_count.min(out_count - group_start);
@@ -37,46 +64,157 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
             eng.nfu.pe_mut(i % px, i / px).reset_accumulator(bias);
         }
 
-        // The distinct input indices any PE in the group needs, ascending
-        // (rows are sorted, so per-PE cursors advance monotonically).
-        let union: BTreeSet<usize> = (0..group_len)
-            .flat_map(|i| weights.row(group_start + i).iter().map(|&(idx, _)| idx))
-            .collect();
-        let mut cursors = vec![0usize; group_len];
-
-        for &idx in &union {
-            // One broadcast neuron (mode (d)) + one wide synapse read.
-            let neuron = eng.nb_single(idx)?;
-            eng.sb.read_wide(pe_count, eng.stats);
-            let mut busy = 0;
-            for (i, cursor) in cursors.iter_mut().enumerate() {
-                let row = weights.row(group_start + i);
-                if *cursor < row.len() && row[*cursor].0 == idx {
-                    // The row's sparsity pattern is decoder metadata; the
-                    // weight itself streams from the SB image.
-                    let w = eng
-                        .store
-                        .fc_weight(eng.layer_index, group_start + i, *cursor);
-                    let w = eng.sb_value(fc_weight_addr(group_start + i, *cursor), w)?;
-                    eng.nfu.pe_mut(i % px, i / px).mac(neuron, w);
-                    eng.stats.pe_muls += 1;
-                    eng.stats.pe_adds += 1;
-                    *cursor += 1;
-                    busy += 1;
-                }
-            }
-            eng.tick(busy);
+        if eng.fast {
+            fast_group(
+                eng,
+                weights,
+                group_start,
+                group_len,
+                dense,
+                idxs,
+                flat,
+                &mut flattened,
+            )?;
+        } else {
+            slow_group(eng, weights, group_start, group_len, idxs, cursors)?;
         }
 
         // Epilogue: activation through the ALU, then one grouped write.
-        let mut vals: Vec<Fx> = (0..group_len)
-            .map(|i| eng.nfu.pe(i % px, i / px).accumulator())
-            .collect();
+        vals.clear();
+        for i in 0..group_len {
+            vals.push(eng.nfu.pe(i % px, i / px).accumulator());
+        }
         // Pipelined ALU: activation latency hides behind the next
         // group's MAC stream; one flush cycle remains.
-        let _ = eng.alu.activate(&mut vals, *activation, eng.stats);
+        let _ = eng.alu.activate(vals, *activation, eng.stats);
         eng.tick_idle(1);
-        eng.nbout.write_scalar_group(group_start, &vals, eng.stats);
+        eng.nbout.write_scalar_group(group_start, vals, eng.stats);
+    }
+    Ok(())
+}
+
+/// The instrumented union loop: one mode (d) broadcast + one wide SB read
+/// per distinct input index, PEs matching via per-row cursors.
+fn slow_group(
+    eng: &mut Engine<'_>,
+    weights: &FcWeights,
+    group_start: usize,
+    group_len: usize,
+    idxs: &mut Vec<usize>,
+    cursors: &mut Vec<usize>,
+) -> Result<(), RunError> {
+    // The distinct input indices any PE in the group needs, ascending
+    // (rows are sorted, so per-PE cursors advance monotonically).
+    idxs.clear();
+    for i in 0..group_len {
+        idxs.extend(weights.row(group_start + i).iter().map(|&(idx, _)| idx));
+    }
+    idxs.sort_unstable();
+    idxs.dedup();
+    cursors.clear();
+    cursors.resize(group_len, 0);
+
+    for &idx in idxs.iter() {
+        // One broadcast neuron (mode (d)) + one wide synapse read.
+        let neuron = eng.nb_single(idx)?;
+        eng.sb.read_wide(eng.cfg.pe_count(), eng.stats);
+        let mut busy = 0;
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            let row = weights.row(group_start + i);
+            if *cursor < row.len() && row[*cursor].0 == idx {
+                // The row's sparsity pattern is decoder metadata; the
+                // weight itself streams from the SB image.
+                let w = eng
+                    .store
+                    .fc_weight(eng.layer_index, group_start + i, *cursor);
+                let w = eng.sb_value(fc_weight_addr(group_start + i, *cursor), w)?;
+                eng.nfu
+                    .pe_mut(i % eng.cfg.pe_cols, i / eng.cfg.pe_cols)
+                    .mac(neuron, w);
+                eng.stats.pe_muls += 1;
+                eng.stats.pe_adds += 1;
+                *cursor += 1;
+                busy += 1;
+            }
+        }
+        eng.tick(busy);
+    }
+    Ok(())
+}
+
+/// The analytic fast path: the union loop's per-cycle bookkeeping has a
+/// closed form, and each PE's MAC stream is its weight row in ascending
+/// index order (exactly the order the cursors walk), so the accumulation
+/// is computed as one dot product per PE over the flattened input — the
+/// per-accumulator operation sequence, and therefore the result, is
+/// bit-identical to [`slow_group`].
+///
+/// Statistics: with `U` distinct input indices in the group's union and
+/// `B` total row entries (each entry matches its index exactly once),
+/// the union loop charges `U` mode (d) reads, `U` wide SB reads, `U`
+/// cycles, `B` busy PE slots, and `B` muls + adds.
+#[allow(clippy::too_many_arguments)]
+fn fast_group(
+    eng: &mut Engine<'_>,
+    weights: &FcWeights,
+    group_start: usize,
+    group_len: usize,
+    dense: bool,
+    idxs: &mut Vec<usize>,
+    flat: &mut Vec<Fx>,
+    flattened: &mut bool,
+) -> Result<(), RunError> {
+    let union = if dense {
+        weights.in_count()
+    } else {
+        idxs.clear();
+        for i in 0..group_len {
+            idxs.extend(weights.row(group_start + i).iter().map(|&(idx, _)| idx));
+        }
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs.len()
+    } as u64;
+    let matched: u64 = (0..group_len)
+        .map(|i| weights.row(group_start + i).len() as u64)
+        .sum();
+
+    if union > 0 {
+        // Guarded so an all-empty group charges (and checks) nothing,
+        // exactly like a union loop with zero iterations.
+        eng.charge_nb_singles(union)?;
+    }
+    eng.sb.read_wide_burst(eng.cfg.pe_count(), union, eng.stats);
+    eng.stats.pe_muls += matched;
+    eng.stats.pe_adds += matched;
+    eng.stats.cycles += union;
+    eng.stats.pe_busy_slots += matched;
+    eng.stats.pe_total_slots += union * eng.cfg.pe_count() as u64;
+
+    if matched > 0 && !*flattened {
+        // Flatten the input once per layer, in mode (d)'s flat addressing
+        // order (map-major, row-major — each map's backing slice).
+        let stack = eng
+            .nbin
+            .contents()
+            .expect("charged reads verified the load");
+        flat.clear();
+        for fm in stack.iter() {
+            flat.extend_from_slice(fm.as_slice());
+        }
+        *flattened = true;
+    }
+
+    let store = eng.store;
+    let layer_index = eng.layer_index;
+    let px = eng.cfg.pe_cols;
+    for i in 0..group_len {
+        let row = weights.row(group_start + i);
+        let wrow = store.fc_row(layer_index, group_start + i, row.len());
+        let acc = eng.nfu.acc_mut(i % px, i / px);
+        for (&(idx, _), &w) in row.iter().zip(wrow) {
+            acc.mac(flat[idx], w);
+        }
     }
     Ok(())
 }

@@ -22,7 +22,7 @@ pub(crate) use window::WindowOp;
 
 use crate::accel::RunError;
 use crate::alu::Alu;
-use crate::buffer::{NeuronBuffer, SynapseBuffer};
+use crate::buffer::{NeuronBuffer, ReadScratch, SynapseBuffer};
 use crate::config::AcceleratorConfig;
 use crate::hfsm::{FirstState, Hfsm};
 use crate::nfu::Nfu;
@@ -31,6 +31,35 @@ use crate::stats::LayerStats;
 use shidiannao_cnn::{Layer, LayerBody};
 use shidiannao_faults::{FaultSite, FaultState};
 use shidiannao_fixed::Fx;
+
+/// Session-owned reusable working storage for the executors.
+///
+/// Every per-cycle buffer the hot path needs lives here, so a
+/// steady-state simulated cycle performs zero heap allocations: the
+/// vectors are `mem::take`n by an executor for the duration of a region,
+/// refilled in place (`clear()` + `push`/`extend`), and handed back.
+/// Capacities grow to each network's high-water mark during the first
+/// inference and are reused thereafter.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Bank-conflict accounting storage for the NB controller.
+    pub read: ReadScratch,
+    /// Per-cycle received neurons (window sweep, LRN tiles).
+    pub values: Vec<Fx>,
+    /// Secondary read target (mode (c) bottom row / mode (f) right
+    /// column merged into `values`).
+    pub aux: Vec<Fx>,
+    /// Epilogue drain buffer (accumulator read-out → ALU → write-back).
+    pub vals: Vec<Fx>,
+    /// Edge-clipped gather coordinates (non-overlapping pooling).
+    pub coords: Vec<(usize, usize)>,
+    /// PE lanes paired with `coords`.
+    pub lanes: Vec<(usize, usize)>,
+    /// Classifier group's union of input indices, ascending.
+    pub idxs: Vec<usize>,
+    /// Classifier per-PE sparse-row cursors.
+    pub cursors: Vec<usize>,
+}
 
 /// Mutable execution context threaded through the layer executors.
 pub(crate) struct Engine<'a> {
@@ -45,6 +74,13 @@ pub(crate) struct Engine<'a> {
     pub hfsm: &'a mut Hfsm,
     pub stats: &'a mut LayerStats,
     pub faults: &'a mut FaultState,
+    pub scratch: &'a mut Scratch,
+    /// Fast-kernel selection: `true` only when no fault plan is active,
+    /// no PE stuck-at faults are installed, and no layer trace is being
+    /// recorded. The fast kernel drives the mesh through bulk SoA
+    /// operations; it is proven bit-identical (outputs, stats, energy)
+    /// to the instrumented per-PE path.
+    pub fast: bool,
 }
 
 impl Engine<'_> {
@@ -112,64 +148,106 @@ impl Engine<'_> {
     // whichever read mode delivers it, so faulted runs are bit-identical
     // across the prepared/session/legacy paths.
 
-    /// Mode (a)/(b)/(e) tile read through the fault filter.
-    pub(crate) fn nb_tile(
+    /// Mode (a)/(b)/(e) tile read through the fault filter, into `out`
+    /// (cleared first).
+    pub(crate) fn nb_tile_into(
         &mut self,
         map: usize,
         (x0, y0): (usize, usize),
         (w, h): (usize, usize),
         (sx, sy): (usize, usize),
-    ) -> Result<Vec<Fx>, RunError> {
-        let mut vals = self
-            .nbin
-            .read_tile(map, (x0, y0), (w, h), (sx, sy), self.stats)?;
+        out: &mut Vec<Fx>,
+    ) -> Result<(), RunError> {
+        self.nbin.read_tile_into(
+            map,
+            (x0, y0),
+            (w, h),
+            (sx, sy),
+            self.stats,
+            &mut self.scratch.read,
+            out,
+        )?;
         if self.faults.active() {
             let layer = self.layer_index;
-            for (n, v) in vals.iter_mut().enumerate() {
+            for (n, v) in out.iter_mut().enumerate() {
                 let (i, j) = (n % w, n / w);
                 let addr = [map as u64, (x0 + i * sx) as u64, (y0 + j * sy) as u64];
                 *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
             }
         }
-        Ok(vals)
+        Ok(())
     }
 
-    /// Mode (c) row read through the fault filter.
-    pub(crate) fn nb_row(
+    /// Mode (a)/(b)/(e) tile read returning a fresh `Vec` — the cold-path
+    /// wrapper (normalization layers, packed ablation).
+    pub(crate) fn nb_tile(
+        &mut self,
+        map: usize,
+        origin: (usize, usize),
+        dims: (usize, usize),
+        stride: (usize, usize),
+    ) -> Result<Vec<Fx>, RunError> {
+        let mut out = Vec::new();
+        self.nb_tile_into(map, origin, dims, stride, &mut out)?;
+        Ok(out)
+    }
+
+    /// Mode (c) row read through the fault filter, into `out` (cleared
+    /// first).
+    pub(crate) fn nb_row_into(
         &mut self,
         map: usize,
         (x0, y0): (usize, usize),
         n: usize,
         sx: usize,
-    ) -> Result<Vec<Fx>, RunError> {
-        let mut vals = self.nbin.read_row(map, (x0, y0), n, sx, self.stats)?;
+        out: &mut Vec<Fx>,
+    ) -> Result<(), RunError> {
+        self.nbin.read_row_into(
+            map,
+            (x0, y0),
+            n,
+            sx,
+            self.stats,
+            &mut self.scratch.read,
+            out,
+        )?;
         if self.faults.active() {
             let layer = self.layer_index;
-            for (i, v) in vals.iter_mut().enumerate() {
+            for (i, v) in out.iter_mut().enumerate() {
                 let addr = [map as u64, (x0 + i * sx) as u64, y0 as u64];
                 *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
             }
         }
-        Ok(vals)
+        Ok(())
     }
 
-    /// Mode (f) column read through the fault filter.
-    pub(crate) fn nb_col(
+    /// Mode (f) column read through the fault filter, into `out` (cleared
+    /// first).
+    pub(crate) fn nb_col_into(
         &mut self,
         map: usize,
         (x0, y0): (usize, usize),
         n: usize,
         sy: usize,
-    ) -> Result<Vec<Fx>, RunError> {
-        let mut vals = self.nbin.read_col(map, (x0, y0), n, sy, self.stats)?;
+        out: &mut Vec<Fx>,
+    ) -> Result<(), RunError> {
+        self.nbin.read_col_into(
+            map,
+            (x0, y0),
+            n,
+            sy,
+            self.stats,
+            &mut self.scratch.read,
+            out,
+        )?;
         if self.faults.active() {
             let layer = self.layer_index;
-            for (j, v) in vals.iter_mut().enumerate() {
+            for (j, v) in out.iter_mut().enumerate() {
                 let addr = [map as u64, x0 as u64, (y0 + j * sy) as u64];
                 *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
             }
         }
-        Ok(vals)
+        Ok(())
     }
 
     /// Mode (d) single-neuron read through the fault filter. Classifier
@@ -186,21 +264,90 @@ impl Engine<'_> {
         Ok(v)
     }
 
-    /// Mode (e) gather read through the fault filter.
+    /// Mode (e) gather read through the fault filter, into `out` (cleared
+    /// first).
+    pub(crate) fn nb_gather_into(
+        &mut self,
+        map: usize,
+        coords: &[(usize, usize)],
+        out: &mut Vec<Fx>,
+    ) -> Result<(), RunError> {
+        self.nbin
+            .read_gather_into(map, coords, self.stats, &mut self.scratch.read, out)?;
+        if self.faults.active() {
+            let layer = self.layer_index;
+            for (v, &(x, y)) in out.iter_mut().zip(coords) {
+                let addr = [map as u64, x as u64, y as u64];
+                *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mode (e) gather read returning a fresh `Vec` — the cold-path
+    /// wrapper (LCN layers).
     pub(crate) fn nb_gather(
         &mut self,
         map: usize,
         coords: &[(usize, usize)],
     ) -> Result<Vec<Fx>, RunError> {
-        let mut vals = self.nbin.read_gather(map, coords, self.stats)?;
-        if self.faults.active() {
-            let layer = self.layer_index;
-            for (v, &(x, y)) in vals.iter_mut().zip(coords) {
-                let addr = [map as u64, x as u64, y as u64];
-                *v = self.faults.filter_value(FaultSite::NbIn, layer, addr, *v)?;
-            }
-        }
-        Ok(vals)
+        let mut out = Vec::new();
+        self.nb_gather_into(map, coords, &mut out)?;
+        Ok(out)
+    }
+
+    // ----- charge-only read wrappers (analytic fast path) ------------
+    //
+    // The analytic sweep computes PE inputs directly from the loaded
+    // stack and meters the SRAM accesses through these wrappers, which
+    // tally the identical mode / byte / bank-conflict statistics without
+    // moving data. No fault filtering: the fast kernel is only selected
+    // when no fault plan is active.
+
+    /// Charge-only mode (a)/(b)/(e) tile read.
+    pub(crate) fn charge_nb_tile(
+        &mut self,
+        origin: (usize, usize),
+        dims: (usize, usize),
+        stride: (usize, usize),
+    ) -> Result<(), RunError> {
+        debug_assert!(!self.faults.active(), "analytic path with active faults");
+        self.nbin
+            .charge_tile_read(origin, dims, stride, self.stats, &mut self.scratch.read)?;
+        Ok(())
+    }
+
+    /// Charge-only mode (c) row read.
+    pub(crate) fn charge_nb_row(
+        &mut self,
+        origin: (usize, usize),
+        n: usize,
+        sx: usize,
+    ) -> Result<(), RunError> {
+        debug_assert!(!self.faults.active(), "analytic path with active faults");
+        self.nbin
+            .charge_row_read(origin, n, sx, self.stats, &mut self.scratch.read)?;
+        Ok(())
+    }
+
+    /// Charge-only mode (f) column read.
+    pub(crate) fn charge_nb_col(
+        &mut self,
+        origin: (usize, usize),
+        n: usize,
+        sy: usize,
+    ) -> Result<(), RunError> {
+        debug_assert!(!self.faults.active(), "analytic path with active faults");
+        self.nbin
+            .charge_col_read(origin, n, sy, self.stats, &mut self.scratch.read)?;
+        Ok(())
+    }
+
+    /// Charge-only batch of `n` mode (d) single-neuron reads.
+    pub(crate) fn charge_nb_singles(&mut self, n: u64) -> Result<(), RunError> {
+        debug_assert!(!self.faults.active(), "analytic path with active faults");
+        self.nbin.charge_single_reads(n, self.stats)?;
+        Ok(())
     }
 
     /// Filters one synapse word (weight or bias) served from the SB

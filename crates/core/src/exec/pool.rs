@@ -3,6 +3,7 @@
 use super::window::{blocks, run_pass, Pass};
 use super::{Engine, WindowOp};
 use crate::accel::RunError;
+use core::mem;
 use shidiannao_cnn::{Layer, LayerBody, PoolKind};
 use shidiannao_fixed::Fx;
 
@@ -36,7 +37,7 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
             // Reset PE state for the new output neurons.
             for py in 0..active.1 {
                 for px in 0..active.0 {
-                    let pe = eng.nfu.pe_mut(px, py);
+                    let mut pe = eng.nfu.pe_mut(px, py);
                     match kind {
                         PoolKind::Max => pe.reset_comparator(),
                         PoolKind::Avg => pe.reset_accumulator(Fx::ZERO),
@@ -62,44 +63,35 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
                 )?;
             } else {
                 // Fig. 14 flow: one gather per window element, mode (e).
-                for wy in 0..window.1 {
-                    for wx in 0..window.0 {
-                        // PEs whose (ceiling-rounded) window is clipped at
-                        // the input edge idle on out-of-bounds elements.
-                        let mut coords = Vec::with_capacity(active.0 * active.1);
-                        let mut lanes = Vec::with_capacity(active.0 * active.1);
-                        for py in 0..active.1 {
-                            for px in 0..active.0 {
-                                let x = (origin.0 + px) * stride.0 + wx;
-                                let y = (origin.1 + py) * stride.1 + wy;
-                                if x < in_dims.0 && y < in_dims.1 {
-                                    coords.push((x, y));
-                                    lanes.push((px, py));
-                                }
-                            }
-                        }
-                        let vals = eng.nb_gather(m, &coords)?;
-                        for (&(px, py), v) in lanes.iter().zip(vals) {
-                            let pe = eng.nfu.pe_mut(px, py);
-                            match kind {
-                                PoolKind::Max => {
-                                    pe.compare(v);
-                                    eng.stats.pe_cmps += 1;
-                                }
-                                PoolKind::Avg => {
-                                    pe.add(v);
-                                    eng.stats.pe_adds += 1;
-                                }
-                            }
-                        }
-                        eng.tick(lanes.len());
-                    }
-                }
+                // The coordinate / lane / value buffers come from the
+                // session's scratch arena so the steady-state loop stays
+                // allocation-free.
+                let mut coords = mem::take(&mut eng.scratch.coords);
+                let mut lanes = mem::take(&mut eng.scratch.lanes);
+                let mut vals = mem::take(&mut eng.scratch.values);
+                let result = gather_windows(
+                    eng,
+                    m,
+                    origin,
+                    active,
+                    *window,
+                    *stride,
+                    in_dims,
+                    *kind,
+                    &mut coords,
+                    &mut lanes,
+                    &mut vals,
+                );
+                eng.scratch.coords = coords;
+                eng.scratch.lanes = lanes;
+                eng.scratch.values = vals;
+                result?;
             }
 
             // Epilogue: read out, divide (average) through the ALU, apply
             // the optional activation, flush the block.
-            let mut vals: Vec<Fx> = Vec::with_capacity(active.0 * active.1);
+            let mut vals = mem::take(&mut eng.scratch.vals);
+            vals.clear();
             for py in 0..active.1 {
                 for px in 0..active.0 {
                     let v = match kind {
@@ -124,6 +116,59 @@ pub(super) fn run(eng: &mut Engine<'_>, layer: &Layer) -> Result<(), RunError> {
             let _ = eng.alu.activate(&mut vals, *activation, eng.stats);
             eng.tick_idle(1);
             eng.nbout.write_block(m, origin, active, &vals, eng.stats);
+            eng.scratch.vals = vals;
+        }
+    }
+    Ok(())
+}
+
+/// The non-overlapping gather loop, split out so the scratch buffers can
+/// be restored even when a gather faults out with `?`.
+#[allow(clippy::too_many_arguments)]
+fn gather_windows(
+    eng: &mut Engine<'_>,
+    map: usize,
+    origin: (usize, usize),
+    active: (usize, usize),
+    window: (usize, usize),
+    stride: (usize, usize),
+    in_dims: (usize, usize),
+    kind: PoolKind,
+    coords: &mut Vec<(usize, usize)>,
+    lanes: &mut Vec<(usize, usize)>,
+    vals: &mut Vec<Fx>,
+) -> Result<(), RunError> {
+    for wy in 0..window.1 {
+        for wx in 0..window.0 {
+            // PEs whose (ceiling-rounded) window is clipped at the input
+            // edge idle on out-of-bounds elements.
+            coords.clear();
+            lanes.clear();
+            for py in 0..active.1 {
+                for px in 0..active.0 {
+                    let x = (origin.0 + px) * stride.0 + wx;
+                    let y = (origin.1 + py) * stride.1 + wy;
+                    if x < in_dims.0 && y < in_dims.1 {
+                        coords.push((x, y));
+                        lanes.push((px, py));
+                    }
+                }
+            }
+            eng.nb_gather_into(map, coords, vals)?;
+            for (&(px, py), &v) in lanes.iter().zip(vals.iter()) {
+                let mut pe = eng.nfu.pe_mut(px, py);
+                match kind {
+                    PoolKind::Max => {
+                        pe.compare(v);
+                        eng.stats.pe_cmps += 1;
+                    }
+                    PoolKind::Avg => {
+                        pe.add(v);
+                        eng.stats.pe_adds += 1;
+                    }
+                }
+            }
+            eng.tick(lanes.len());
         }
     }
     Ok(())

@@ -63,13 +63,17 @@ mod pe;
 mod sb;
 mod stats;
 
-pub use accel::{Accelerator, Inference, PreparedNetwork, RunError, RunOutcome, Session};
+pub use accel::{
+    Accelerator, Inference, InferenceRef, PreparedNetwork, RunError, RunOutcome, Session,
+};
 pub use alu::Alu;
-pub use buffer::{CapacityError, EmptyBufferError, InstructionBuffer, NeuronBuffer, SynapseBuffer};
+pub use buffer::{
+    CapacityError, EmptyBufferError, InstructionBuffer, NeuronBuffer, ReadScratch, SynapseBuffer,
+};
 pub use config::{AcceleratorConfig, ConfigError};
 pub use hfsm::{FirstState, Hfsm, SecondState, TransitionError};
 pub use nfu::Nfu;
-pub use pe::Pe;
+pub use pe::{PeMut, PeRef};
 pub use sb::SynapseStore;
 pub use stats::{BufferTraffic, LayerStats, ReadMode, RunStats};
 

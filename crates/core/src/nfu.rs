@@ -1,7 +1,8 @@
 //! The Neural Functional Unit: a 2D mesh of PEs (Fig. 5).
 
-use crate::pe::Pe;
+use crate::pe::{PeArray, PeMut, PeRef};
 use crate::stats::LayerStats;
+use shidiannao_fixed::{Accum, Fx};
 
 /// The `Px × Py` PE mesh with its inter-PE propagation topology.
 ///
@@ -11,11 +12,17 @@ use crate::stats::LayerStats;
 /// matching §5.1's "each PE can send locally-stored input neurons to its
 /// left and lower neighbors" as seen from the receiving side of Fig. 13's
 /// walkthrough.
+///
+/// PE state is stored structure-of-arrays in a [`PeArray`] (one flat
+/// array per register class, indexed `y·Px + x`); [`Nfu::pe`] /
+/// [`Nfu::pe_mut`] hand out per-PE views. The `receive_*` /
+/// `propagate_*_block` bulk operations cover a whole active block in one
+/// call — the fast sweep kernel's inner loop.
 #[derive(Clone, Debug)]
 pub struct Nfu {
     px: usize,
     py: usize,
-    pes: Vec<Pe>,
+    pes: PeArray,
 }
 
 impl Nfu {
@@ -29,7 +36,7 @@ impl Nfu {
         Nfu {
             px,
             py,
-            pes: (0..px * py).map(|_| Pe::new()).collect(),
+            pes: PeArray::new(px * py),
         }
     }
 
@@ -59,24 +66,28 @@ impl Nfu {
 
     /// The PE at `(x, y)`.
     ///
-    /// # Panics
-    ///
-    /// Panics if out of range.
+    /// Bounds are `debug_assert!`-checked only: mesh coordinates come
+    /// from the compiled block schedule, which never exceeds `(Px, Py)`
+    /// by construction (checked in `Program::compile`), so release
+    /// builds skip the per-access range check.
     #[inline]
-    pub fn pe(&self, x: usize, y: usize) -> &Pe {
-        assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
-        &self.pes[y * self.px + x]
+    pub fn pe(&self, x: usize, y: usize) -> PeRef<'_> {
+        debug_assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
+        PeRef {
+            arr: &self.pes,
+            i: y * self.px + x,
+        }
     }
 
-    /// Mutable access to the PE at `(x, y)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if out of range.
+    /// Mutable view of the PE at `(x, y)` (bounds `debug_assert!`-checked,
+    /// see [`Nfu::pe`]).
     #[inline]
-    pub fn pe_mut(&mut self, x: usize, y: usize) -> &mut Pe {
-        assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
-        &mut self.pes[y * self.px + x]
+    pub fn pe_mut(&mut self, x: usize, y: usize) -> PeMut<'_> {
+        debug_assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
+        PeMut {
+            arr: &mut self.pes,
+            i: y * self.px + x,
+        }
     }
 
     /// Pops the FIFO-H of the PE to the right of `(x, y)` — the horizontal
@@ -86,9 +97,9 @@ impl Nfu {
     ///
     /// Panics if `(x, y)` is the rightmost column (it has no right
     /// neighbour and must read from NBin instead).
-    pub fn propagate_from_right(&mut self, x: usize, y: usize) -> shidiannao_fixed::Fx {
+    pub fn propagate_from_right(&mut self, x: usize, y: usize) -> Fx {
         assert!(x + 1 < self.px, "PE ({x},{y}) has no right neighbour");
-        self.pe_mut(x + 1, y).pop_h()
+        self.pes.pop_h(y * self.px + x + 1)
     }
 
     /// Pops the FIFO-V of the PE below `(x, y)` — the vertical inter-PE
@@ -97,41 +108,33 @@ impl Nfu {
     /// # Panics
     ///
     /// Panics if `(x, y)` is the bottom row.
-    pub fn propagate_from_below(&mut self, x: usize, y: usize) -> shidiannao_fixed::Fx {
+    pub fn propagate_from_below(&mut self, x: usize, y: usize) -> Fx {
         assert!(y + 1 < self.py, "PE ({x},{y}) has no lower neighbour");
-        self.pe_mut(x, y + 1).pop_v()
+        self.pes.pop_v((y + 1) * self.px + x)
     }
 
-    /// Restores every PE to its power-on state (see [`Pe::reset`]), so a
-    /// mesh reused across inferences is indistinguishable from a freshly
-    /// constructed one — including the FIFO peak-occupancy counters the
-    /// §5.1 sizing tests read.
+    /// Restores every PE to its power-on state, so a mesh reused across
+    /// inferences is indistinguishable from a freshly constructed one —
+    /// including the FIFO peak-occupancy counters the §5.1 sizing tests
+    /// read. Stuck-at faults survive (they model silicon, not state).
     pub fn reset(&mut self) {
-        for pe in &mut self.pes {
-            pe.reset();
-        }
+        self.pes.reset();
     }
 
     /// Configures every PE's FIFO depths for a window pass (§5.1 sizing:
     /// `Sx` and `Sy`).
     pub fn set_fifo_depths(&mut self, h_depth: usize, v_depth: usize) {
-        for pe in &mut self.pes {
-            pe.set_fifo_depths(h_depth, v_depth);
-        }
+        self.pes.set_fifo_depths(h_depth, v_depth);
     }
 
     /// Clears every PE's FIFO-H (kernel-row boundary).
     pub fn clear_fifos_h(&mut self) {
-        for pe in &mut self.pes {
-            pe.clear_h();
-        }
+        self.pes.clear_all_h();
     }
 
     /// Clears every PE's FIFO-V (window-pass boundary).
     pub fn clear_fifos_v(&mut self) {
-        for pe in &mut self.pes {
-            pe.clear_v();
-        }
+        self.pes.clear_all_v();
     }
 
     /// Installs per-PE stuck-at faults from a map of `(x, y)` to fault
@@ -143,18 +146,113 @@ impl Nfu {
     ) {
         for y in 0..self.py {
             for x in 0..self.px {
-                self.pes[y * self.px + x].set_stuck(f(x, y));
+                self.pes.set_stuck(y * self.px + x, f(x, y));
             }
         }
     }
 
+    /// `true` when any PE carries a stuck-at fault — one of the
+    /// conditions that disables the fast sweep kernel.
+    #[inline]
+    pub fn any_stuck(&self) -> bool {
+        self.pes.any_stuck()
+    }
+
     /// Folds all PEs' peak FIFO occupancies into the layer statistics.
     pub fn record_fifo_peaks(&self, stats: &mut LayerStats) {
-        for pe in &self.pes {
-            let (h, v) = pe.fifo_peaks();
-            stats.fifo_h_peak = stats.fifo_h_peak.max(h);
-            stats.fifo_v_peak = stats.fifo_v_peak.max(v);
-        }
+        let (h, v) = self.pes.max_fifo_peaks();
+        stats.fifo_h_peak = stats.fifo_h_peak.max(h);
+        stats.fifo_v_peak = stats.fifo_v_peak.max(v);
+    }
+
+    // ----- bulk mesh operations (fast sweep kernel) -------------------
+
+    /// One MAC sweep cycle over the `aw × ah` active block anchored at
+    /// the mesh origin: each PE pushes its received neuron into FIFO-H
+    /// (and FIFO-V when `push_v`) and MACs it with the broadcast synapse.
+    /// Exactly equivalent to the per-PE view calls of the instrumented
+    /// path, fused into contiguous-array loops.
+    #[inline]
+    pub(crate) fn receive_mac(&mut self, active: (usize, usize), vals: &[Fx], k: Fx, push_v: bool) {
+        self.pes.receive_mac(self.px, active, vals, k, push_v);
+    }
+
+    /// [`Nfu::receive_mac`]'s max-pooling counterpart.
+    #[inline]
+    pub(crate) fn receive_max(&mut self, active: (usize, usize), vals: &[Fx], push_v: bool) {
+        self.pes.receive_max(self.px, active, vals, push_v);
+    }
+
+    /// [`Nfu::receive_mac`]'s accumulate-only counterpart.
+    #[inline]
+    pub(crate) fn receive_add(&mut self, active: (usize, usize), vals: &[Fx], push_v: bool) {
+        self.pes.receive_add(self.px, active, vals, push_v);
+    }
+
+    /// FIFO-less MAC over the active block (the Fig. 7 no-propagation
+    /// ablation).
+    #[inline]
+    pub(crate) fn apply_mac(&mut self, active: (usize, usize), vals: &[Fx], k: Fx) {
+        self.pes.apply_mac(self.px, active, vals, k);
+    }
+
+    /// [`Nfu::apply_mac`]'s max-pooling counterpart.
+    #[inline]
+    pub(crate) fn apply_max(&mut self, active: (usize, usize), vals: &[Fx]) {
+        self.pes.apply_max(self.px, active, vals);
+    }
+
+    /// [`Nfu::apply_mac`]'s accumulate-only counterpart.
+    #[inline]
+    pub(crate) fn apply_add(&mut self, active: (usize, usize), vals: &[Fx]) {
+        self.pes.apply_add(self.px, active, vals);
+    }
+
+    /// Bulk horizontal propagation: fills columns `0..aw−1` of `vals`
+    /// from each PE's right neighbour's FIFO-H (the rightmost column is
+    /// read from NBin by the caller).
+    #[inline]
+    pub(crate) fn propagate_h_block(&mut self, active: (usize, usize), vals: &mut [Fx]) {
+        self.pes.propagate_h_block(self.px, active, vals);
+    }
+
+    /// Bulk vertical propagation: fills rows `0..ah−1` of `vals` from
+    /// each PE's lower neighbour's FIFO-V (the bottom row is read from
+    /// NBin by the caller).
+    #[inline]
+    pub(crate) fn propagate_v_block(&mut self, active: (usize, usize), vals: &mut [Fx]) {
+        self.pes.propagate_v_block(self.px, active, vals);
+    }
+
+    /// Drains the active block's accumulators into `out` (cleared first),
+    /// row-major, through the PE output path.
+    #[inline]
+    pub(crate) fn read_accumulators_into(&self, active: (usize, usize), out: &mut Vec<Fx>) {
+        self.pes.read_accumulators_into(self.px, active, out);
+    }
+
+    // ----- analytic fast-path access ----------------------------------
+
+    /// Direct accumulator access for the analytic window reduction
+    /// (bounds `debug_assert!`-checked, see [`Nfu::pe`]).
+    #[inline]
+    pub(crate) fn acc_mut(&mut self, x: usize, y: usize) -> &mut Accum {
+        debug_assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
+        self.pes.acc_mut(y * self.px + x)
+    }
+
+    /// Direct comparator access for the analytic window reduction.
+    #[inline]
+    pub(crate) fn cmp_mut(&mut self, x: usize, y: usize) -> &mut Fx {
+        debug_assert!(x < self.px && y < self.py, "PE ({x},{y}) out of range");
+        self.pes.cmp_mut(y * self.px + x)
+    }
+
+    /// Folds an analytically derived pass peak into the FIFO peak
+    /// tracking (see `PeArray::note_fifo_peaks`).
+    #[inline]
+    pub(crate) fn note_fifo_peaks(&mut self, h: u32, v: u32) {
+        self.pes.note_fifo_peaks(h, v);
     }
 }
 
@@ -227,6 +325,7 @@ mod tests {
         assert_eq!(stats.fifo_v_peak, 1);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "out of range")]
     fn pe_access_is_bounds_checked() {
@@ -245,9 +344,60 @@ mod tests {
         };
         nfu.set_stuck_faults(|x, y| (x == 1 && y == 0).then_some(fault));
         nfu.reset();
+        assert!(nfu.any_stuck());
         assert_eq!(nfu.pe(1, 0).stuck(), Some(fault));
         assert_eq!(nfu.pe(0, 0).stuck(), None);
         nfu.set_stuck_faults(|_, _| None);
         assert_eq!(nfu.pe(1, 0).stuck(), None);
+        assert!(!nfu.any_stuck());
+    }
+
+    #[test]
+    fn bulk_receive_and_propagate_match_view_calls() {
+        let mut bulk = Nfu::new(3, 2);
+        let mut scalar = Nfu::new(3, 2);
+        for nfu in [&mut bulk, &mut scalar] {
+            nfu.set_fifo_depths(1, 1);
+            for y in 0..2 {
+                for x in 0..3 {
+                    nfu.pe_mut(x, y).reset_accumulator(Fx::ZERO);
+                }
+            }
+        }
+        let vals: Vec<Fx> = (1..=4).map(Fx::from_int).collect();
+        let k = Fx::from_f32(2.0);
+        bulk.receive_mac((2, 2), &vals, k, true);
+        for py in 0..2 {
+            for dx in 0..2 {
+                let v = vals[py * 2 + dx];
+                let mut pe = scalar.pe_mut(dx, py);
+                pe.push_h(v);
+                pe.push_v(v);
+                pe.mac(v, k);
+            }
+        }
+        for y in 0..2 {
+            for x in 0..3 {
+                assert_eq!(
+                    bulk.pe(x, y).accumulator(),
+                    scalar.pe(x, y).accumulator(),
+                    "accumulator mismatch at ({x},{y})"
+                );
+                assert_eq!(bulk.pe(x, y).fifo_len(), scalar.pe(x, y).fifo_len());
+            }
+        }
+        // Horizontal propagation: column 0 pops column 1's FIFO-H.
+        let mut got = vec![Fx::ZERO; 4];
+        bulk.propagate_h_block((2, 2), &mut got);
+        let mut want = [Fx::ZERO; 4];
+        for py in 0..2 {
+            want[py * 2] = scalar.propagate_from_right(0, py);
+        }
+        assert_eq!(got[0], want[0]);
+        assert_eq!(got[2], want[2]);
+        let mut acc = Vec::new();
+        bulk.read_accumulators_into((2, 2), &mut acc);
+        assert_eq!(acc.len(), 4);
+        assert_eq!(acc[3], bulk.pe(1, 1).accumulator());
     }
 }

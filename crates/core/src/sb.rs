@@ -170,6 +170,18 @@ impl SynapseStore {
     pub fn fc_weight(&self, layer: usize, n: usize, k: usize) -> Fx {
         self.data[self.entry(layer, n) + 1 + k]
     }
+
+    /// All `len` weights of classifier output `n` as one slice (ascending
+    /// input-index order) — the analytic fast path streams a whole row
+    /// per PE instead of re-deriving the entry base per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn fc_row(&self, layer: usize, n: usize, len: usize) -> &[Fx] {
+        let entry = self.entry(layer, n);
+        &self.data[entry + 1..entry + 1 + len]
+    }
 }
 
 #[cfg(test)]

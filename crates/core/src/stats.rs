@@ -149,6 +149,19 @@ impl LayerStats {
         }
     }
 
+    /// Zeroes every counter and relabels in place, reusing the label
+    /// `String`'s capacity — how [`RunStats::begin_layer`] recycles slots
+    /// without allocating.
+    pub fn reset_with_label(&mut self, label: &str) {
+        let mut s = core::mem::take(&mut self.label);
+        s.clear();
+        s.push_str(label);
+        *self = LayerStats {
+            label: s,
+            ..LayerStats::default()
+        };
+    }
+
     /// Records an NBin read in a given mode.
     #[inline]
     pub fn nbin_read(&mut self, mode: ReadMode, bytes: u64) {
@@ -201,9 +214,51 @@ impl LayerStats {
 }
 
 /// Statistics of a complete network execution.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Layer slots are recycled across runs: [`RunStats::restart`] rewinds
+/// the live count to zero without dropping the `Vec` (or any slot's label
+/// `String`), and [`RunStats::begin_layer`] reuses a retired slot when one
+/// exists — so a steady-state [`crate::Session`] run records its
+/// statistics without a single allocation. Only the live slots
+/// participate in `Clone`, `PartialEq`, and `Debug`.
+#[derive(Default)]
 pub struct RunStats {
     layers: Vec<LayerStats>,
+    live: usize,
+}
+
+impl Clone for RunStats {
+    fn clone(&self) -> RunStats {
+        RunStats {
+            layers: self.layers().to_vec(),
+            live: self.live,
+        }
+    }
+
+    fn clone_from(&mut self, source: &RunStats) {
+        self.layers.truncate(source.live);
+        for (dst, src) in self.layers.iter_mut().zip(source.layers()) {
+            dst.clone_from(src);
+        }
+        while self.layers.len() < source.live {
+            self.layers.push(source.layers[self.layers.len()].clone());
+        }
+        self.live = source.live;
+    }
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &RunStats) -> bool {
+        self.layers() == other.layers()
+    }
+}
+
+impl fmt::Debug for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunStats")
+            .field("layers", &self.layers())
+            .finish()
+    }
 }
 
 impl RunStats {
@@ -214,18 +269,38 @@ impl RunStats {
 
     /// Appends one layer's counters.
     pub fn push_layer(&mut self, stats: LayerStats) {
+        self.layers.truncate(self.live);
         self.layers.push(stats);
+        self.live += 1;
+    }
+
+    /// Rewinds to zero live layers for a fresh run, keeping every retired
+    /// slot's storage for [`RunStats::begin_layer`] to reuse.
+    pub fn restart(&mut self) {
+        self.live = 0;
+    }
+
+    /// Starts recording a new layer, reusing a retired slot (and its label
+    /// capacity) when available; returns the slot to count into.
+    pub fn begin_layer(&mut self, label: &str) -> &mut LayerStats {
+        if self.live < self.layers.len() {
+            self.layers[self.live].reset_with_label(label);
+        } else {
+            self.layers.push(LayerStats::new(label));
+        }
+        self.live += 1;
+        &mut self.layers[self.live - 1]
     }
 
     /// Per-layer counters, in execution order.
     pub fn layers(&self) -> &[LayerStats] {
-        &self.layers
+        &self.layers[..self.live]
     }
 
     /// Aggregated counters across all layers.
     pub fn total(&self) -> LayerStats {
         let mut t = LayerStats::new("");
-        for l in &self.layers {
+        for l in self.layers() {
             t.absorb(l);
         }
         t
@@ -233,7 +308,7 @@ impl RunStats {
 
     /// Total cycles.
     pub fn cycles(&self) -> u64 {
-        self.layers.iter().map(|l| l.cycles).sum()
+        self.layers().iter().map(|l| l.cycles).sum()
     }
 
     /// Wall-clock seconds at the given frequency.
@@ -303,6 +378,44 @@ mod tests {
         assert_eq!(run.total().fifo_h_peak, 3);
         assert_eq!(run.layers().len(), 2);
         assert_eq!(run.seconds_at(1.0), 150e-9);
+    }
+
+    #[test]
+    fn restart_recycles_layer_slots() {
+        let mut run = RunStats::new();
+        let mut a = LayerStats::new("C1");
+        a.cycles = 100;
+        run.push_layer(a);
+        run.restart();
+        assert_eq!(run.layers().len(), 0);
+        assert_eq!(run.cycles(), 0);
+        let slot = run.begin_layer("S2");
+        assert_eq!(slot.label, "S2");
+        assert_eq!(slot.cycles, 0);
+        slot.cycles = 7;
+        assert_eq!(run.layers().len(), 1);
+        assert_eq!(run.cycles(), 7);
+        // Equality and clones see only the live slice.
+        let clone = run.clone();
+        assert_eq!(clone, run);
+        let mut other = RunStats::new();
+        other.begin_layer("S2").cycles = 7;
+        assert_eq!(other, run);
+    }
+
+    #[test]
+    fn clone_from_sees_live_slice_only() {
+        let mut src = RunStats::new();
+        src.begin_layer("C1").cycles = 3;
+        src.begin_layer("S2").cycles = 4;
+        src.restart();
+        src.begin_layer("F1").cycles = 9;
+        let mut dst = RunStats::new();
+        dst.begin_layer("X").cycles = 1;
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.layers().len(), 1);
+        assert_eq!(dst.layers()[0].label, "F1");
     }
 
     #[test]

@@ -20,11 +20,30 @@ use core::ops::{Index, IndexMut};
 /// m[(2, 1)] = 7;
 /// assert_eq!(m.row(1), &[0, 0, 7]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct FeatureMap<T> {
     width: usize,
     height: usize,
     data: Vec<T>,
+}
+
+impl<T: Clone> Clone for FeatureMap<T> {
+    fn clone(&self) -> FeatureMap<T> {
+        FeatureMap {
+            width: self.width,
+            height: self.height,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Capacity-reusing clone: when `self`'s storage already holds enough
+    /// capacity, no allocation happens — the steady-state requirement of
+    /// the zero-allocation session datapath.
+    fn clone_from(&mut self, source: &FeatureMap<T>) {
+        self.width = source.width;
+        self.height = source.height;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl<T> FeatureMap<T> {
@@ -97,6 +116,24 @@ impl<T> FeatureMap<T> {
         })
     }
 
+    /// Reshapes the map in place to `width × height` with every element
+    /// set to `value`, reusing the existing storage — allocation-free once
+    /// the backing vector has grown to its high-water mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn refill(&mut self, width: usize, height: usize, value: T)
+    where
+        T: Clone,
+    {
+        assert!(width > 0 && height > 0, "feature map must be non-empty");
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, value);
+    }
+
     /// Map width (`Nx`: number of columns).
     #[inline]
     pub fn width(&self) -> usize {
@@ -119,6 +156,14 @@ impl<T> FeatureMap<T> {
     #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Elements the backing storage can hold without reallocating —
+    /// what a recycling pool consults to match retired maps to new
+    /// shapes (see `MapStack::refill_recycling`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Always `false`: maps are non-empty by construction.
@@ -343,6 +388,22 @@ mod tests {
     fn debug_is_never_empty() {
         let m = FeatureMap::filled(1, 1, 0u8);
         assert!(format!("{m:?}").contains("FeatureMap 1x1"));
+    }
+
+    #[test]
+    fn refill_reshapes_in_place() {
+        let mut m = FeatureMap::filled(4, 4, 7u8);
+        m.refill(2, 3, 1u8);
+        assert_eq!(m.dims(), (2, 3));
+        assert!(m.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn clone_from_matches_clone() {
+        let src = FeatureMap::from_fn(3, 2, |x, y| x + 10 * y);
+        let mut dst = FeatureMap::filled(5, 5, 0usize);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

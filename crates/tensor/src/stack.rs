@@ -20,11 +20,54 @@ use core::ops::Index;
 /// assert_eq!(stack.len(), 2);
 /// assert_eq!(stack[1][(0, 0)], 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// Removes and returns the bin entry whose capacity best fits `needed`
+/// elements: an exact match wins outright, otherwise the smallest
+/// capacity that still holds `needed`, otherwise the largest available
+/// (so the inevitable regrowth starts as close to `needed` as it can).
+fn take_best_fit<T>(bin: &mut Vec<FeatureMap<T>>, needed: usize) -> Option<FeatureMap<T>> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, m) in bin.iter().enumerate() {
+        let cap = m.capacity();
+        if cap == needed {
+            best = Some((i, cap));
+            break;
+        }
+        let better = match best {
+            None => true,
+            Some((_, best_cap)) if best_cap >= needed => cap >= needed && cap < best_cap,
+            Some((_, best_cap)) => cap > best_cap,
+        };
+        if better {
+            best = Some((i, cap));
+        }
+    }
+    best.map(|(i, _)| bin.swap_remove(i))
+}
+
+#[derive(PartialEq, Eq, Hash)]
 pub struct MapStack<T> {
     width: usize,
     height: usize,
     maps: Vec<FeatureMap<T>>,
+}
+
+impl<T: Clone> Clone for MapStack<T> {
+    fn clone(&self) -> MapStack<T> {
+        MapStack {
+            width: self.width,
+            height: self.height,
+            maps: self.maps.clone(),
+        }
+    }
+
+    /// Capacity-reusing clone: delegates to `Vec::clone_from`, which in
+    /// turn `clone_from`s each [`FeatureMap`] — so re-loading a stack of
+    /// the same (or smaller) shape allocates nothing.
+    fn clone_from(&mut self, source: &MapStack<T>) {
+        self.width = source.width;
+        self.height = source.height;
+        self.maps.clone_from(&source.maps);
+    }
 }
 
 impl<T> MapStack<T> {
@@ -71,6 +114,102 @@ impl<T> MapStack<T> {
         MapStack::from_fn(width, height, count, |_| {
             FeatureMap::filled(width, height, value.clone())
         })
+    }
+
+    /// Reshapes the stack in place to `count` maps of `width × height`,
+    /// every element set to `value`, reusing existing map storage (see
+    /// [`FeatureMap::refill`]) — the NB output buffers recycle their
+    /// retired stacks through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn refill(&mut self, width: usize, height: usize, count: usize, value: T)
+    where
+        T: Clone,
+    {
+        assert!(
+            width > 0 && height > 0,
+            "map stack must have non-empty maps"
+        );
+        self.width = width;
+        self.height = height;
+        self.maps.truncate(count);
+        for m in &mut self.maps {
+            m.refill(width, height, value.clone());
+        }
+        while self.maps.len() < count {
+            self.maps
+                .push(FeatureMap::filled(width, height, value.clone()));
+        }
+    }
+
+    /// [`MapStack::refill`] that never drops map storage: every held map
+    /// is parked in `bin`, then the stack is rebuilt from the best
+    /// capacity fits — so a buffer cycling through layer shapes of
+    /// varying map counts reaches its high-water mark within a run or
+    /// two and then churns nothing. (A plain LIFO pop converges far too
+    /// slowly: classifier layers flood the bin with 1×1 maps, and one of
+    /// them lands in a large-shape slot and regrows on every run.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn refill_recycling(
+        &mut self,
+        width: usize,
+        height: usize,
+        count: usize,
+        value: T,
+        bin: &mut Vec<FeatureMap<T>>,
+    ) where
+        T: Clone,
+    {
+        assert!(
+            width > 0 && height > 0,
+            "map stack must have non-empty maps"
+        );
+        self.width = width;
+        self.height = height;
+        let needed = width * height;
+        while let Some(m) = self.maps.pop() {
+            bin.push(m);
+        }
+        for _ in 0..count {
+            let m = match take_best_fit(bin, needed) {
+                Some(mut m) => {
+                    m.refill(width, height, value.clone());
+                    m
+                }
+                None => FeatureMap::filled(width, height, value.clone()),
+            };
+            self.maps.push(m);
+        }
+    }
+
+    /// Capacity-reusing `clone_from` that never drops map storage: maps
+    /// are parked in `bin` and reclaimed by best capacity fit before
+    /// allocating (see [`MapStack::refill_recycling`]).
+    pub fn clone_from_recycling(&mut self, source: &MapStack<T>, bin: &mut Vec<FeatureMap<T>>)
+    where
+        T: Clone,
+    {
+        self.width = source.width;
+        self.height = source.height;
+        let needed = source.width * source.height;
+        while let Some(m) = self.maps.pop() {
+            bin.push(m);
+        }
+        for src in &source.maps {
+            let m = match take_best_fit(bin, needed) {
+                Some(mut m) => {
+                    m.clone_from(src);
+                    m
+                }
+                None => src.clone(),
+            };
+            self.maps.push(m);
+        }
     }
 
     /// Appends a map.
@@ -251,6 +390,57 @@ mod tests {
         let mut s = MapStack::filled(1, 1, 1, 0u8);
         s.get_mut(0).unwrap()[(0, 0)] = 5;
         assert_eq!(s[0][(0, 0)], 5);
+    }
+
+    #[test]
+    fn refill_reshapes_in_place() {
+        let mut s = MapStack::filled(4, 4, 3, 9u8);
+        s.refill(2, 2, 5, 0u8);
+        assert_eq!(s.map_dims(), (2, 2));
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|m| m.iter().all(|&v| v == 0)));
+        s.refill(3, 1, 1, 2u8);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].as_slice(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn clone_from_matches_clone() {
+        let src = MapStack::from_fn(2, 2, 2, |i| FeatureMap::filled(2, 2, i));
+        let mut dst = MapStack::filled(3, 3, 4, 0usize);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn refill_recycling_parks_and_reuses_maps() {
+        let mut bin = Vec::new();
+        let mut s = MapStack::filled(4, 4, 5, 9u8);
+        s.refill_recycling(2, 2, 2, 0u8, &mut bin);
+        assert_eq!(s.len(), 2);
+        assert_eq!(bin.len(), 3);
+        s.refill_recycling(3, 3, 4, 1u8, &mut bin);
+        assert_eq!(s.len(), 4);
+        assert_eq!(bin.len(), 1);
+        assert_eq!(s.map_dims(), (3, 3));
+        assert!(s.iter().all(|m| m.iter().all(|&v| v == 1)));
+    }
+
+    #[test]
+    fn clone_from_recycling_matches_clone() {
+        let src = MapStack::from_fn(2, 2, 3, |i| FeatureMap::filled(2, 2, i));
+        let mut bin = Vec::new();
+        let mut dst = MapStack::filled(3, 3, 5, 0usize);
+        dst.clone_from_recycling(&src, &mut bin);
+        assert_eq!(dst, src);
+        assert_eq!(bin.len(), 2);
+        let small = MapStack::filled(1, 1, 1, 7usize);
+        dst.clone_from_recycling(&small, &mut bin);
+        assert_eq!(dst, small);
+        // Growing again drains the bin before allocating.
+        dst.clone_from_recycling(&src, &mut bin);
+        assert_eq!(dst, src);
+        assert_eq!(bin.len(), 2);
     }
 
     #[test]
