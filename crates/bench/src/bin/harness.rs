@@ -2,7 +2,7 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|all|bench]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|all|bench]
 //! ```
 //!
 //! `harness bench` times the harness itself — each experiment serially
@@ -19,15 +19,124 @@
 //! (fault rate × SRAM protection across the zoo, plus the
 //! graceful-degradation streaming measurement), writes
 //! `BENCH_faults.json`, and fails if any SECDED-protected trial suffered
-//! silent data corruption or a zero-rate trial diverged. `--smoke` runs
-//! the CI-sized variant.
+//! silent data corruption or a zero-rate trial diverged.
+//!
+//! `harness serve [--smoke]` drives the deterministic multi-tenant
+//! serving scenario (interactive LeNet-5, faulty streaming Gabor, batch
+//! MPCNN) on the virtual clock, writes `BENCH_serve.json`, and fails if
+//! the report differs across physical worker counts or admission
+//! interleavings, if any served output diverges from a direct
+//! `Session::infer`, or (in smoke mode) if the frozen per-tenant SLO
+//! ledger drifted.
+//!
+//! The three gated subcommands share one exit-code policy: the summary
+//! goes to stdout, every gate violation goes to stderr, and the process
+//! exits nonzero iff at least one gate failed.
 
-use shidiannao_bench::{faults, perf, report};
+use shidiannao_bench::{faults, perf, report, serve};
 use std::env;
 use std::process::ExitCode;
 
+fn smoke_flag() -> bool {
+    env::args().nth(2).is_some_and(|f| f == "--smoke")
+}
+
+/// `harness faults [--smoke]`: campaign, artefact, gates.
+fn run_faults(smoke: bool) -> (String, Vec<String>) {
+    let r = if smoke {
+        faults::smoke()
+    } else {
+        faults::full()
+    };
+    let mut errors = Vec::new();
+    let path = "BENCH_faults.json";
+    let mut out = r.render();
+    match std::fs::write(path, r.to_json()) {
+        Ok(()) => out += &format!("\nwrote {path}\n"),
+        Err(e) => errors.push(format!("could not write {path}: {e}")),
+    }
+    if r.sdc_under_secded() != 0 {
+        errors.push("SECDED let silent data corruption through".to_string());
+    }
+    if !r.zero_rate_all_clean() {
+        errors.push("a zero-rate run diverged from the golden model".to_string());
+    }
+    (out, errors)
+}
+
+/// `harness bench [--smoke]`: perf measurement, artefact, gates.
+fn run_bench(smoke: bool) -> (String, Vec<String>) {
+    let r = if smoke {
+        perf::measure_smoke()
+    } else {
+        perf::measure()
+    };
+    let mut errors = Vec::new();
+    let mut out = r.render();
+    if smoke {
+        // The CI gate: seed-frozen cycle counts, four-way path
+        // bit-identity, zero-allocation steady state. No JSON —
+        // BENCH_harness.json holds the full run's numbers.
+        errors.extend(perf::smoke_errors(&r.throughput));
+        if errors.is_empty() {
+            out += "\nsmoke: all seed cycle counts exact, paths bit-identical, 0 allocs\n";
+        }
+    } else {
+        let path = "BENCH_harness.json";
+        match std::fs::write(path, r.to_json()) {
+            Ok(()) => out += &format!("\nwrote {path}\n"),
+            Err(e) => errors.push(format!("could not write {path}: {e}")),
+        }
+        if !r.all_bit_identical() {
+            errors.push("parallel results diverged from serial results".to_string());
+        }
+        if !r.all_paths_bit_identical() {
+            errors
+                .push("an execution path diverged (legacy / run / infer / infer_ref)".to_string());
+        }
+        if !r.zero_alloc_steady_state() {
+            errors.push("the fast path allocated in steady state".to_string());
+        }
+    }
+    (out, errors)
+}
+
+/// `harness serve [--smoke]`: multi-tenant scenario, artefact, gates.
+fn run_serve(smoke: bool) -> (String, Vec<String>) {
+    let bench = match serve::serve_report(smoke) {
+        Ok(bench) => bench,
+        Err(e) => return (String::new(), vec![format!("scenario failed: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let path = "BENCH_serve.json";
+    let mut out = bench.render();
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => out += &format!("\nwrote {path}\n"),
+        Err(e) => errors.push(format!("could not write {path}: {e}")),
+    }
+    errors.extend(bench.gate_errors());
+    (out, errors)
+}
+
 fn main() -> ExitCode {
     let arg = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    // The gated subcommands share one exit-code policy (see module docs).
+    let gated = match arg.as_str() {
+        "faults" => Some(run_faults(smoke_flag())),
+        "bench" => Some(run_bench(smoke_flag())),
+        "serve" => Some(run_serve(smoke_flag())),
+        _ => None,
+    };
+    if let Some((out, errors)) = gated {
+        print!("{out}");
+        if errors.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        for e in &errors {
+            eprintln!("{arg}: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
     let out = match arg.as_str() {
         "table1" => report::render_table1(),
         "table3" => report::render_table3(),
@@ -42,78 +151,6 @@ fn main() -> ExitCode {
         "framerate" => report::render_framerate(),
         "sweep" => report::render_sweep(),
         "all" => report::render_all(),
-        "faults" => {
-            let smoke = env::args().nth(2).is_some_and(|f| f == "--smoke");
-            let r = if smoke {
-                faults::smoke()
-            } else {
-                faults::full()
-            };
-            let path = "BENCH_faults.json";
-            if let Err(e) = std::fs::write(path, r.to_json()) {
-                eprintln!("could not write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            let mut out = r.render();
-            out += &format!("\nwrote {path}\n");
-            if r.sdc_under_secded() != 0 {
-                eprintln!("{out}");
-                eprintln!("SECDED let silent data corruption through");
-                return ExitCode::FAILURE;
-            }
-            if !r.zero_rate_all_clean() {
-                eprintln!("{out}");
-                eprintln!("a zero-rate run diverged from the golden model");
-                return ExitCode::FAILURE;
-            }
-            out
-        }
-        "bench" => {
-            let smoke = env::args().nth(2).is_some_and(|f| f == "--smoke");
-            let r = if smoke {
-                perf::measure_smoke()
-            } else {
-                perf::measure()
-            };
-            let mut out = r.render();
-            if smoke {
-                // The CI gate: seed-frozen cycle counts, four-way path
-                // bit-identity, zero-allocation steady state. No JSON —
-                // BENCH_harness.json holds the full run's numbers.
-                let errors = perf::smoke_errors(&r.throughput);
-                if !errors.is_empty() {
-                    eprintln!("{out}");
-                    for e in &errors {
-                        eprintln!("smoke: {e}");
-                    }
-                    return ExitCode::FAILURE;
-                }
-                out += "\nsmoke: all seed cycle counts exact, paths bit-identical, 0 allocs\n";
-            } else {
-                let path = "BENCH_harness.json";
-                if let Err(e) = std::fs::write(path, r.to_json()) {
-                    eprintln!("could not write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                out += &format!("\nwrote {path}\n");
-                if !r.all_bit_identical() {
-                    eprintln!("{out}");
-                    eprintln!("parallel results diverged from serial results");
-                    return ExitCode::FAILURE;
-                }
-                if !r.all_paths_bit_identical() {
-                    eprintln!("{out}");
-                    eprintln!("an execution path diverged (legacy / run / infer / infer_ref)");
-                    return ExitCode::FAILURE;
-                }
-                if !r.zero_alloc_steady_state() {
-                    eprintln!("{out}");
-                    eprintln!("the fast path allocated in steady state");
-                    return ExitCode::FAILURE;
-                }
-            }
-            out
-        }
         "calib" => {
             use shidiannao_baseline::{CpuModel, DianNao, DianNaoConfig, GpuModel};
             use shidiannao_cnn::zoo;
@@ -148,7 +185,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults calib bench all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve calib bench all"
             );
             return ExitCode::FAILURE;
         }

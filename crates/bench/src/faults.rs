@@ -16,6 +16,7 @@
 //! code can absorb, are exercised by the degradation rows instead.
 
 use crate::geomean;
+use crate::json::{comma, json_f64};
 use shidiannao_cnn::{zoo, Network};
 use shidiannao_core::area::{area_of, area_with_protection};
 use shidiannao_core::energy::EnergyModel;
@@ -511,22 +512,6 @@ impl FaultReport {
             );
         }
         out
-    }
-}
-
-fn json_f64(v: f64) -> String {
-    if v.fract() == 0.0 && v.abs() < 1e15 {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
-    }
-}
-
-fn comma(i: usize, len: usize) -> &'static str {
-    if i + 1 == len {
-        ""
-    } else {
-        ","
     }
 }
 

@@ -10,8 +10,10 @@
 pub mod alloc;
 pub mod experiments;
 pub mod faults;
+pub mod json;
 pub mod perf;
 pub mod report;
+pub mod serve;
 
 /// Every binary, bench, and test linking this crate counts heap
 /// allocations, so `harness bench` can certify the zero-allocation
@@ -27,6 +29,7 @@ pub use experiments::{
 };
 pub use faults::{DegradationRow, FaultCell, FaultReport, ProtectionOverhead};
 pub use perf::{ExperimentTiming, PerfReport, ThroughputRow};
+pub use serve::{serve_report, ServeBenchReport};
 
 /// Geometric mean of a non-empty slice.
 ///

@@ -25,6 +25,7 @@
 //! allocations, and four-way path bit-identity.
 
 use crate::experiments::{self, compute_paper_runs, SEED};
+use crate::json::{comma, json_f64, json_opt_f64};
 use shidiannao_cnn::zoo;
 use shidiannao_core::{Accelerator, AcceleratorConfig};
 use std::time::Instant;
@@ -277,10 +278,8 @@ impl PerfReport {
                 json_f64(t.session_speedup()),
                 t.steady_state_allocs,
                 json_f64(t.allocs_per_cycle()),
-                t.pr1_sim_cycles_per_s()
-                    .map_or_else(|| "null".to_string(), json_f64),
-                t.speedup_vs_pr1()
-                    .map_or_else(|| "null".to_string(), json_f64),
+                json_opt_f64(t.pr1_sim_cycles_per_s()),
+                json_opt_f64(t.speedup_vs_pr1()),
                 t.paths_bit_identical,
                 comma(i, self.throughput.len()),
             );
@@ -334,22 +333,6 @@ impl PerfReport {
             );
         }
         out
-    }
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn comma(i: usize, len: usize) -> &'static str {
-    if i + 1 < len {
-        ","
-    } else {
-        ""
     }
 }
 

@@ -689,6 +689,29 @@ impl<'p> Session<'p> {
     }
 }
 
+// Thread-migration invariant: the serve layer pools warm `Session`s and
+// hands them to scheduler worker threads, so both ends of the
+// prepare→execute split must stay thread-safe:
+//
+// * `PreparedNetwork` must be `Send + Sync` — one prepared network is
+//   shared by reference across every worker executing its tenant;
+// * `Session<'_>` must be `Send` — a pooled session (which holds a
+//   `&PreparedNetwork` plus its own buffers and PE mesh) migrates to
+//   whichever worker thread the scheduler dispatches it to.
+//
+// Everything inside is owned data (`Vec`-backed buffers, SoA PE state,
+// copyable plans); nothing holds `Rc`, interior mutability, or raw
+// pointers. These compile-time assertions keep it that way: adding a
+// non-thread-safe field to either type breaks the build here rather than
+// deep inside the serve crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<PreparedNetwork>();
+    assert_sync::<PreparedNetwork>();
+    assert_send::<Session<'static>>();
+};
+
 /// A trace-free inference result from [`Session::infer`]: the final
 /// output plus the run's statistics and energy.
 #[derive(Clone, Debug)]

@@ -80,6 +80,6 @@ pub use stats::{BufferTraffic, LayerStats, ReadMode, RunStats};
 // Re-export the fault-injection vocabulary so downstream crates can drive
 // fault campaigns without depending on `shidiannao-faults` directly.
 pub use shidiannao_faults::{
-    DetectedFault, FaultConfig, FaultPlan, FaultSite, FaultState, FaultStats, PeStuck,
-    PeStuckTarget, ScanlineFault, SramProtection,
+    DegradePolicy, DetectedFault, FaultConfig, FaultPlan, FaultSite, FaultState, FaultStats,
+    PeStuck, PeStuckTarget, ScanlineFault, SramProtection,
 };

@@ -389,6 +389,31 @@ impl FaultPlan {
     }
 }
 
+/// How an executor responds to detected faults and deadline pressure:
+/// bounded retries under salted replans, then skip, all under an optional
+/// cycle budget.
+///
+/// Shared vocabulary between the streaming pipeline's
+/// `process_frame_degraded` (per-frame budget) and the serve crate's
+/// scheduler (per-request deadline slack as the budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Attempts after the first before a faulted unit of work is dropped.
+    pub max_retries: u32,
+    /// Cycle budget (the watchdog): once spent, remaining work is dropped
+    /// unrun. `None` disables the watchdog.
+    pub frame_cycle_budget: Option<u64>,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            max_retries: 2,
+            frame_cycle_budget: None,
+        }
+    }
+}
+
 /// A stuck-at fault in one PE's datapath: the masked bit always reads as
 /// `value`'s bit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,83 @@
+//! Multi-tenant inference service for the ShiDianNao simulator.
+//!
+//! The paper's accelerator serves one camera; this crate models the other
+//! end of the deployment spectrum from the roadmap — many tenants sharing
+//! a small pool of accelerator contexts, the shape a production inference
+//! service takes when "shifting vision processing closer to the sensor"
+//! meets heavy traffic:
+//!
+//! * [`InferenceService`] — pools warm [`Session`]s per tenant network
+//!   (amortising `Accelerator::prepare` exactly like the streaming
+//!   pipeline does for one camera) and schedules requests onto a fixed
+//!   pool of *virtual* workers on a cycle-granular virtual clock,
+//! * [`BoundedQueue`] — per-tenant admission queues with typed
+//!   backpressure ([`QueueFull`]): a slow tenant sheds load instead of
+//!   growing memory without bound,
+//! * [`FairScheduler`] — earliest-deadline-first within a tenant,
+//!   weighted fair share across tenants,
+//! * [`DegradePolicy`]-driven degraded execution borrowed from
+//!   `shidiannao-faults`: a request whose SRAM faults blow its deadline
+//!   slack is retried under a salted plan and finally dropped, never
+//!   served silently corrupt data,
+//! * [`TenantSpec`] / [`Traffic`] — a deterministic open- and
+//!   closed-loop load generator, so the whole service is a pure function
+//!   of its scenario: byte-identical reports on every run and every
+//!   physical thread count.
+//!
+//! Determinism is the load-bearing property. The virtual clock advances
+//! by *modelled* cycles (which depend only on network topology), never by
+//! wall time; physical threads only parallelise the pure
+//! input→output inference function between two scheduling decisions, so
+//! `physical_threads` can be anything from 1 to the machine width without
+//! perturbing a single counter in the [`ServiceReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use shidiannao_cnn::zoo;
+//! use shidiannao_serve::{InferenceService, ServeConfig, TenantSpec, Traffic};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tenant = TenantSpec::new("lenet5", zoo::lenet5().build(42)?)
+//!     .traffic(Traffic::Open { period: 20_000, jitter: 1_000, count: 8 })
+//!     .deadline_cycles(60_000);
+//! let service = InferenceService::new(ServeConfig::default(), vec![tenant])?;
+//! let report = service.run()?;
+//! assert_eq!(report.tenants[0].completed(), 8);
+//! assert_eq!(report, service.run()?); // deterministic end to end
+//! # Ok(())
+//! # }
+//! ```
+
+// Service paths report failures as typed `ServeError`s rather than
+// panicking; contract violations still use `assert!`/`.expect()` which
+// these lints deliberately do not cover.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+mod loadgen;
+mod queue;
+mod scheduler;
+mod service;
+mod stats;
+
+pub use loadgen::{InputSource, TenantSpec, Traffic};
+pub use queue::{BoundedQueue, QueueFull, Request};
+pub use scheduler::FairScheduler;
+pub use service::{
+    request_salt, InferenceService, ServeConfig, ServeError, ServiceReport, TenantReport,
+};
+pub use stats::{hash_output, FixedHistogram, HistogramSummary, RequestSample, TenantStats};
+
+// Re-export the pieces of the fault vocabulary the service surfaces.
+pub use shidiannao_core::Session;
+pub use shidiannao_faults::{DegradePolicy, FaultConfig, FaultStats, SramProtection};
+
+/// One step of the splitmix64 sequence — the same generator the fault
+/// plan and synthetic sensor use, kept local so the crate has no
+/// dependency on their private helpers.
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

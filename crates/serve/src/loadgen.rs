@@ -1,0 +1,385 @@
+//! Deterministic load generation: tenant specifications and open- and
+//! closed-loop traffic models on the virtual clock.
+//!
+//! A tenant bundles a zoo network with its traffic shape, SLO, fault
+//! environment, and input source. Arrival times are pure functions of
+//! `(spec, seq)` — open-loop jitter comes from splitmix64, closed-loop
+//! arrivals from completion times the deterministic scheduler produced —
+//! so a scenario replays identically on every run.
+
+use shidiannao_cnn::Network;
+use shidiannao_faults::{FaultConfig, FaultPlan};
+use shidiannao_fixed::Fx;
+use shidiannao_sensor::{FaultySensor, FrameSource, RegionGrid, StreamError, SyntheticSensor};
+use shidiannao_tensor::MapStack;
+
+use crate::splitmix64;
+
+/// How a tenant offers load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Traffic {
+    /// Open loop: request `n` arrives at `(n + 1) × period + jitter_n`
+    /// regardless of service progress (a sensor that keeps shuttering).
+    Open {
+        /// Mean inter-arrival gap in cycles.
+        period: u64,
+        /// Uniform jitter bound in cycles (`jitter_n < jitter + 1`,
+        /// drawn from splitmix64). Keep below `period` for strictly
+        /// increasing arrivals; larger values are clamped monotone.
+        jitter: u64,
+        /// Total requests to issue.
+        count: u64,
+    },
+    /// Closed loop: `clients` callers that each wait for their previous
+    /// request to resolve, think, then issue the next one (an RPC
+    /// client pool).
+    Closed {
+        /// Concurrent callers.
+        clients: u32,
+        /// Think time between a resolution and the next issue, cycles.
+        think: u64,
+        /// Total requests to issue across all callers.
+        count: u64,
+    },
+}
+
+impl Traffic {
+    /// Total requests this traffic model will issue.
+    pub fn count(&self) -> u64 {
+        match *self {
+            Traffic::Open { count, .. } | Traffic::Closed { count, .. } => count,
+        }
+    }
+}
+
+/// Where a tenant's inputs come from. Either way the input for sequence
+/// number `seq` is a pure function of the spec, so any worker thread can
+/// rebuild it bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputSource {
+    /// `Network::random_input(seed ^ seq)` — an RPC tenant sending
+    /// arbitrary payloads.
+    Random {
+        /// Base seed, mixed with the request sequence number.
+        seed: u64,
+    },
+    /// Regions tiled out of synthetic sensor frames — a streaming camera
+    /// tenant. Request `seq` maps to region `seq % grid.count()` of
+    /// frame `seq / grid.count()`. Scanline faults from the tenant's
+    /// [`FaultConfig`] corrupt rows deterministically on the way in.
+    Stream {
+        /// Sensor seed.
+        seed: u64,
+        /// Sensor frame dimensions `(width, height)`; must contain the
+        /// network's input dimensions.
+        frame: (usize, usize),
+        /// Region tiling stride `(x, y)`.
+        stride: (usize, usize),
+    },
+}
+
+/// One tenant of the service: a network plus traffic, SLO, fault
+/// environment, input source, and scheduling weight.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (also keys the report).
+    pub name: String,
+    /// The tenant's network (one `PreparedNetwork` + session pool each).
+    pub network: Network,
+    /// Fair-share weight across tenants (≥ 1).
+    pub weight: u32,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Relative deadline: a request arriving at `t` must complete by
+    /// `t + deadline_cycles` to meet its SLO.
+    pub deadline_cycles: u64,
+    /// Traffic model.
+    pub traffic: Traffic,
+    /// Input source.
+    pub source: InputSource,
+    /// Fault environment ([`FaultConfig::zero`] for a clean tenant).
+    pub faults: FaultConfig,
+    /// Salted retries before a faulty request is dropped.
+    pub max_retries: u32,
+}
+
+impl TenantSpec {
+    /// A tenant with benign defaults: weight 1, queue capacity 8, one
+    /// open-loop request, clean faults, random inputs, 2 retries, and a
+    /// deadline of 1M cycles. Chain the builder methods to shape it.
+    pub fn new(name: impl Into<String>, network: Network) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            network,
+            weight: 1,
+            queue_capacity: 8,
+            deadline_cycles: 1_000_000,
+            traffic: Traffic::Open {
+                period: 1,
+                jitter: 0,
+                count: 1,
+            },
+            source: InputSource::Random { seed: 0 },
+            faults: FaultConfig::zero(),
+            max_retries: 2,
+        }
+    }
+
+    /// Sets the fair-share weight.
+    pub fn weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the bounded queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> TenantSpec {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the relative deadline in cycles.
+    pub fn deadline_cycles(mut self, cycles: u64) -> TenantSpec {
+        self.deadline_cycles = cycles;
+        self
+    }
+
+    /// Sets the traffic model.
+    pub fn traffic(mut self, traffic: Traffic) -> TenantSpec {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Sets the input source.
+    pub fn source(mut self, source: InputSource) -> TenantSpec {
+        self.source = source;
+        self
+    }
+
+    /// Sets the fault environment.
+    pub fn faults(mut self, faults: FaultConfig) -> TenantSpec {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn max_retries(mut self, retries: u32) -> TenantSpec {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Builds the input for request `seq` — a pure function, safe to
+    /// call from any worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError`] when a streaming region does not fit the
+    /// configured frame (callers validate dimensions up front, so this
+    /// indicates a mis-built spec).
+    pub fn build_input(&self, seq: u64) -> Result<MapStack<Fx>, StreamError> {
+        match self.source {
+            InputSource::Random { seed } => Ok(self
+                .network
+                .random_input(splitmix64(seed ^ seq.wrapping_mul(0x9e37_79b9)))),
+            InputSource::Stream {
+                seed,
+                frame,
+                stride,
+            } => {
+                let dims = self.network.input_dims();
+                let grid = RegionGrid::new(frame, dims, stride);
+                let regions = grid.count() as u64;
+                let frame_index = seq / regions;
+                let region = (seq % regions) as usize;
+                // Frames are cheap (a hash per pixel) and random access
+                // is rare, so replay the sensor up to the frame we need.
+                // Scanline faults ride the tenant's fault plan, like the
+                // streaming pipeline's camera does.
+                let mut cam = FaultySensor::new(SyntheticSensor::new(frame.0, frame.1, seed), {
+                    FaultPlan::new(self.faults)
+                });
+                let mut f = cam.next_frame();
+                for _ in 0..frame_index {
+                    f = cam.next_frame();
+                }
+                let (nx, _) = grid.counts();
+                let origin = grid.origin(region % nx, region / nx);
+                f.try_region_stacked(origin, dims, self.network.input_maps())
+            }
+        }
+    }
+}
+
+/// Per-tenant arrival generator driven by the service's event loop.
+#[derive(Clone, Debug)]
+pub(crate) struct TenantGen {
+    traffic: Traffic,
+    /// Seed for open-loop jitter.
+    seed: u64,
+    /// Sequence numbers handed out so far.
+    issued: u64,
+    /// Monotonic clamp for open-loop arrivals under oversized jitter.
+    last_time: u64,
+    /// Closed loop: pending issue times, kept sorted ascending.
+    pending: Vec<u64>,
+}
+
+impl TenantGen {
+    pub(crate) fn new(tenant: usize, traffic: Traffic) -> TenantGen {
+        let mut gen = TenantGen {
+            traffic,
+            seed: splitmix64(0x6c6f_6164 ^ ((tenant as u64) << 32)),
+            issued: 0,
+            last_time: 0,
+            pending: Vec::new(),
+        };
+        if let Traffic::Closed {
+            clients,
+            think,
+            count,
+        } = traffic
+        {
+            // Stagger the callers' first issues across one think time so
+            // they don't all collide at cycle 0.
+            let callers = u64::from(clients).min(count);
+            let stagger = if callers > 1 { think / callers } else { 0 };
+            gen.pending = (0..callers).map(|c| c * stagger).collect();
+        }
+        gen
+    }
+
+    /// Next arrival `(time, seq)` if the tenant will issue again.
+    pub(crate) fn peek(&self) -> Option<(u64, u64)> {
+        match self.traffic {
+            Traffic::Open {
+                period,
+                jitter,
+                count,
+            } => {
+                if self.issued >= count {
+                    return None;
+                }
+                let n = self.issued;
+                let j = splitmix64(self.seed ^ n) % jitter.saturating_add(1);
+                let raw = (n + 1).saturating_mul(period).saturating_add(j);
+                Some((raw.max(self.last_time), n))
+            }
+            Traffic::Closed { .. } => self.pending.first().map(|&t| (t, self.issued)),
+        }
+    }
+
+    /// Consumes the arrival returned by [`TenantGen::peek`].
+    pub(crate) fn pop(&mut self) -> Option<(u64, u64)> {
+        let (time, seq) = self.peek()?;
+        if matches!(self.traffic, Traffic::Closed { .. }) {
+            self.pending.remove(0);
+        }
+        self.issued += 1;
+        self.last_time = time;
+        Some((time, seq))
+    }
+
+    /// Closed loop only: a caller's request resolved (completed, was
+    /// dropped, or was rejected) at `time`; schedule its next issue.
+    pub(crate) fn on_resolved(&mut self, time: u64) {
+        if let Traffic::Closed { think, count, .. } = self.traffic {
+            if self.issued + self.pending.len() as u64 >= count {
+                return;
+            }
+            let at = time.saturating_add(think);
+            let pos = self.pending.partition_point(|&t| t <= at);
+            self.pending.insert(pos, at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_is_monotone_and_bounded() {
+        let mut gen = TenantGen::new(
+            0,
+            Traffic::Open {
+                period: 100,
+                jitter: 250, // deliberately larger than the period
+                count: 50,
+            },
+        );
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, seq)) = gen.pop() {
+            assert!(t >= last, "arrival went backwards");
+            assert_eq!(seq, n);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn open_loop_replays_identically() {
+        let traffic = Traffic::Open {
+            period: 700,
+            jitter: 300,
+            count: 20,
+        };
+        let collect = || {
+            let mut gen = TenantGen::new(3, traffic);
+            std::iter::from_fn(move || gen.pop()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn closed_loop_waits_for_resolution() {
+        let mut gen = TenantGen::new(
+            0,
+            Traffic::Closed {
+                clients: 2,
+                think: 100,
+                count: 4,
+            },
+        );
+        let a = gen.pop().expect("client 0 first issue");
+        let b = gen.pop().expect("client 1 first issue");
+        assert_eq!((a.1, b.1), (0, 1));
+        assert_eq!(gen.peek(), None); // both callers outstanding
+        gen.on_resolved(500);
+        assert_eq!(gen.peek(), Some((600, 2)));
+        gen.pop();
+        gen.on_resolved(550);
+        assert_eq!(gen.pop(), Some((650, 3)));
+        gen.on_resolved(700); // count exhausted: no fifth issue
+        assert_eq!(gen.peek(), None);
+    }
+
+    #[test]
+    fn random_input_is_pure() {
+        let net = shidiannao_cnn::zoo::gabor().build(1).expect("build gabor");
+        let spec = TenantSpec::new("g", net).source(InputSource::Random { seed: 9 });
+        let a = spec.build_input(4).expect("input");
+        let b = spec.build_input(4).expect("input");
+        assert_eq!(a.flatten(), b.flatten());
+        let c = spec.build_input(5).expect("input");
+        assert_ne!(a.flatten(), c.flatten());
+    }
+
+    #[test]
+    fn stream_input_tiles_regions() {
+        let net = shidiannao_cnn::zoo::gabor().build(1).expect("build gabor");
+        let dims = net.input_dims();
+        let spec = TenantSpec::new("g", net).source(InputSource::Stream {
+            seed: 5,
+            frame: (40, 40),
+            stride: (20, 20),
+        });
+        // 40x40 frame, 20x20 regions, stride 20 → 4 regions per frame.
+        let r0 = spec.build_input(0).expect("region");
+        assert_eq!(r0.map_dims(), dims);
+        let r4 = spec.build_input(4).expect("next frame, region 0");
+        assert_ne!(r0.flatten(), r4.flatten());
+        // Pure replay.
+        assert_eq!(r0.flatten(), spec.build_input(0).expect("replay").flatten());
+    }
+}

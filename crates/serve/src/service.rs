@@ -1,0 +1,830 @@
+//! The multi-tenant inference service: session pooling, the virtual-clock
+//! event loop, and deterministic parallel batch execution.
+//!
+//! # Determinism model
+//!
+//! The service is a discrete-event simulation over a cycle-granular
+//! virtual clock. Every scheduling decision — admission order, tenant
+//! pick, EDF pick, drop, completion time — is a pure function of the
+//! scenario, because modelled inference cycles depend only on network
+//! topology (not input data) and all randomness is seeded splitmix64.
+//!
+//! Physical parallelism never touches that decision sequence: the event
+//! loop picks a *batch* of requests (one per free virtual worker at the
+//! current virtual time), executes the batch's pure inference functions
+//! on however many OS threads are configured, then folds the results
+//! back in batch order. Running with 1 thread or 16 produces the same
+//! [`ServiceReport`], byte for byte — which is what lets the benchmark
+//! harness gate on report equality across worker counts.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use shidiannao_core::{Accelerator, AcceleratorConfig, PreparedNetwork, RunError, Session};
+use shidiannao_faults::{FaultPlan, FaultStats};
+use shidiannao_sensor::StreamError;
+
+use crate::loadgen::{InputSource, TenantGen, TenantSpec, Traffic};
+use crate::queue::{BoundedQueue, Request};
+use crate::scheduler::FairScheduler;
+use crate::splitmix64;
+use crate::stats::{hash_output, HistogramSummary, RequestSample, TenantStats};
+
+/// Service-level configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Accelerator model shared by all tenants.
+    pub accel: AcceleratorConfig,
+    /// Modelled worker pool size — a *scenario* parameter that shapes
+    /// the schedule (more virtual workers = more concurrent service).
+    pub virtual_workers: usize,
+    /// OS threads used to execute a dispatched batch; `0` means the
+    /// machine's available parallelism. Changing this never changes the
+    /// report — it only changes wall-clock speed.
+    pub physical_threads: usize,
+    /// Permutes the processing order of same-cycle arrivals across
+    /// tenants (`0` = tenant-index order). Outcomes are invariant to
+    /// this salt because queues are per-tenant; the property tests turn
+    /// it to prove exactly that.
+    pub admission_salt: u64,
+    /// Completed requests retained per tenant for bit-identity
+    /// certification against direct `Session::infer`.
+    pub samples_per_tenant: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            accel: AcceleratorConfig::paper(),
+            virtual_workers: 2,
+            physical_threads: 0,
+            admission_salt: 0,
+            samples_per_tenant: 8,
+        }
+    }
+}
+
+/// A failure configuring or running the service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// No tenants were configured.
+    NoTenants,
+    /// `virtual_workers` was zero.
+    NoWorkers,
+    /// A tenant specification failed validation.
+    Spec {
+        /// Offending tenant.
+        tenant: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Preparing a tenant's network for the accelerator failed.
+    Prepare {
+        /// Offending tenant.
+        tenant: String,
+        /// Underlying accelerator error.
+        error: RunError,
+    },
+    /// A request failed with an error other than a detected fault
+    /// (detected faults are handled by retry/degrade, never surfaced).
+    Execute {
+        /// Offending tenant.
+        tenant: String,
+        /// Underlying accelerator error.
+        error: RunError,
+    },
+    /// Building a streaming input failed.
+    Input {
+        /// Offending tenant.
+        tenant: String,
+        /// Underlying sensor error.
+        error: StreamError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoTenants => write!(f, "service has no tenants"),
+            ServeError::NoWorkers => write!(f, "virtual worker pool must be non-empty"),
+            ServeError::Spec { tenant, reason } => {
+                write!(f, "tenant {tenant}: invalid spec: {reason}")
+            }
+            ServeError::Prepare { tenant, error } => {
+                write!(f, "tenant {tenant}: prepare failed: {error}")
+            }
+            ServeError::Execute { tenant, error } => {
+                write!(f, "tenant {tenant}: execution failed: {error}")
+            }
+            ServeError::Input { tenant, error } => {
+                write!(f, "tenant {tenant}: input failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Stable salt for request attempt `attempt` of request `seq` of tenant
+/// `tenant` — the contract that lets an auditor replay any scheduled
+/// execution with a direct `PreparedNetwork::session_with_faults` +
+/// `Session::infer` and get bit-identical output.
+pub fn request_salt(tenant: usize, seq: u64, attempt: u32) -> u64 {
+    splitmix64(((tenant as u64) << 48) ^ (seq << 8) ^ u64::from(attempt))
+}
+
+/// Per-tenant slice of a [`ServiceReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name from the spec.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: u32,
+    /// Calibrated clean cycles per inference (input-independent).
+    pub clean_cycles: u64,
+    /// All SLO counters, the latency histogram, and retained samples.
+    pub stats: TenantStats,
+    /// Completed requests per virtual second.
+    pub throughput_rps: f64,
+}
+
+impl TenantReport {
+    /// Latency percentile summary.
+    pub fn latency(&self) -> HistogramSummary {
+        self.stats.latency.summary()
+    }
+
+    /// Completed requests (ok + degraded).
+    pub fn completed(&self) -> u64 {
+        self.stats.completed()
+    }
+}
+
+/// What one service run produced. Two runs of the same scenario compare
+/// equal regardless of physical thread count — `PartialEq` is the
+/// determinism contract the harness and property tests gate on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceReport {
+    /// Virtual worker pool size the scenario ran with.
+    pub virtual_workers: usize,
+    /// Virtual cycle at which the last request resolved.
+    pub end_cycles: u64,
+    /// `end_cycles` at the modelled clock frequency.
+    pub elapsed_seconds: f64,
+    /// Per-tenant results, in spec order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServiceReport {
+    /// Whether every tenant's ledger balances: issued = ok + degraded +
+    /// dropped (faulty/deadline) + rejected.
+    pub fn accounting_consistent(&self) -> bool {
+        self.tenants.iter().all(|t| t.stats.accounting_consistent())
+    }
+
+    /// Sum of a counter over tenants, e.g. `report.total(|s| s.rejected)`.
+    pub fn total(&self, f: impl Fn(&TenantStats) -> u64) -> u64 {
+        self.tenants.iter().map(|t| f(&t.stats)).sum()
+    }
+}
+
+/// The multi-tenant inference service. See the crate docs for the model.
+#[derive(Clone, Debug)]
+pub struct InferenceService {
+    config: ServeConfig,
+    tenants: Vec<TenantSpec>,
+}
+
+/// One dispatched request travelling to a physical execution slot.
+struct Job<'p> {
+    tenant: usize,
+    seq: u64,
+    slack: u64,
+    session: Session<'p>,
+}
+
+/// How a single execution resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Clean on the first attempt.
+    Ok,
+    /// Completed after ≥ 1 salted retry.
+    Degraded,
+    /// Retries exhausted with faults still detected.
+    DroppedFaulty,
+    /// Deadline slack consumed by wasted attempts; gave up.
+    DroppedBudget,
+}
+
+/// The execution result folded back into the event loop.
+struct Exec {
+    outcome: Outcome,
+    /// Worker cycles consumed, including aborted attempts.
+    cycles: u64,
+    /// Index of the final attempt (0 = no retries).
+    retries: u32,
+    output_hash: u64,
+    fault: FaultStats,
+}
+
+impl InferenceService {
+    /// Validates the scenario and builds the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the scenario is structurally
+    /// invalid (no tenants/workers, zero-capacity queue, streaming frame
+    /// smaller than the network input, …).
+    pub fn new(
+        config: ServeConfig,
+        tenants: Vec<TenantSpec>,
+    ) -> Result<InferenceService, ServeError> {
+        if tenants.is_empty() {
+            return Err(ServeError::NoTenants);
+        }
+        if config.virtual_workers == 0 {
+            return Err(ServeError::NoWorkers);
+        }
+        for spec in &tenants {
+            let fail = |reason: &str| ServeError::Spec {
+                tenant: spec.name.clone(),
+                reason: reason.to_string(),
+            };
+            if spec.queue_capacity == 0 {
+                return Err(fail("queue capacity must be at least 1"));
+            }
+            if let Traffic::Closed { clients, .. } = spec.traffic {
+                if clients == 0 {
+                    return Err(fail("closed-loop traffic needs at least one client"));
+                }
+            }
+            if let InputSource::Stream { frame, stride, .. } = spec.source {
+                let dims = spec.network.input_dims();
+                if frame.0 < dims.0 || frame.1 < dims.1 {
+                    return Err(fail("streaming frame smaller than network input"));
+                }
+                if stride.0 == 0 || stride.1 == 0 {
+                    return Err(fail("streaming stride must be non-zero"));
+                }
+            }
+        }
+        Ok(InferenceService { config, tenants })
+    }
+
+    /// The tenant specifications, in report order.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to completion and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when a network cannot be prepared or a
+    /// request fails with a non-fault accelerator error.
+    pub fn run(&self) -> Result<ServiceReport, ServeError> {
+        let accel = Accelerator::new(self.config.accel.clone());
+        let mut prepared = Vec::with_capacity(self.tenants.len());
+        for spec in &self.tenants {
+            prepared.push(
+                accel
+                    .prepare(&spec.network)
+                    .map_err(|error| ServeError::Prepare {
+                        tenant: spec.name.clone(),
+                        error,
+                    })?,
+            );
+        }
+
+        // Calibrate per-tenant clean cycles (input-independent): the
+        // fairness charge and the deadline estimator both need the cost
+        // before the first real request runs.
+        let mut clean_cycles = Vec::with_capacity(self.tenants.len());
+        for (spec, prep) in self.tenants.iter().zip(&prepared) {
+            let mut session = prep.session();
+            let inference = session
+                .infer(&spec.network.random_input(0))
+                .map_err(|error| ServeError::Execute {
+                    tenant: spec.name.clone(),
+                    error,
+                })?;
+            clean_cycles.push(inference.stats().cycles());
+        }
+
+        self.event_loop(&prepared, &clean_cycles)
+    }
+
+    /// The discrete-event loop over the virtual clock.
+    fn event_loop(
+        &self,
+        prepared: &[PreparedNetwork],
+        clean_cycles: &[u64],
+    ) -> Result<ServiceReport, ServeError> {
+        let n = self.tenants.len();
+        let weights: Vec<u32> = self.tenants.iter().map(|t| t.weight).collect();
+        let mut scheduler = FairScheduler::new(&weights, clean_cycles);
+        let mut queues: Vec<BoundedQueue> = self
+            .tenants
+            .iter()
+            .map(|t| BoundedQueue::new(t.queue_capacity))
+            .collect();
+        let mut gens: Vec<TenantGen> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, spec)| TenantGen::new(t, spec.traffic))
+            .collect();
+        let mut stats: Vec<TenantStats> = vec![TenantStats::default(); n];
+        let mut pools: Vec<Vec<Session<'_>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut worker_free: Vec<u64> = vec![0; self.config.virtual_workers];
+        let threads = if self.config.physical_threads != 0 {
+            self.config.physical_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        };
+
+        let permkey = |t: usize| {
+            if self.config.admission_salt == 0 {
+                t as u64
+            } else {
+                splitmix64(self.config.admission_salt ^ (t as u64))
+            }
+        };
+
+        let mut now: u64 = 0;
+        let mut end_cycles: u64 = 0;
+        loop {
+            // Phase 1 — admit every arrival due at or before `now`.
+            // Rejected closed-loop callers may immediately re-issue at
+            // the same cycle, so drain until quiescent.
+            loop {
+                let mut due: Vec<(u64, u64, usize, u64)> = Vec::new();
+                for (t, gen) in gens.iter_mut().enumerate() {
+                    while let Some((at, _)) = gen.peek() {
+                        if at > now {
+                            break;
+                        }
+                        if let Some((at, seq)) = gen.pop() {
+                            stats[t].issued += 1;
+                            due.push((at, permkey(t), t, seq));
+                        }
+                    }
+                }
+                if due.is_empty() {
+                    break;
+                }
+                due.sort_unstable();
+                for (at, _, t, seq) in due {
+                    let request = Request {
+                        tenant: t,
+                        seq,
+                        arrival: at,
+                        deadline: at.saturating_add(self.tenants[t].deadline_cycles),
+                    };
+                    match queues[t].admit(request) {
+                        Ok(depth) => {
+                            stats[t].depth_sum += depth as u64;
+                            stats[t].depth_samples += 1;
+                            stats[t].depth_max = stats[t].depth_max.max(depth);
+                        }
+                        Err(_full) => {
+                            stats[t].rejected += 1;
+                            end_cycles = end_cycles.max(at);
+                            gens[t].on_resolved(at);
+                        }
+                    }
+                }
+            }
+
+            // Phase 2 — fill free virtual workers, dropping requests
+            // that expired while queued.
+            let mut batch: Vec<Job<'_>> = Vec::new();
+            let mut meta: Vec<(usize, Request)> = Vec::new(); // (worker, request)
+            for (w, free_at) in worker_free.iter().enumerate() {
+                if *free_at > now {
+                    continue;
+                }
+                let picked = loop {
+                    match scheduler.pick(&mut queues) {
+                        None => break None,
+                        Some(r) => {
+                            if now > r.deadline {
+                                stats[r.tenant].dropped_deadline += 1;
+                                end_cycles = end_cycles.max(now);
+                                gens[r.tenant].on_resolved(now);
+                                continue;
+                            }
+                            break Some(r);
+                        }
+                    }
+                };
+                let Some(request) = picked else { break };
+                let session = pools[request.tenant]
+                    .pop()
+                    .unwrap_or_else(|| prepared[request.tenant].session());
+                batch.push(Job {
+                    tenant: request.tenant,
+                    seq: request.seq,
+                    slack: request.deadline.saturating_sub(now),
+                    session,
+                });
+                meta.push((w, request));
+            }
+
+            // Phase 3 — execute the batch's pure inference functions on
+            // physical threads, then fold results back in batch order.
+            let results = run_batch(&self.tenants, batch, threads);
+            for ((w, request), (result, session)) in meta.into_iter().zip(results) {
+                pools[request.tenant].push(session);
+                let exec = result?;
+                let finish = now.saturating_add(exec.cycles);
+                worker_free[w] = finish;
+                end_cycles = end_cycles.max(finish);
+                let st = &mut stats[request.tenant];
+                st.service_cycles += exec.cycles;
+                st.retries += u64::from(exec.retries);
+                st.fault.absorb(&exec.fault);
+                match exec.outcome {
+                    Outcome::Ok | Outcome::Degraded => {
+                        if exec.outcome == Outcome::Ok {
+                            st.ok += 1;
+                        } else {
+                            st.degraded += 1;
+                        }
+                        st.latency.record(finish - request.arrival);
+                        if finish > request.deadline {
+                            st.deadline_misses += 1;
+                        }
+                        st.output_hash ^= exec.output_hash;
+                        if st.samples.len() < self.config.samples_per_tenant {
+                            st.samples.push(RequestSample {
+                                seq: request.seq,
+                                attempt: exec.retries,
+                                output_hash: exec.output_hash,
+                            });
+                        }
+                    }
+                    Outcome::DroppedFaulty => st.dropped_faulty += 1,
+                    Outcome::DroppedBudget => st.dropped_deadline += 1,
+                }
+                gens[request.tenant].on_resolved(finish);
+            }
+
+            // Phase 4 — terminate or advance the clock to the next event.
+            let next_arrival = gens.iter().filter_map(|g| g.peek().map(|(t, _)| t)).min();
+            let next_completion = worker_free.iter().copied().filter(|&f| f > now).min();
+            let queues_empty = queues.iter().all(BoundedQueue::is_empty);
+            if next_arrival.is_none() && next_completion.is_none() && queues_empty {
+                break;
+            }
+            if let Some(a) = next_arrival {
+                if a <= now {
+                    // A zero-think closed-loop caller re-issued at the
+                    // current cycle; admit it before moving time.
+                    continue;
+                }
+            }
+            now = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break, // queues drain next iteration
+            };
+        }
+
+        let cycle_seconds = 1e-9 / self.config.accel.frequency_ghz;
+        let elapsed_seconds = end_cycles as f64 * cycle_seconds;
+        let tenants = self
+            .tenants
+            .iter()
+            .zip(stats)
+            .zip(clean_cycles)
+            .map(|((spec, stats), &clean)| {
+                let throughput_rps = if elapsed_seconds > 0.0 {
+                    stats.completed() as f64 / elapsed_seconds
+                } else {
+                    0.0
+                };
+                TenantReport {
+                    name: spec.name.clone(),
+                    weight: spec.weight,
+                    clean_cycles: clean,
+                    stats,
+                    throughput_rps,
+                }
+            })
+            .collect();
+        Ok(ServiceReport {
+            virtual_workers: self.config.virtual_workers,
+            end_cycles,
+            elapsed_seconds,
+            tenants,
+        })
+    }
+}
+
+/// Executes one request to resolution: salted retries under the tenant's
+/// fault plan, bounded by the retry budget and the deadline slack.
+fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>, Session<'p>) {
+    let mut session = job.session;
+    let input = match spec.build_input(job.seq) {
+        Ok(input) => input,
+        Err(error) => {
+            return (
+                Err(ServeError::Input {
+                    tenant: spec.name.clone(),
+                    error,
+                }),
+                session,
+            )
+        }
+    };
+    let base = FaultPlan::new(spec.faults);
+    let mut cycles: u64 = 0;
+    let mut fault = FaultStats::default();
+    for attempt in 0..=spec.max_retries {
+        session.set_fault_plan(base.with_salt(request_salt(job.tenant, job.seq, attempt)));
+        match session.infer(&input) {
+            Ok(inference) => {
+                cycles += inference.stats().cycles();
+                fault.absorb(inference.fault_stats());
+                let outcome = if attempt == 0 {
+                    Outcome::Ok
+                } else {
+                    Outcome::Degraded
+                };
+                return (
+                    Ok(Exec {
+                        outcome,
+                        cycles,
+                        retries: attempt,
+                        output_hash: hash_output(inference.output()),
+                        fault,
+                    }),
+                    session,
+                );
+            }
+            Err(RunError::FaultDetected(_)) => {
+                cycles += session.last_cycles();
+                fault.absorb(session.fault_stats());
+                if cycles >= job.slack {
+                    return (
+                        Ok(Exec {
+                            outcome: Outcome::DroppedBudget,
+                            cycles,
+                            retries: attempt,
+                            output_hash: 0,
+                            fault,
+                        }),
+                        session,
+                    );
+                }
+            }
+            Err(error) => {
+                return (
+                    Err(ServeError::Execute {
+                        tenant: spec.name.clone(),
+                        error,
+                    }),
+                    session,
+                )
+            }
+        }
+    }
+    (
+        Ok(Exec {
+            outcome: Outcome::DroppedFaulty,
+            cycles,
+            retries: spec.max_retries,
+            output_hash: 0,
+            fault,
+        }),
+        session,
+    )
+}
+
+/// Executes a dispatched batch on up to `threads` OS threads, returning
+/// results in batch order. Work distribution uses an atomic index (the
+/// same shape as the vendored rayon shim), and because each execution is
+/// a pure function of `(spec, seq, salt)`, assignment of jobs to threads
+/// cannot affect any result.
+type JobResult<'p> = (Result<Exec, ServeError>, Session<'p>);
+
+fn run_batch<'p>(specs: &[TenantSpec], batch: Vec<Job<'p>>, threads: usize) -> Vec<JobResult<'p>> {
+    let n = batch.len();
+    if threads <= 1 || n <= 1 {
+        return batch
+            .into_iter()
+            .map(|job| execute_one(&specs[job.tenant], job))
+            .collect();
+    }
+    let jobs: Vec<Mutex<Option<Job<'p>>>> =
+        batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<JobResult<'p>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().expect("job slot poisoned").take();
+                if let Some(job) = job {
+                    let out = execute_one(&specs[job.tenant], job);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job slot executed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::Traffic;
+    use shidiannao_cnn::zoo;
+    use shidiannao_faults::{FaultConfig, SramProtection};
+
+    fn gabor_tenant(count: u64) -> TenantSpec {
+        TenantSpec::new("gabor", zoo::gabor().build(1).expect("build gabor")).traffic(
+            Traffic::Open {
+                period: 2_000,
+                jitter: 100,
+                count,
+            },
+        )
+    }
+
+    #[test]
+    fn single_clean_tenant_completes_everything() {
+        let service =
+            InferenceService::new(ServeConfig::default(), vec![gabor_tenant(6)]).expect("valid");
+        let report = service.run().expect("run");
+        let t = &report.tenants[0].stats;
+        assert_eq!(t.issued, 6);
+        assert_eq!(t.ok, 6);
+        assert_eq!(
+            t.degraded + t.dropped_faulty + t.dropped_deadline + t.rejected,
+            0
+        );
+        assert!(report.accounting_consistent());
+        assert_eq!(t.latency.count(), 6);
+        assert!(report.end_cycles > 0);
+    }
+
+    #[test]
+    fn report_is_deterministic_across_physical_threads() {
+        let mk = |threads| {
+            let config = ServeConfig {
+                physical_threads: threads,
+                ..ServeConfig::default()
+            };
+            let faulty = gabor_tenant(10)
+                .faults(FaultConfig::uniform(7, 1e-4, SramProtection::Parity))
+                .deadline_cycles(20_000);
+            InferenceService::new(config, vec![gabor_tenant(8), faulty])
+                .expect("valid")
+                .run()
+                .expect("run")
+        };
+        let serial = mk(1);
+        let wide = mk(4);
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_overload() {
+        // One virtual worker, arrivals far faster than service: the
+        // depth-1 queue must shed load with typed rejections.
+        let config = ServeConfig {
+            virtual_workers: 1,
+            ..ServeConfig::default()
+        };
+        let tenant = gabor_tenant(12)
+            .traffic(Traffic::Open {
+                period: 10,
+                jitter: 0,
+                count: 12,
+            })
+            .queue_capacity(1)
+            .deadline_cycles(1_000_000);
+        let report = InferenceService::new(config, vec![tenant])
+            .expect("valid")
+            .run()
+            .expect("run");
+        let t = &report.tenants[0].stats;
+        assert!(t.rejected > 0, "expected backpressure, got {t:?}");
+        assert!(t.ok > 0);
+        assert!(report.accounting_consistent());
+    }
+
+    #[test]
+    fn tight_deadlines_drop_stale_requests() {
+        let config = ServeConfig {
+            virtual_workers: 1,
+            ..ServeConfig::default()
+        };
+        // Deadline shorter than one service time: whatever queues behind
+        // the first request expires before a worker reaches it.
+        let tenant = gabor_tenant(8)
+            .traffic(Traffic::Open {
+                period: 10,
+                jitter: 0,
+                count: 8,
+            })
+            .queue_capacity(8)
+            .deadline_cycles(1_000);
+        let report = InferenceService::new(config, vec![tenant])
+            .expect("valid")
+            .run()
+            .expect("run");
+        let t = &report.tenants[0].stats;
+        assert!(t.dropped_deadline > 0, "expected expiry drops, got {t:?}");
+        assert!(report.accounting_consistent());
+    }
+
+    #[test]
+    fn faulty_tenant_degrades_not_corrupts() {
+        let config = ServeConfig {
+            virtual_workers: 1,
+            ..ServeConfig::default()
+        };
+        let tenant = gabor_tenant(20)
+            .faults(FaultConfig::uniform(11, 1e-4, SramProtection::Parity))
+            .deadline_cycles(1_000_000)
+            .max_retries(3);
+        let report = InferenceService::new(config, vec![tenant])
+            .expect("valid")
+            .run()
+            .expect("run");
+        let t = &report.tenants[0].stats;
+        assert!(t.fault.detected > 0, "fault campaign should trip: {t:?}");
+        assert!(t.retries > 0);
+        assert!(t.degraded > 0 || t.dropped_faulty > 0);
+        assert!(report.accounting_consistent());
+    }
+
+    #[test]
+    fn scheduled_outputs_match_direct_inference() {
+        let service =
+            InferenceService::new(ServeConfig::default(), vec![gabor_tenant(4)]).expect("valid");
+        let report = service.run().expect("run");
+        let spec = &service.tenants()[0];
+        let accel = Accelerator::new(service.config().accel.clone());
+        let prep = accel.prepare(&spec.network).expect("prepare");
+        for sample in &report.tenants[0].stats.samples {
+            let plan =
+                FaultPlan::new(spec.faults).with_salt(request_salt(0, sample.seq, sample.attempt));
+            let mut session = prep.session_with_faults(plan);
+            let input = spec.build_input(sample.seq).expect("input");
+            let inference = session.infer(&input).expect("clean run");
+            assert_eq!(hash_output(inference.output()), sample.output_hash);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors() {
+        let net = zoo::gabor().build(1).expect("build gabor");
+        assert_eq!(
+            InferenceService::new(ServeConfig::default(), vec![]).err(),
+            Some(ServeError::NoTenants)
+        );
+        let config = ServeConfig {
+            virtual_workers: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            InferenceService::new(config, vec![TenantSpec::new("g", net.clone())]).err(),
+            Some(ServeError::NoWorkers)
+        );
+        let bad_queue = TenantSpec::new("g", net.clone()).queue_capacity(0);
+        assert!(matches!(
+            InferenceService::new(ServeConfig::default(), vec![bad_queue]),
+            Err(ServeError::Spec { .. })
+        ));
+        let bad_frame = TenantSpec::new("g", net).source(InputSource::Stream {
+            seed: 0,
+            frame: (8, 8),
+            stride: (4, 4),
+        });
+        assert!(matches!(
+            InferenceService::new(ServeConfig::default(), vec![bad_frame]),
+            Err(ServeError::Spec { .. })
+        ));
+    }
+}

@@ -15,7 +15,10 @@
 //!   executor, and the ten benchmark networks of Table 2,
 //! * [`sim`] — the ShiDianNao accelerator simulator itself (§§5–8),
 //! * [`baseline`] — the DianNao / CPU / GPU comparison models (§9),
-//! * [`sensor`] — the CMOS-sensor streaming front-end (§2, §10.2).
+//! * [`sensor`] — the CMOS-sensor streaming front-end (§2, §10.2),
+//! * [`serve`] — the multi-tenant inference service: session pooling,
+//!   deadline- and fairness-aware scheduling, bounded admission queues,
+//!   and a deterministic load generator.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use shidiannao_core as sim;
 pub use shidiannao_faults as faults;
 pub use shidiannao_fixed as fixed;
 pub use shidiannao_sensor as sensor;
+pub use shidiannao_serve as serve;
 pub use shidiannao_tensor as tensor;
 
 /// Convenience re-exports of the types most programs need.
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use crate::fixed::{Accum, Fx, Pla};
     pub use crate::pipeline::{DegradePolicy, StreamingPipeline};
     pub use crate::sensor::{FrameSource, RegionStream};
+    pub use crate::serve::{InferenceService, ServeConfig, TenantSpec, Traffic};
     pub use crate::sim::{
         Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, PreparedNetwork, Session,
         SramProtection,

@@ -324,24 +324,10 @@ impl StreamingPipeline {
 }
 
 /// How [`StreamingPipeline::process_frame_degraded`] responds to detected
-/// faults and deadline pressure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct DegradePolicy {
-    /// Attempts after the first before a faulted region is dropped.
-    pub max_retries: u32,
-    /// Per-frame cycle budget (the watchdog): once spent, remaining
-    /// regions are dropped unrun. `None` disables the watchdog.
-    pub frame_cycle_budget: Option<u64>,
-}
-
-impl Default for DegradePolicy {
-    fn default() -> DegradePolicy {
-        DegradePolicy {
-            max_retries: 2,
-            frame_cycle_budget: None,
-        }
-    }
-}
+/// faults and deadline pressure. The policy type lives in
+/// `shidiannao-faults` so the multi-tenant serve scheduler can share it;
+/// it is re-exported here under its historical path.
+pub use crate::faults::DegradePolicy;
 
 /// What happened to one region under graceful degradation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
