@@ -7,9 +7,10 @@
 //! before it dilutes into a whole-network number.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use shidiannao_cnn::{ConvSpec, FcSpec, NetworkBuilder, PoolSpec};
+use shidiannao_cnn::{ConvSpec, FcSpec, Network, NetworkBuilder, PoolSpec};
 use shidiannao_core::{
-    Accelerator, AcceleratorConfig, LayerStats, NeuronBuffer, ReadScratch, SynapseBuffer,
+    Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, LayerStats, NeuronBuffer, ReadScratch,
+    SramProtection, SynapseBuffer,
 };
 use shidiannao_fixed::Fx;
 use shidiannao_tensor::{FeatureMap, MapStack};
@@ -124,10 +125,85 @@ fn bench_small_inference(c: &mut Criterion) {
     g.finish();
 }
 
+/// A silent SRAM fault plan (NB/SB flips, no protection): faults are
+/// active, so `infer_ref` takes the instrumented path — schedule replay
+/// resolving the precompiled overlay, or live HFSM decode filtering
+/// every access when replay is toggled off. The plan never aborts.
+fn silent_plan() -> FaultPlan {
+    FaultPlan::new(FaultConfig {
+        nb_flip_rate: 1e-3,
+        sb_flip_rate: 1e-3,
+        ib_flip_rate: 0.0,
+        pe_stuck_rate: 0.0,
+        scanline_rate: 0.0,
+        ..FaultConfig::uniform(11, 0.0, SramProtection::None)
+    })
+}
+
+/// One layer's worth of network per kind, so the replay-vs-live delta
+/// isolates a single executor's control stream.
+fn single_layer_nets() -> [(&'static str, Network); 3] {
+    [
+        (
+            "conv",
+            NetworkBuilder::new("conv1", 1, (16, 16))
+                .conv(ConvSpec::new(4, (5, 5)))
+                .build(7)
+                .expect("valid network"),
+        ),
+        (
+            "pool",
+            NetworkBuilder::new("pool1", 4, (16, 16))
+                .pool(PoolSpec::max((2, 2)))
+                .build(7)
+                .expect("valid network"),
+        ),
+        (
+            "fc",
+            NetworkBuilder::new("fc1", 2, (8, 8))
+                .fc(FcSpec::new(24))
+                .build(7)
+                .expect("valid network"),
+        ),
+    ]
+}
+
+/// Schedule replay vs live HFSM decode, one layer kind at a time: the
+/// same instrumented cycle (fault filtering active) through the
+/// precompiled micro-op schedule and through per-cycle state-machine
+/// decode. The ratio is the per-layer version of the harness's
+/// `instr_speedup` column.
+fn bench_schedule_replay(c: &mut Criterion) {
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    for (kind, net) in single_layer_nets() {
+        let input = net.random_input(9);
+        let prepared = accel.prepare(&net).expect("prepare");
+        let mut replay = prepared.session_with_faults(silent_plan());
+        let mut live = prepared.session_with_faults(silent_plan());
+        live.set_schedule_replay(false);
+        // Warm both sessions (and build the replay overlay) past the
+        // allocation growth phase.
+        for _ in 0..16 {
+            let _ = replay.infer_ref(&input).expect("warm-up");
+            let _ = live.infer_ref(&input).expect("warm-up");
+        }
+        let mut g = c.benchmark_group(format!("schedule_{kind}"));
+        g.sample_size(500);
+        g.bench_function("replay", |b| {
+            b.iter(|| black_box(replay.infer_ref(&input).expect("replay").stats().cycles()))
+        });
+        g.bench_function("live", |b| {
+            b.iter(|| black_box(live.infer_ref(&input).expect("live").stats().cycles()))
+        });
+        g.finish();
+    }
+}
+
 criterion_group!(
     hot_path,
     bench_nb_read_modes,
     bench_sb_broadcast,
-    bench_small_inference
+    bench_small_inference,
+    bench_schedule_replay
 );
 criterion_main!(hot_path);

@@ -9,17 +9,21 @@
 //! (`RAYON_NUM_THREADS=1`) and in parallel, plus prepared-session
 //! inference throughput through the zero-allocation fast kernel — and
 //! writes the machine-readable `BENCH_harness.json` next to the working
-//! directory. It fails if any execution path diverged or if the fast
-//! path allocated in steady state. `harness bench --smoke` is the
-//! CI-sized gate: it asserts `sim_cycles_per_inference` for all ten
-//! networks byte-identical to the repository seed, four-way path
-//! bit-identity, and a zero-allocation measured burst.
+//! directory. It also times the instrumented path through schedule
+//! replay and live HFSM decode, and fails if any execution path
+//! diverged, if the fast or replay path allocated in steady state, or
+//! if the replay speedup falls below its gate. `harness bench --smoke`
+//! is the CI-sized version: it asserts `sim_cycles_per_inference` for
+//! all ten networks (fast and scheduled instrumented paths)
+//! byte-identical to the repository seed, five-way path bit-identity,
+//! zero-allocation measured bursts, and the replay speedup threshold.
 //!
 //! `harness faults [--smoke]` runs the seeded fault-injection campaign
-//! (fault rate × SRAM protection across the zoo, plus the
-//! graceful-degradation streaming measurement), writes
-//! `BENCH_faults.json`, and fails if any SECDED-protected trial suffered
-//! silent data corruption or a zero-rate trial diverged.
+//! (fault rate × SRAM protection across the zoo, each SRAM cell through
+//! both schedule replay and live decode, plus the graceful-degradation
+//! streaming measurement), writes `BENCH_faults.json`, and fails if any
+//! SECDED-protected trial suffered silent data corruption, a zero-rate
+//! trial diverged, or replay disagreed with live decode anywhere.
 //!
 //! `harness serve [--smoke]` drives the deterministic multi-tenant
 //! serving scenario (interactive LeNet-5, faulty streaming Gabor, batch
@@ -61,6 +65,9 @@ fn run_faults(smoke: bool) -> (String, Vec<String>) {
     if !r.zero_rate_all_clean() {
         errors.push("a zero-rate run diverged from the golden model".to_string());
     }
+    if !r.all_paths_agree() {
+        errors.push("schedule replay diverged from live decode in a fault cell".to_string());
+    }
     (out, errors)
 }
 
@@ -74,12 +81,15 @@ fn run_bench(smoke: bool) -> (String, Vec<String>) {
     let mut errors = Vec::new();
     let mut out = r.render();
     if smoke {
-        // The CI gate: seed-frozen cycle counts, four-way path
-        // bit-identity, zero-allocation steady state. No JSON —
+        // The CI gate: seed-frozen cycle counts on the fast and the
+        // replayed instrumented path, five-way path bit-identity,
+        // zero-allocation steady state (clean and faulty replay), and
+        // the instrumented replay speedup threshold. No JSON —
         // BENCH_harness.json holds the full run's numbers.
         errors.extend(perf::smoke_errors(&r.throughput));
         if errors.is_empty() {
-            out += "\nsmoke: all seed cycle counts exact, paths bit-identical, 0 allocs\n";
+            out += "\nsmoke: all seed cycle counts exact, paths bit-identical \
+                    (replay included), 0 allocs, replay speedup gate met\n";
         }
     } else {
         let path = "BENCH_harness.json";
@@ -91,11 +101,13 @@ fn run_bench(smoke: bool) -> (String, Vec<String>) {
             errors.push("parallel results diverged from serial results".to_string());
         }
         if !r.all_paths_bit_identical() {
-            errors
-                .push("an execution path diverged (legacy / run / infer / infer_ref)".to_string());
+            errors.push(
+                "an execution path diverged (legacy / run / infer / infer_ref / replay)"
+                    .to_string(),
+            );
         }
         if !r.zero_alloc_steady_state() {
-            errors.push("the fast path allocated in steady state".to_string());
+            errors.push("the fast or replay path allocated in steady state".to_string());
         }
     }
     (out, errors)

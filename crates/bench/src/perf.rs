@@ -20,14 +20,29 @@
 //!   `Session::infer` and `Session::infer_ref`) produced bit-identical
 //!   outputs, statistics, and energy.
 //!
+//! * **Instrumented-path rows** — per benchmark, the *traced* session
+//!   run (`Session::run`, the path fault campaigns and debugging use) is
+//!   timed twice: once replaying the precompiled micro-op schedule
+//!   (default) and once with replay disabled (`set_schedule_replay`,
+//!   i.e. live HFSM decode — the pre-schedule PR-3 code path). The two
+//!   runs must agree bit-for-bit on outputs, per-layer traces,
+//!   statistics, and energy (the fifth execution path of the
+//!   certificate), and a session replaying under a *silent* fault plan
+//!   must stay allocation-free in steady state.
+//!
 //! `smoke_errors` distills the rows into the CI gate: seed-frozen
-//! `sim_cycles_per_inference` for all ten networks, zero steady-state
-//! allocations, and four-way path bit-identity.
+//! `sim_cycles_per_inference` for all ten networks (fast and
+//! instrumented paths alike — any scheduled-path cycle drift fails CI),
+//! zero steady-state allocations (clean fast path *and* faulty replay
+//! path), five-way path bit-identity, and the headline speedup: schedule
+//! replay must run the instrumented path at least [`INSTR_SPEEDUP_GATE`]×
+//! faster than live decode on LeNet-5 and on at least
+//! [`INSTR_SPEEDUP_NETS`] of the ten benchmarks.
 
 use crate::experiments::{self, compute_paper_runs, SEED};
 use crate::json::{comma, json_f64, json_opt_f64};
 use shidiannao_cnn::zoo;
-use shidiannao_core::{Accelerator, AcceleratorConfig};
+use shidiannao_core::{Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, SramProtection};
 use std::time::Instant;
 
 /// Sides used for the sweep when timing it (a subset of the full render
@@ -52,6 +67,20 @@ const WARMUP_QUIET: usize = 8;
 
 /// Inferences per benchmark in `--smoke` mode (CI-sized).
 const SMOKE_BURST: usize = 3;
+
+/// Minimum instrumented-path speedup (schedule replay over live HFSM
+/// decode, measured side by side in the same process) the smoke gate
+/// requires on LeNet-5 and on [`INSTR_SPEEDUP_NETS`] benchmarks.
+pub const INSTR_SPEEDUP_GATE: f64 = 2.0;
+
+/// How many of the ten frozen benchmarks must clear
+/// [`INSTR_SPEEDUP_GATE`].
+pub const INSTR_SPEEDUP_NETS: usize = 5;
+
+/// Per-word flip rate of the silent fault plan used by the replay
+/// allocation gate (NB and SB sites only, no protection — every flip is
+/// silently patched through the schedule overlay, never aborting).
+const SILENT_FAULT_RATE: f64 = 1e-4;
 
 /// Simulated cycles per inference frozen at the repository seed; the
 /// SoA datapath must never change a cycle count (`harness bench --smoke`
@@ -83,6 +112,25 @@ pub const PR1_SIM_CYCLES_PER_S: &[(&str, f64)] = &[
     ("ConvNN", 1199689.549385136),
     ("Gabor", 1575451.5061229356),
     ("FaceAlign", 1158505.9049619182),
+];
+
+/// Instrumented-path (`Session::run`, traced, live HFSM decode)
+/// `sim_cycles_per_s` measured immediately before the schedule-replay
+/// executor landed — the PR-3 datapath this PR's replay numbers are
+/// compared against. Frozen like [`PR1_SIM_CYCLES_PER_S`] so the
+/// `instr_speedup_vs_pr3` column references a fixed point instead of a
+/// moving rerun.
+pub const PR3_INSTR_SIM_CYCLES_PER_S: &[(&str, f64)] = &[
+    ("CNP", 3265015.320),
+    ("MPCNN", 3050739.942),
+    ("FaceRecog", 2936528.880),
+    ("LeNet-5", 2432147.409),
+    ("SimpleConv", 3722040.195),
+    ("CFF", 1989152.323),
+    ("NEO", 2125046.446),
+    ("ConvNN", 1737498.128),
+    ("Gabor", 2210228.645),
+    ("FaceAlign", 1678315.903),
 ];
 
 fn lookup<T: Copy>(table: &[(&str, T)], name: &str) -> Option<T> {
@@ -142,6 +190,26 @@ pub struct ThroughputRow {
     /// fast-kernel `infer`/`infer_ref` paths agreed bit-for-bit on
     /// outputs, statistics, and energy.
     pub paths_bit_identical: bool,
+    /// Traced `Session::run` inferences in each instrumented burst.
+    pub instr_inferences: usize,
+    /// Wall-clock seconds for the instrumented burst with schedule
+    /// replay on (the default).
+    pub instr_replay_wall_s: f64,
+    /// Wall-clock seconds for the same burst with replay disabled —
+    /// live HFSM decode, the pre-schedule PR-3 code path.
+    pub instr_live_wall_s: f64,
+    /// Simulated cycles per inference reported by the replayed
+    /// instrumented run; must equal the seed-frozen count (scheduled-path
+    /// drift fails the smoke gate).
+    pub instr_cycles_per_inference: u64,
+    /// Whether the replayed and live-decoded instrumented runs agreed
+    /// bit-for-bit on outputs, per-layer traces, statistics, and energy
+    /// (the certificate's fifth execution path).
+    pub instr_paths_bit_identical: bool,
+    /// Heap allocations counted during a warmed `infer_ref` burst under
+    /// a silent fault plan — schedule replay resolving the fault overlay
+    /// must stay allocation-free too.
+    pub fault_replay_allocs: u64,
 }
 
 impl ThroughputRow {
@@ -179,6 +247,39 @@ impl ThroughputRow {
     pub fn speedup_vs_pr1(&self) -> Option<f64> {
         self.pr1_sim_cycles_per_s()
             .map(|base| self.sim_cycles_per_s / base)
+    }
+
+    /// Live / replay wall-clock ratio of the instrumented path, measured
+    /// side by side in the same process (machine-independent, the smoke
+    /// gate's speedup evidence).
+    pub fn instr_speedup(&self) -> f64 {
+        if self.instr_inferences == 0 || self.instr_replay_wall_s == 0.0 {
+            return 0.0;
+        }
+        self.instr_live_wall_s / self.instr_replay_wall_s
+    }
+
+    /// Simulated cycles advanced per wall-clock second by the replayed
+    /// instrumented path.
+    pub fn instr_sim_cycles_per_s(&self) -> f64 {
+        if self.instr_replay_wall_s == 0.0 {
+            return 0.0;
+        }
+        self.instr_cycles_per_inference as f64 * self.instr_inferences as f64
+            / self.instr_replay_wall_s
+    }
+
+    /// The frozen PR-3 instrumented-path `sim_cycles_per_s` for this
+    /// network, if it is one of the ten baseline benchmarks.
+    pub fn pr3_instr_sim_cycles_per_s(&self) -> Option<f64> {
+        lookup(PR3_INSTR_SIM_CYCLES_PER_S, &self.name)
+    }
+
+    /// Replayed instrumented throughput relative to the frozen PR-3
+    /// live-decode baseline.
+    pub fn instr_speedup_vs_pr3(&self) -> Option<f64> {
+        self.pr3_instr_sim_cycles_per_s()
+            .map(|base| self.instr_sim_cycles_per_s() / base)
     }
 }
 
@@ -219,14 +320,21 @@ impl PerfReport {
         self.experiments.iter().all(|e| e.bit_identical)
     }
 
-    /// Whether every benchmark's four execution paths agreed bit-for-bit.
+    /// Whether every benchmark's five execution paths agreed bit-for-bit
+    /// (legacy / run / infer / infer_ref, plus the replay-vs-live
+    /// instrumented certificate).
     pub fn all_paths_bit_identical(&self) -> bool {
-        self.throughput.iter().all(|t| t.paths_bit_identical)
+        self.throughput
+            .iter()
+            .all(|t| t.paths_bit_identical && t.instr_paths_bit_identical)
     }
 
-    /// Whether no benchmark's measured burst touched the heap.
+    /// Whether no benchmark's measured burst touched the heap — neither
+    /// the clean fast-path burst nor the faulty schedule-replay burst.
     pub fn zero_alloc_steady_state(&self) -> bool {
-        self.throughput.iter().all(|t| t.steady_state_allocs == 0)
+        self.throughput
+            .iter()
+            .all(|t| t.steady_state_allocs == 0 && t.fault_replay_allocs == 0)
     }
 
     /// The `BENCH_harness.json` document (no external JSON dependency —
@@ -266,7 +374,15 @@ impl PerfReport {
                  \"legacy_wall_s\": {}, \"session_speedup\": {}, \
                  \"steady_state_allocs\": {}, \"allocs_per_cycle\": {}, \
                  \"pr1_sim_cycles_per_s\": {}, \"speedup_vs_pr1\": {}, \
-                 \"paths_bit_identical\": {}}}{}\n",
+                 \"paths_bit_identical\": {}, \
+                 \"instr_inferences\": {}, \"instr_replay_wall_s\": {}, \
+                 \"instr_live_wall_s\": {}, \"instr_speedup\": {}, \
+                 \"instr_cycles_per_inference\": {}, \
+                 \"instr_sim_cycles_per_s\": {}, \
+                 \"pr3_instr_sim_cycles_per_s\": {}, \
+                 \"instr_speedup_vs_pr3\": {}, \
+                 \"instr_paths_bit_identical\": {}, \
+                 \"fault_replay_allocs\": {}}}{}\n",
                 t.name,
                 json_f64(t.prepare_s),
                 t.inferences,
@@ -281,6 +397,16 @@ impl PerfReport {
                 json_opt_f64(t.pr1_sim_cycles_per_s()),
                 json_opt_f64(t.speedup_vs_pr1()),
                 t.paths_bit_identical,
+                t.instr_inferences,
+                json_f64(t.instr_replay_wall_s),
+                json_f64(t.instr_live_wall_s),
+                json_f64(t.instr_speedup()),
+                t.instr_cycles_per_inference,
+                json_f64(t.instr_sim_cycles_per_s()),
+                json_opt_f64(t.pr3_instr_sim_cycles_per_s()),
+                json_opt_f64(t.instr_speedup_vs_pr3()),
+                t.instr_paths_bit_identical,
+                t.fault_replay_allocs,
                 comma(i, self.throughput.len()),
             );
         }
@@ -330,6 +456,25 @@ impl PerfReport {
                     .map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}x")),
                 t.steady_state_allocs,
                 if t.paths_bit_identical { "yes" } else { "NO" },
+            );
+        }
+        out += "\nInstrumented-path throughput (traced Session::run, schedule replay vs live decode)\n\
+                CNN          cycles/inf   sim cycles/s   vs live  vs PR-3  fault allocs  replay==live\n";
+        for t in &self.throughput {
+            out += &format!(
+                "{:<12} {:>10} {:>14.3e} {:>8.2}x {:>7}  {:>12}  {}\n",
+                t.name,
+                t.instr_cycles_per_inference,
+                t.instr_sim_cycles_per_s(),
+                t.instr_speedup(),
+                t.instr_speedup_vs_pr3()
+                    .map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}x")),
+                t.fault_replay_allocs,
+                if t.instr_paths_bit_identical {
+                    "yes"
+                } else {
+                    "NO"
+                },
             );
         }
         out
@@ -460,6 +605,61 @@ fn measure_one(
     }
     let legacy_wall_s = start.elapsed().as_secs_f64();
 
+    // Fifth path of the certificate: the traced instrumented run with
+    // schedule replay disabled (live HFSM decode, the pre-schedule code
+    // path) must agree with the replayed run on outputs, per-layer
+    // traces, statistics, and energy.
+    let mut live = prepared.session();
+    live.set_schedule_replay(false);
+    let live_run = live.run(&input).expect("live instrumented run");
+    let instr_paths_bit_identical = live_run.output() == run.output()
+        && live_run.layer_outputs() == run.layer_outputs()
+        && live_run.stats() == run.stats()
+        && live_run.energy() == run.energy();
+
+    // Instrumented-path speedup, measured side by side: the same traced
+    // burst through schedule replay and through live decode.
+    let mut instr_cycles = 0;
+    let start = Instant::now();
+    for _ in 0..burst {
+        let r = session.run(&input).expect("replayed instrumented run");
+        instr_cycles = r.stats().cycles();
+    }
+    let instr_replay_wall_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..burst {
+        live.run(&input).expect("live instrumented run");
+    }
+    let instr_live_wall_s = start.elapsed().as_secs_f64();
+
+    // Replay under a silent fault plan (NB/SB flips, no protection —
+    // every fault resolves to an overlay patch, never an abort) must be
+    // as allocation-free as the clean path once the overlay is built.
+    let plan = FaultPlan::new(FaultConfig {
+        nb_flip_rate: SILENT_FAULT_RATE,
+        sb_flip_rate: SILENT_FAULT_RATE,
+        ib_flip_rate: 0.0,
+        pe_stuck_rate: 0.0,
+        scanline_rate: 0.0,
+        ..FaultConfig::uniform(SEED, 0.0, SramProtection::None)
+    });
+    let mut faulty = prepared.session_with_faults(plan);
+    let mut quiet = 0;
+    for _ in 0..WARMUP_CAP {
+        let (allocs, ()) = crate::alloc::count_allocations(|| {
+            let _ = faulty.infer_ref(&input).expect("silent faults never abort");
+        });
+        quiet = if allocs == 0 { quiet + 1 } else { 0 };
+        if quiet >= WARMUP_QUIET {
+            break;
+        }
+    }
+    let (fault_replay_allocs, ()) = crate::alloc::count_allocations(|| {
+        for _ in 0..burst {
+            let _ = faulty.infer_ref(&input).expect("silent faults never abort");
+        }
+    });
+
     ThroughputRow {
         name: net.name().to_string(),
         prepare_s,
@@ -472,6 +672,12 @@ fn measure_one(
         legacy_inferences: legacy_runs,
         steady_state_allocs,
         paths_bit_identical,
+        instr_inferences: burst,
+        instr_replay_wall_s,
+        instr_live_wall_s,
+        instr_cycles_per_inference: instr_cycles,
+        instr_paths_bit_identical,
+        fault_replay_allocs,
     }
 }
 
@@ -506,9 +712,11 @@ pub fn measure_smoke() -> PerfReport {
 }
 
 /// The CI gate over a set of throughput rows: every frozen benchmark
-/// present with its seed-exact `sim_cycles_per_inference`, all four
-/// execution paths bit-identical, and a zero-allocation steady state.
-/// Returns the list of violations (empty means pass).
+/// present with its seed-exact `sim_cycles_per_inference` on both the
+/// fast and the replayed instrumented path, all five execution paths
+/// bit-identical, a zero-allocation steady state (clean and faulty
+/// replay alike), and the instrumented-path speedup threshold. Returns
+/// the list of violations (empty means pass).
 pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
     let mut errors = Vec::new();
     for &(name, expect) in SEED_CYCLES_PER_INFERENCE {
@@ -521,6 +729,13 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
                         row.sim_cycles_per_inference
                     ));
                 }
+                if row.instr_cycles_per_inference != expect {
+                    errors.push(format!(
+                        "{name}: scheduled-path drift — instrumented replay reported \
+                         {} cycles, seed-frozen {expect}",
+                        row.instr_cycles_per_inference
+                    ));
+                }
             }
         }
     }
@@ -528,6 +743,12 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
         if !row.paths_bit_identical {
             errors.push(format!(
                 "{}: execution paths diverged (legacy / run / infer / infer_ref)",
+                row.name
+            ));
+        }
+        if !row.instr_paths_bit_identical {
+            errors.push(format!(
+                "{}: schedule replay diverged from live decode on the instrumented path",
                 row.name
             ));
         }
@@ -539,6 +760,35 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
                 row.allocs_per_cycle()
             ));
         }
+        if row.fault_replay_allocs != 0 {
+            errors.push(format!(
+                "{}: schedule replay under a silent fault plan allocated {} times \
+                 in steady state",
+                row.name, row.fault_replay_allocs
+            ));
+        }
+    }
+    if let Some(row) = rows.iter().find(|r| r.name == "LeNet-5") {
+        if row.instr_speedup() < INSTR_SPEEDUP_GATE {
+            errors.push(format!(
+                "LeNet-5: instrumented replay speedup {:.2}x below the {INSTR_SPEEDUP_GATE}x gate",
+                row.instr_speedup()
+            ));
+        }
+    }
+    let fast_enough = rows
+        .iter()
+        .filter(|r| {
+            lookup(SEED_CYCLES_PER_INFERENCE, &r.name).is_some()
+                && r.instr_speedup() >= INSTR_SPEEDUP_GATE
+        })
+        .count();
+    if fast_enough < INSTR_SPEEDUP_NETS {
+        errors.push(format!(
+            "only {fast_enough}/{} benchmarks met the {INSTR_SPEEDUP_GATE}x instrumented \
+             replay speedup ({INSTR_SPEEDUP_NETS} required)",
+            SEED_CYCLES_PER_INFERENCE.len()
+        ));
     }
     errors
 }
@@ -560,6 +810,12 @@ mod tests {
             legacy_inferences: 10,
             steady_state_allocs: 0,
             paths_bit_identical: true,
+            instr_inferences: 10,
+            instr_replay_wall_s: 0.1,
+            instr_live_wall_s: 1.0,
+            instr_cycles_per_inference: 10017,
+            instr_paths_bit_identical: true,
+            fault_replay_allocs: 0,
         }
     }
 
@@ -607,6 +863,15 @@ mod tests {
             "\"pr1_sim_cycles_per_s\"",
             "\"speedup_vs_pr1\"",
             "\"paths_bit_identical\"",
+            "\"instr_replay_wall_s\"",
+            "\"instr_live_wall_s\"",
+            "\"instr_speedup\"",
+            "\"instr_cycles_per_inference\"",
+            "\"instr_sim_cycles_per_s\"",
+            "\"pr3_instr_sim_cycles_per_s\"",
+            "\"instr_speedup_vs_pr3\"",
+            "\"instr_paths_bit_identical\"",
+            "\"fault_replay_allocs\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -623,6 +888,13 @@ mod tests {
         let base = row.pr1_sim_cycles_per_s().expect("LeNet-5 has a baseline");
         assert!((row.speedup_vs_pr1().unwrap() - 20000.0 / base).abs() < 1e-12);
         assert!((row.session_speedup() - 2.0).abs() < 1e-12);
+        assert!((row.instr_speedup() - 10.0).abs() < 1e-12);
+        let instr = row.instr_sim_cycles_per_s();
+        assert!((instr - 10017.0 * 10.0 / 0.1).abs() < 1e-6);
+        let pr3 = row
+            .pr3_instr_sim_cycles_per_s()
+            .expect("LeNet-5 has a PR-3 baseline");
+        assert!((row.instr_speedup_vs_pr3().unwrap() - instr / pr3).abs() < 1e-12);
     }
 
     #[test]
@@ -633,33 +905,77 @@ mod tests {
             .map(|&(name, cycles)| ThroughputRow {
                 name: name.into(),
                 sim_cycles_per_inference: cycles,
+                instr_cycles_per_inference: cycles,
                 ..probe_row()
             })
             .collect();
         assert!(smoke_errors(&clean).is_empty());
 
-        // Drift, divergence, allocation, and absence each produce an error.
+        // Drift (fast and scheduled), divergence (four-path and
+        // replay-vs-live), allocation (clean and faulty replay), and
+        // absence each produce an error.
         let mut bad = clean.clone();
         bad[0].sim_cycles_per_inference += 1;
         bad[1].paths_bit_identical = false;
         bad[2].steady_state_allocs = 7;
+        bad[3].instr_cycles_per_inference += 2;
+        bad[4].instr_paths_bit_identical = false;
+        bad[5].fault_replay_allocs = 3;
         bad.pop();
         let errors = smoke_errors(&bad);
-        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert_eq!(errors.len(), 7, "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("seed-frozen")));
-        assert!(errors.iter().any(|e| e.contains("diverged")));
-        assert!(errors.iter().any(|e| e.contains("allocated")));
+        assert!(errors.iter().any(|e| e.contains("diverged (legacy")));
+        assert!(errors.iter().any(|e| e.contains("fast path allocated")));
+        assert!(errors.iter().any(|e| e.contains("scheduled-path drift")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("diverged from live decode")));
+        assert!(errors.iter().any(|e| e.contains("silent fault plan")));
         assert!(errors.iter().any(|e| e.contains("missing")));
+    }
+
+    #[test]
+    fn smoke_errors_enforces_the_instrumented_speedup_gate() {
+        let mut rows: Vec<ThroughputRow> = SEED_CYCLES_PER_INFERENCE
+            .iter()
+            .map(|&(name, cycles)| ThroughputRow {
+                name: name.into(),
+                sim_cycles_per_inference: cycles,
+                instr_cycles_per_inference: cycles,
+                ..probe_row()
+            })
+            .collect();
+        // Slow replay on LeNet-5 alone trips the headline gate (the
+        // nine remaining fast rows still satisfy the 5-of-10 count).
+        rows[3].instr_replay_wall_s = rows[3].instr_live_wall_s;
+        let errors = smoke_errors(&rows);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("below the 2x gate"), "{errors:?}");
+        // Slow replay on six networks also trips the 5-of-10 count.
+        for row in rows.iter_mut().take(6) {
+            row.instr_replay_wall_s = row.instr_live_wall_s;
+        }
+        let errors = smoke_errors(&rows);
+        assert!(
+            errors.iter().any(|e| e.contains("4/10 benchmarks")),
+            "{errors:?}"
+        );
     }
 
     #[test]
     fn baseline_tables_cover_the_same_networks() {
         assert_eq!(SEED_CYCLES_PER_INFERENCE.len(), 10);
         assert_eq!(PR1_SIM_CYCLES_PER_S.len(), 10);
+        assert_eq!(PR3_INSTR_SIM_CYCLES_PER_S.len(), 10);
         for &(name, _) in SEED_CYCLES_PER_INFERENCE {
             assert!(
                 lookup(PR1_SIM_CYCLES_PER_S, name).is_some(),
                 "{name} missing a PR-1 baseline"
+            );
+            assert!(
+                lookup(PR3_INSTR_SIM_CYCLES_PER_S, name).is_some(),
+                "{name} missing a PR-3 instrumented baseline"
             );
         }
     }

@@ -7,16 +7,18 @@ use crate::buffer::{
 use crate::compiler::{self, CompileError, Program};
 use crate::config::{AcceleratorConfig, ConfigError};
 use crate::energy::{EnergyModel, EnergyReport};
-use crate::exec::{Engine, Scratch};
+use crate::exec::{replay, Engine, Scratch};
 use crate::hfsm::{FirstState, Hfsm};
 use crate::nfu::Nfu;
 use crate::sb::SynapseStore;
+use crate::schedule::{self, LayerOverlay, NetworkSchedule, ScheduleRecorder};
 use crate::stats::RunStats;
 use core::fmt;
-use shidiannao_cnn::Network;
+use shidiannao_cnn::{LayerBody, Network};
 use shidiannao_faults::{DetectedFault, FaultPlan, FaultSite, FaultState, FaultStats};
 use shidiannao_fixed::Fx;
 use shidiannao_tensor::MapStack;
+use std::sync::Arc;
 
 /// Error produced by [`Accelerator::run`].
 #[derive(Clone, Debug, PartialEq)]
@@ -254,7 +256,7 @@ impl Accelerator {
         // here so steady-state inference only copies bytes into recycled
         // stats slots.
         let layer_labels = network.layers().iter().map(|l| l.label()).collect();
-        Ok(PreparedNetwork {
+        let mut prepared = PreparedNetwork {
             config: self.config.clone(),
             energy_model: self.energy_model,
             network: network.clone(),
@@ -262,7 +264,26 @@ impl Accelerator {
             store,
             layer_instruction_counts,
             layer_labels,
-        })
+            schedule: Arc::new(NetworkSchedule::empty()),
+        };
+        // Record the precompiled micro-op schedule: one instrumented run
+        // with a recorder attached to the fault-filter hook points. The
+        // control path is static (nothing depends on input data), so one
+        // pass on an arbitrary well-shaped input captures every run's
+        // control stream exactly.
+        let schedule = {
+            let input = prepared.network.random_input(0);
+            let mut session = prepared.session();
+            session.recorder = Some(Box::new(ScheduleRecorder::new()));
+            session.execute(&input, None)?;
+            session
+                .recorder
+                .take()
+                .expect("the recording run does not detach the recorder")
+                .into_schedule()
+        };
+        prepared.schedule = Arc::new(schedule);
+        Ok(prepared)
     }
 
     /// Executes one inference cycle-by-cycle.
@@ -354,6 +375,10 @@ pub struct PreparedNetwork {
     store: SynapseStore,
     layer_instruction_counts: Vec<usize>,
     layer_labels: Vec<String>,
+    /// The precompiled micro-op schedule, shared (`Arc`) by every
+    /// session — per-tenant control state is paid for once, not per
+    /// session.
+    schedule: Arc<NetworkSchedule>,
 }
 
 impl PreparedNetwork {
@@ -382,6 +407,12 @@ impl PreparedNetwork {
         &self.energy_model
     }
 
+    /// The precompiled micro-op schedule (the `Arc` is exposed so
+    /// callers can verify sharing: every open session holds one clone).
+    pub fn schedule(&self) -> &Arc<NetworkSchedule> {
+        &self.schedule
+    }
+
     /// Opens a [`Session`]: NBin/NBout, SB, IB, the PE mesh, and the ALU
     /// are allocated (and SB/IB loaded) once, then reused by every
     /// inference run through it.
@@ -405,6 +436,7 @@ impl PreparedNetwork {
         nfu.set_stuck_faults(|x, y| plan.pe_stuck(x, y));
         Session {
             prepared: self,
+            schedule: Arc::clone(&self.schedule),
             nbin: NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbin_bytes),
             nbout: NeuronBuffer::new(cfg.pe_cols, cfg.pe_rows, cfg.nbout_bytes),
             sb,
@@ -415,6 +447,10 @@ impl PreparedNetwork {
             scratch: Scratch::default(),
             stats: RunStats::new(),
             last_cycles: 0,
+            replay_enabled: true,
+            overlays: Vec::new(),
+            overlays_valid: false,
+            recorder: None,
         }
     }
 
@@ -456,6 +492,10 @@ impl PreparedNetwork {
 /// allocator).
 pub struct Session<'p> {
     prepared: &'p PreparedNetwork,
+    /// One `Arc` clone of the prepared network's schedule: sessions
+    /// share the decoded control state instead of re-deriving (or
+    /// copying) it.
+    schedule: Arc<NetworkSchedule>,
     nbin: NeuronBuffer,
     nbout: NeuronBuffer,
     sb: SynapseBuffer,
@@ -466,6 +506,15 @@ pub struct Session<'p> {
     scratch: Scratch,
     stats: RunStats,
     last_cycles: u64,
+    /// Schedule replay on/off (on by default; benches flip it off to
+    /// measure live decode).
+    replay_enabled: bool,
+    /// Per-layer fault overlays, resolved lazily from the schedule the
+    /// first faulted run after a plan change, then reused run after run.
+    overlays: Vec<LayerOverlay>,
+    overlays_valid: bool,
+    /// Attached only by `prepare()`'s recording run.
+    recorder: Option<Box<ScheduleRecorder>>,
 }
 
 impl<'p> Session<'p> {
@@ -480,6 +529,22 @@ impl<'p> Session<'p> {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.nfu.set_stuck_faults(|x, y| plan.pe_stuck(x, y));
         self.faults = FaultState::new(plan);
+        // Fault overlays are resolved against a specific plan; the next
+        // faulted run rebuilds them.
+        self.overlays_valid = false;
+    }
+
+    /// Enables or disables schedule replay (on by default). With replay
+    /// off every layer live-decodes — outputs, statistics, energy,
+    /// traces, and fault counters are bit-identical either way; only
+    /// simulation throughput differs.
+    pub fn set_schedule_replay(&mut self, enabled: bool) {
+        self.replay_enabled = enabled;
+    }
+
+    /// Whether schedule replay is enabled.
+    pub fn schedule_replay(&self) -> bool {
+        self.replay_enabled
     }
 
     /// The fault plan in force.
@@ -617,10 +682,38 @@ impl<'p> Session<'p> {
         // Fast-kernel selection (§perf in DESIGN.md): the bulk-SoA sweep
         // kernel runs only when nothing needs per-word / per-PE
         // instrumentation — no fault plan filtering SRAM reads, no
-        // stuck-at faults installed in the mesh, and no layer trace being
-        // recorded. It is bit-identical to the instrumented path in
-        // outputs, statistics, and energy.
-        let fast = trace.is_none() && !self.faults.active() && !self.nfu.any_stuck();
+        // stuck-at faults installed in the mesh, no layer trace being
+        // recorded, and no schedule recorder attached. It is
+        // bit-identical to the instrumented path in outputs, statistics,
+        // and energy.
+        let fast = trace.is_none()
+            && !self.faults.active()
+            && !self.nfu.any_stuck()
+            && self.recorder.is_none();
+        // Schedule-replay selection (§3f in DESIGN.md): replay covers
+        // traced and silently-faulted runs too — that is its point — but
+        // stuck-at PEs corrupt values inside the propagation network in
+        // ways the precompiled stream does not model, and the recording
+        // run itself must live-decode.
+        let schedule = Arc::clone(&self.schedule);
+        let use_replay = self.replay_enabled
+            && self.recorder.is_none()
+            && !self.nfu.any_stuck()
+            && schedule.layer_count() == network.layers().len();
+        if use_replay && self.faults.active() && !self.overlays_valid {
+            // Resolve the plan against the schedule once; every
+            // subsequent run under this plan reuses the overlays.
+            self.overlays.clear();
+            let plan = *self.faults.plan();
+            self.overlays.extend(
+                schedule
+                    .layers()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ls)| schedule::build_overlay(&plan, i, ls)),
+            );
+            self.overlays_valid = true;
+        }
 
         // Load phase: the sensor/host streams the image into NBin at one
         // bank-width write per cycle.
@@ -647,6 +740,46 @@ impl<'p> Session<'p> {
                 self.faults
                     .filter_word(FaultSite::Ib, i + 1, [f as u64, 0, 0])?;
             }
+            // Replay decision for this layer: the schedule must model it,
+            // and its fault overlay must not contain a detected error —
+            // detected errors abort mid-layer with exact partial
+            // statistics only live decode reproduces.
+            let sched_layer = if use_replay {
+                Some(&schedule.layers()[i])
+            } else {
+                None
+            };
+            let overlay = if sched_layer.is_some() && self.faults.active() {
+                Some(&self.overlays[i])
+            } else {
+                None
+            };
+            let replay_this = sched_layer.is_some_and(|l| l.replayable())
+                && !matches!(overlay, Some(LayerOverlay::Abort));
+            let mut sb_patches: &[([u64; 3], u16)] = &[];
+            if replay_this {
+                if let Some(LayerOverlay::Silent(s)) = overlay {
+                    // Pre-resolve the layer's silent faults: NB flips go
+                    // into the input stack in place, SB flips patch at
+                    // fetch, and the counter delta lands in one absorb.
+                    if !s.nb_patches.is_empty() {
+                        let sl = sched_layer.expect("replay_this implies a schedule");
+                        let stack = self.nbin.contents_mut().ok_or(EmptyBufferError {
+                            buffer: "NB (input role)",
+                        })?;
+                        schedule::apply_nb_patches(stack, sl.nb_flat, &s.nb_patches);
+                    }
+                    self.faults.absorb_stats(&s.delta);
+                    sb_patches = &s.sb_patches;
+                }
+            }
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.begin_layer(
+                    schedule::layer_replayable(cfg, layer),
+                    matches!(layer.body(), LayerBody::Fc { .. }),
+                );
+            }
+            let attach_recorder = self.recorder.is_some() && schedule::layer_replayable(cfg, layer);
             let mut engine = Engine {
                 cfg,
                 nbin: &self.nbin,
@@ -661,10 +794,24 @@ impl<'p> Session<'p> {
                 faults: &mut self.faults,
                 scratch: &mut self.scratch,
                 fast,
+                recorder: if attach_recorder {
+                    self.recorder.as_deref_mut()
+                } else {
+                    None
+                },
             };
             // On an abort the slot keeps the layer's cycles so watchdog
             // budgets can charge the wasted attempt.
-            engine.run_layer(layer)?;
+            match sched_layer {
+                Some(sl) if replay_this => replay::run_layer(&mut engine, layer, sl, sb_patches)?,
+                _ => engine.run_layer(layer)?,
+            }
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                // Snapshot the layer's stats delta *before* bank-conflict
+                // folding (applied below identically on either path) and
+                // the mesh's cumulative FIFO peaks.
+                rec.finish_layer(layer_stats, self.nfu.fifo_peaks());
+            }
             if cfg.model_bank_conflicts {
                 // Conflicting banked requests serialize: the stall cycles
                 // extend the layer with the whole mesh idle.

@@ -193,6 +193,13 @@ impl NeuronBuffer {
         self.stack.as_ref()
     }
 
+    /// Mutable access to the loaded layer — the schedule-replay path
+    /// XORs a fault overlay's silent NB flips into the stack in place
+    /// before executing a layer's arithmetic.
+    pub(crate) fn contents_mut(&mut self) -> Option<&mut MapStack<Fx>> {
+        self.stack.as_mut()
+    }
+
     /// Removes and returns the loaded layer.
     pub fn take(&mut self) -> Option<MapStack<Fx>> {
         self.stack.take()

@@ -16,8 +16,10 @@ mod fc;
 mod norm;
 mod packed;
 mod pool;
+pub(crate) mod replay;
 mod window;
 
+pub(crate) use packed::applies_cfg as packed_applies_cfg;
 pub(crate) use window::WindowOp;
 
 use crate::accel::RunError;
@@ -27,6 +29,7 @@ use crate::config::AcceleratorConfig;
 use crate::hfsm::{FirstState, Hfsm};
 use crate::nfu::Nfu;
 use crate::sb::SynapseStore;
+use crate::schedule::ScheduleRecorder;
 use crate::stats::LayerStats;
 use shidiannao_cnn::{Layer, LayerBody};
 use shidiannao_faults::{FaultSite, FaultState};
@@ -75,6 +78,12 @@ pub(crate) struct Engine<'a> {
     pub stats: &'a mut LayerStats,
     pub faults: &'a mut FaultState,
     pub scratch: &'a mut Scratch,
+    /// Attached only during the one recording pass `prepare()` runs:
+    /// the fault-filter hook points report every NB/SB word address to
+    /// the recorder instead of filtering (the recording run is
+    /// fault-free by construction). `None` on every session run, so the
+    /// hot path pays a single never-taken branch.
+    pub recorder: Option<&'a mut ScheduleRecorder>,
     /// Fast-kernel selection: `true` only when no fault plan is active,
     /// no PE stuck-at faults are installed, and no layer trace is being
     /// recorded. The fast kernel drives the mesh through bulk SoA
@@ -167,7 +176,12 @@ impl Engine<'_> {
             &mut self.scratch.read,
             out,
         )?;
-        if self.faults.active() {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            for n in 0..out.len() {
+                let (i, j) = (n % w, n / w);
+                rec.note_nb([map as u64, (x0 + i * sx) as u64, (y0 + j * sy) as u64]);
+            }
+        } else if self.faults.active() {
             let layer = self.layer_index;
             for (n, v) in out.iter_mut().enumerate() {
                 let (i, j) = (n % w, n / w);
@@ -211,7 +225,11 @@ impl Engine<'_> {
             &mut self.scratch.read,
             out,
         )?;
-        if self.faults.active() {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            for i in 0..out.len() {
+                rec.note_nb([map as u64, (x0 + i * sx) as u64, y0 as u64]);
+            }
+        } else if self.faults.active() {
             let layer = self.layer_index;
             for (i, v) in out.iter_mut().enumerate() {
                 let addr = [map as u64, (x0 + i * sx) as u64, y0 as u64];
@@ -240,7 +258,11 @@ impl Engine<'_> {
             &mut self.scratch.read,
             out,
         )?;
-        if self.faults.active() {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            for j in 0..out.len() {
+                rec.note_nb([map as u64, x0 as u64, (y0 + j * sy) as u64]);
+            }
+        } else if self.faults.active() {
             let layer = self.layer_index;
             for (j, v) in out.iter_mut().enumerate() {
                 let addr = [map as u64, x0 as u64, (y0 + j * sy) as u64];
@@ -255,7 +277,9 @@ impl Engine<'_> {
     /// so the address spaces cannot collide within one layer epoch.
     pub(crate) fn nb_single(&mut self, flat: usize) -> Result<Fx, RunError> {
         let v = self.nbin.read_single(flat, self.stats)?;
-        if self.faults.active() {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.note_nb([flat as u64, 0, 0]);
+        } else if self.faults.active() {
             let layer = self.layer_index;
             return Ok(self
                 .faults
@@ -274,7 +298,11 @@ impl Engine<'_> {
     ) -> Result<(), RunError> {
         self.nbin
             .read_gather_into(map, coords, self.stats, &mut self.scratch.read, out)?;
-        if self.faults.active() {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            for &(x, y) in coords {
+                rec.note_nb([map as u64, x as u64, y as u64]);
+            }
+        } else if self.faults.active() {
             let layer = self.layer_index;
             for (v, &(x, y)) in out.iter_mut().zip(coords) {
                 let addr = [map as u64, x as u64, y as u64];
@@ -355,7 +383,9 @@ impl Engine<'_> {
     /// logical coordinate in the image.
     #[inline]
     pub(crate) fn sb_value(&mut self, addr: [u64; 3], v: Fx) -> Result<Fx, RunError> {
-        if self.faults.active() {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.note_sb(addr);
+        } else if self.faults.active() {
             let layer = self.layer_index;
             return Ok(self.faults.filter_value(FaultSite::Sb, layer, addr, v)?);
         }

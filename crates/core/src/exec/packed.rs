@@ -15,6 +15,7 @@
 
 use super::{bias_addr, conv_weight_addr, Engine};
 use crate::accel::RunError;
+use crate::config::AcceleratorConfig;
 use shidiannao_cnn::{ConnectionTable, Layer, LayerBody};
 use shidiannao_fixed::Fx;
 
@@ -29,11 +30,18 @@ pub(crate) fn pack_factor(pe: (usize, usize), out: (usize, usize)) -> usize {
 }
 
 /// `true` when the packed path applies: packing is enabled, at least two
-/// maps fit, and there is more than one output map to pack.
-pub(crate) fn applies(eng: &Engine<'_>, layer: &Layer) -> bool {
-    eng.cfg.multi_map_packing
+/// maps fit, and there is more than one output map to pack. Depends only
+/// on the configuration and the layer, so schedule construction can ask
+/// the same question without an engine in hand.
+pub(crate) fn applies_cfg(cfg: &AcceleratorConfig, layer: &Layer) -> bool {
+    cfg.multi_map_packing
         && layer.out_maps() > 1
-        && pack_factor((eng.cfg.pe_cols, eng.cfg.pe_rows), layer.out_dims()) >= 2
+        && pack_factor((cfg.pe_cols, cfg.pe_rows), layer.out_dims()) >= 2
+}
+
+/// [`applies_cfg`] for an engine in hand.
+pub(crate) fn applies(eng: &Engine<'_>, layer: &Layer) -> bool {
+    applies_cfg(eng.cfg, layer)
 }
 
 /// Executes a convolutional layer with multi-map packing.

@@ -1,0 +1,320 @@
+//! The schedule-replay executor: runs a layer whose control stream was
+//! precompiled at `prepare()` time.
+//!
+//! The live executors spend most of their time *re-deriving* the static
+//! control sequence — HFSM transitions, NB read-mode selection, address
+//! arithmetic, per-access fault filtering, per-cycle statistics. Replay
+//! skips all of it: the layer's complete [`LayerStats`] delta is
+//! absorbed from the schedule in one call, silent-fault decisions were
+//! resolved ahead of time into an overlay (NB cells pre-patched in the
+//! input stack, SB words patched at fetch below), and only the
+//! arithmetic that actually produces neuron values runs — in exactly
+//! the per-accumulator operation order of the instrumented path, on the
+//! real PE mesh, so outputs are bit-identical by construction (the same
+//! argument, op for op, that proves the analytic fast kernel in
+//! `window.rs`).
+//!
+//! Layers the replay executor does not model — normalization layers and
+//! multi-map-packed convolutions ([`crate::schedule::layer_replayable`])
+//! — and layers whose fault overlay detects an uncorrectable error
+//! (which must abort at the exact live access, with exact partial
+//! statistics) fall back to live decode in `accel.rs`.
+
+use super::window::blocks;
+use super::{bias_addr, conv_weight_addr, fc_weight_addr, Engine};
+use crate::accel::RunError;
+use crate::hfsm::FirstState;
+use crate::schedule::{patch_fx, LayerSchedule};
+use crate::stats::LayerStats;
+use core::mem;
+use shidiannao_cnn::Activation;
+use shidiannao_cnn::{ConnectionTable, FcWeights, Layer, LayerBody, PoolKind};
+use shidiannao_fixed::Fx;
+
+/// SB patches of the layer's fault overlay (empty on clean runs).
+type SbPatches = [([u64; 3], u16)];
+
+/// Replays one layer from its precompiled schedule. The caller has
+/// already applied the overlay's NB patches to the input stack and
+/// absorbed the overlay's fault-counter delta; bank-conflict folding
+/// stays in the caller (shared with the live path).
+pub(crate) fn run_layer(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    sched: &LayerSchedule,
+    sb_patches: &SbPatches,
+) -> Result<(), RunError> {
+    debug_assert!(sched.replayable(), "non-replayable layer reached replay");
+    match layer.body() {
+        LayerBody::Conv {
+            table,
+            kernel,
+            stride,
+            activation,
+            ..
+        } => {
+            eng.hfsm.enter(FirstState::Conv).expect("HFSM: conv entry");
+            conv(eng, layer, table, *kernel, *stride, *activation, sb_patches);
+        }
+        LayerBody::Pool {
+            window,
+            stride,
+            kind,
+            activation,
+            ..
+        } => {
+            eng.hfsm.enter(FirstState::Pool).expect("HFSM: pool entry");
+            pool(eng, layer, *window, *stride, *kind, *activation);
+        }
+        LayerBody::Fc {
+            weights,
+            activation,
+        } => {
+            eng.hfsm
+                .enter(FirstState::Classifier)
+                .expect("HFSM: classifier entry");
+            fc(eng, layer, weights, *activation, sb_patches);
+        }
+        LayerBody::Lrn(_) | LayerBody::Lcn { .. } => {
+            unreachable!("non-replayable layer kind reached the replay executor")
+        }
+    }
+    // The whole layer's statistics in one absorb (counter sums, FIFO
+    // peak maxes — the recorded delta was captured before bank-conflict
+    // folding, which the caller applies identically to both paths).
+    eng.stats.absorb(&sched.stats);
+    // Advance the mesh's monotone cumulative FIFO-peak trackers to the
+    // recorded after-layer value, so any later *live*-decoded layer
+    // folds the same cumulative peaks it would have seen live.
+    let (h, v) = sched.fifo_peaks_after;
+    eng.nfu.note_fifo_peaks(h as u32, v as u32);
+    Ok(())
+}
+
+/// Convolution replay: the per-accumulator sequence is, per connected
+/// input map, `bias; mac(v_00, k_00) … mac(v_KyKx, k_KyKx)` in `(ky,
+/// kx)` row-major order — identical to the window sweep.
+fn conv(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    table: &ConnectionTable,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    activation: Activation,
+    patches: &SbPatches,
+) {
+    let out_dims = layer.out_dims();
+    let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
+    let (kx_max, ky_max) = kernel;
+    let (sx, sy) = stride;
+    let layer_index = eng.layer_index;
+    let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut weights = mem::take(&mut eng.scratch.values);
+    // Metering discard: the epilogue helpers charge their statistics
+    // here; the real counters arrive wholesale from the schedule.
+    let mut meter = LayerStats::default();
+
+    for o in 0..layer.out_maps() {
+        let bias = patch_fx(patches, bias_addr(o), eng.store.bias(layer_index, o));
+        for (origin, active) in blocks(out_dims, pe_dims) {
+            let (aw, ah) = active;
+            for py in 0..ah {
+                for px in 0..aw {
+                    eng.nfu.pe_mut(px, py).reset_accumulator(bias);
+                }
+            }
+            for (j, &im) in table.inputs_of(o).iter().enumerate() {
+                // Stage the kernel in sweep (ky, kx) order, patched.
+                weights.clear();
+                for ky in 0..ky_max {
+                    for kx in 0..kx_max {
+                        let w = eng.store.conv_weight(layer_index, o, j, (kx, ky), kernel);
+                        weights.push(patch_fx(patches, conv_weight_addr(o, j, (kx, ky)), w));
+                    }
+                }
+                let nbin = eng.nbin;
+                let fm = &nbin.contents().expect("session loaded the input")[im];
+                for py in 0..ah {
+                    let base_y = (origin.1 + py) * sy;
+                    for px in 0..aw {
+                        let base_x = (origin.0 + px) * sx;
+                        let acc = eng.nfu.acc_mut(px, py);
+                        for ky in 0..ky_max {
+                            let row = &fm.row(base_y + ky)[base_x..base_x + kx_max];
+                            for (&v, &k) in row.iter().zip(&weights[ky * kx_max..]) {
+                                acc.mac(v, k);
+                            }
+                        }
+                    }
+                }
+            }
+            eng.nfu.read_accumulators_into(active, &mut vals);
+            let _ = eng.alu.activate(&mut vals, activation, &mut meter);
+            eng.nbout.write_block(o, origin, active, &vals, &mut meter);
+        }
+    }
+    eng.scratch.vals = vals;
+    eng.scratch.values = weights;
+}
+
+/// Pooling replay. Overlapping windows mirror the window sweep's `(ky,
+/// kx)` order; non-overlapping windows mirror the mode (e) gather's
+/// `(wy, wx)` order with the same edge clipping. Max pooling uses no
+/// synapses, so the SB overlay never applies.
+fn pool(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    window: (usize, usize),
+    stride: (usize, usize),
+    kind: PoolKind,
+    activation: Activation,
+) {
+    let out_dims = layer.out_dims();
+    let in_dims = layer.in_dims();
+    let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
+    let overlapping = stride.0 < window.0 || stride.1 < window.1;
+    let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut meter = LayerStats::default();
+
+    for m in 0..layer.out_maps() {
+        for (origin, active) in blocks(out_dims, pe_dims) {
+            let (aw, ah) = active;
+            for py in 0..ah {
+                for px in 0..aw {
+                    let mut pe = eng.nfu.pe_mut(px, py);
+                    match kind {
+                        PoolKind::Max => pe.reset_comparator(),
+                        PoolKind::Avg => pe.reset_accumulator(Fx::ZERO),
+                    }
+                }
+            }
+
+            let nbin = eng.nbin;
+            let fm = &nbin.contents().expect("session loaded the input")[m];
+            for py in 0..ah {
+                let y0 = (origin.1 + py) * stride.1;
+                for px in 0..aw {
+                    let x0 = (origin.0 + px) * stride.0;
+                    // Overlapping windows always fit (the sweep engine
+                    // reads them unclipped); non-overlapping windows clip
+                    // at the input edge exactly like the gather loop.
+                    let (xe, ye) = if overlapping {
+                        (x0 + window.0, y0 + window.1)
+                    } else {
+                        (
+                            (x0 + window.0).min(in_dims.0),
+                            (y0 + window.1).min(in_dims.1),
+                        )
+                    };
+                    match kind {
+                        PoolKind::Max => {
+                            let cmp = eng.nfu.cmp_mut(px, py);
+                            for y in y0..ye {
+                                for &v in &fm.row(y)[x0..xe] {
+                                    *cmp = (*cmp).max(v);
+                                }
+                            }
+                        }
+                        PoolKind::Avg => {
+                            let acc = eng.nfu.acc_mut(px, py);
+                            for y in y0..ye {
+                                for &v in &fm.row(y)[x0..xe] {
+                                    acc.add_fx(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            vals.clear();
+            for py in 0..ah {
+                for px in 0..aw {
+                    let v = match kind {
+                        PoolKind::Max => eng.nfu.pe(px, py).comparator(),
+                        PoolKind::Avg => {
+                            let x0 = (origin.0 + px) * stride.0;
+                            let y0 = (origin.1 + py) * stride.1;
+                            let w = (x0 + window.0).min(in_dims.0) - x0;
+                            let h = (y0 + window.1).min(in_dims.1) - y0;
+                            eng.nfu.pe(px, py).accumulator_mean(w * h)
+                        }
+                    };
+                    vals.push(v);
+                }
+            }
+            let _ = eng.alu.activate(&mut vals, activation, &mut meter);
+            eng.nbout.write_block(m, origin, active, &vals, &mut meter);
+        }
+    }
+    eng.scratch.vals = vals;
+}
+
+/// Classifier replay: each PE's MAC stream is its weight row in
+/// ascending index order — exactly the order the union-loop cursors
+/// walk — over the mode (d)-flattened (and NB-patched) input.
+fn fc(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    weights: &FcWeights,
+    activation: Activation,
+    patches: &SbPatches,
+) {
+    let pe_count = eng.cfg.pe_count();
+    let px = eng.cfg.pe_cols;
+    let out_count = layer.out_maps();
+    let layer_index = eng.layer_index;
+    let mut flat = mem::take(&mut eng.scratch.values);
+    let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut meter = LayerStats::default();
+
+    // Flatten once per layer, in mode (d)'s flat addressing order
+    // (map-major, row-major). NB patches were applied to the stack.
+    flat.clear();
+    for fm in eng
+        .nbin
+        .contents()
+        .expect("session loaded the input")
+        .iter()
+    {
+        flat.extend_from_slice(fm.as_slice());
+    }
+
+    for group_start in (0..out_count).step_by(pe_count) {
+        let group_len = pe_count.min(out_count - group_start);
+        for i in 0..group_len {
+            let o = group_start + i;
+            let bias = patch_fx(patches, bias_addr(o), eng.store.bias(layer_index, o));
+            eng.nfu.pe_mut(i % px, i / px).reset_accumulator(bias);
+        }
+
+        let store = eng.store;
+        for i in 0..group_len {
+            let o = group_start + i;
+            let row = weights.row(o);
+            let wrow = store.fc_row(layer_index, o, row.len());
+            let acc = eng.nfu.acc_mut(i % px, i / px);
+            if patches.is_empty() {
+                for (&(idx, _), &w) in row.iter().zip(wrow) {
+                    acc.mac(flat[idx], w);
+                }
+            } else {
+                // The live path filters each weight at its (row, slot)
+                // SB-image coordinate — the slot is the cursor position,
+                // i.e. the entry's index within the row.
+                for (slot, (&(idx, _), &w)) in row.iter().zip(wrow).enumerate() {
+                    acc.mac(flat[idx], patch_fx(patches, fc_weight_addr(o, slot), w));
+                }
+            }
+        }
+
+        vals.clear();
+        for i in 0..group_len {
+            vals.push(eng.nfu.pe(i % px, i / px).accumulator());
+        }
+        let _ = eng.alu.activate(&mut vals, activation, &mut meter);
+        eng.nbout.write_scalar_group(group_start, &vals, &mut meter);
+    }
+    eng.scratch.values = flat;
+    eng.scratch.vals = vals;
+}

@@ -61,6 +61,7 @@ mod hfsm;
 mod nfu;
 mod pe;
 mod sb;
+mod schedule;
 mod stats;
 
 pub use accel::{
@@ -75,6 +76,7 @@ pub use hfsm::{FirstState, Hfsm, SecondState, TransitionError};
 pub use nfu::Nfu;
 pub use pe::{PeMut, PeRef};
 pub use sb::SynapseStore;
+pub use schedule::{LayerSchedule, NetworkSchedule};
 pub use stats::{BufferTraffic, LayerStats, ReadMode, RunStats};
 
 // Re-export the fault-injection vocabulary so downstream crates can drive

@@ -165,6 +165,14 @@ impl Nfu {
         stats.fifo_v_peak = stats.fifo_v_peak.max(v);
     }
 
+    /// The mesh's cumulative `(FIFO-H, FIFO-V)` peak occupancies —
+    /// monotone across a run (only `reset` clears them), which is what
+    /// lets the schedule recorder snapshot them per layer.
+    #[inline]
+    pub(crate) fn fifo_peaks(&self) -> (usize, usize) {
+        self.pes.max_fifo_peaks()
+    }
+
     // ----- bulk mesh operations (fast sweep kernel) -------------------
 
     /// One MAC sweep cycle over the `aw × ah` active block anchored at

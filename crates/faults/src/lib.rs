@@ -596,6 +596,15 @@ impl FaultState {
         self.stats = FaultStats::default();
     }
 
+    /// Folds a precomputed batch of fault outcomes into the running
+    /// counters — the schedule-replay path resolves a whole layer's worth
+    /// of address-pure fault decisions ahead of time (decisions are pure
+    /// functions of `(seed, site, layer, address)`, so order does not
+    /// matter) and accounts them in one call instead of per access.
+    pub fn absorb_stats(&mut self, delta: &FaultStats) {
+        self.stats.absorb(delta);
+    }
+
     fn count_site(&mut self, site: FaultSite) {
         match site {
             FaultSite::NbIn | FaultSite::NbOut => self.stats.nb_faults += 1,
