@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use shidiannao_cnn::{ConvSpec, FcSpec, Network, NetworkBuilder, PoolSpec};
+use shidiannao_core::kernel::{LaneKernel, ScalarKernel, ValueKernel};
 use shidiannao_core::{
     Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, LayerStats, NeuronBuffer, ReadScratch,
     SramProtection, SynapseBuffer,
@@ -199,11 +200,101 @@ fn bench_schedule_replay(c: &mut Criterion) {
     }
 }
 
+/// Batch-1 vs batch-8 through `Session::infer_batch_into`, one layer
+/// kind at a time. The batch-8 call runs eight inferences through one
+/// schedule replay (lane 0 instrumented, lanes 1–7 value-only), so the
+/// interesting ratio is `batch8 / (8 × batch1)` — how much of a lane is
+/// pure arithmetic. Separate output vectors keep each call's recycled
+/// stacks warm so both sides measure the zero-allocation steady state.
+fn bench_batch_lanes(c: &mut Criterion) {
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    for (kind, net) in single_layer_nets() {
+        let inputs: Vec<MapStack<Fx>> = (0..8)
+            .map(|i| net.random_input(9 ^ ((i as u64) << 3)))
+            .collect();
+        let prepared = accel.prepare(&net).expect("prepare");
+        let mut session = prepared.session();
+        let mut out1 = Vec::new();
+        let mut out8 = Vec::new();
+        for _ in 0..16 {
+            let _ = session
+                .infer_batch_into(std::slice::from_ref(&inputs[0]), &mut out1)
+                .expect("warm-up");
+            let _ = session
+                .infer_batch_into(&inputs, &mut out8)
+                .expect("warm-up");
+        }
+        let mut g = c.benchmark_group(format!("batch_{kind}"));
+        g.sample_size(200);
+        g.bench_function("batch1", |b| {
+            b.iter(|| {
+                let batch = session
+                    .infer_batch_into(std::slice::from_ref(&inputs[0]), &mut out1)
+                    .expect("batch1");
+                black_box(batch.stats().cycles())
+            })
+        });
+        g.bench_function("batch8", |b| {
+            b.iter(|| {
+                let batch = session
+                    .infer_batch_into(&inputs, &mut out8)
+                    .expect("batch8");
+                black_box(batch.stats().cycles())
+            })
+        });
+        g.finish();
+    }
+}
+
+/// The chunked-i16-lane reduction kernel against its scalar reference:
+/// the classifier dot product and the window sweep's shifted
+/// multiply-accumulate, on sizes matching the zoo's hot layers. The two
+/// kernels are bit-identical (the executors' tests prove it); this
+/// measures what the vectorized form buys.
+fn bench_reduction_kernels(c: &mut Criterion) {
+    let vals: Vec<Fx> = (0..256)
+        .map(|i| Fx::from_f32((i % 97) as f32 / 97.0 - 0.5))
+        .collect();
+    let wts: Vec<Fx> = (0..256)
+        .map(|i| Fx::from_f32((i % 89) as f32 / 89.0 - 0.5))
+        .collect();
+    let row: Vec<Fx> = (0..64)
+        .map(|i| Fx::from_f32((i % 53) as f32 / 53.0 - 0.5))
+        .collect();
+    let k = Fx::from_f32(0.375);
+    let mut lanes = vec![0i64; 8];
+    let mut g = c.benchmark_group("reduction");
+    g.sample_size(10_000);
+    g.bench_function("dot_lane", |b| {
+        b.iter(|| black_box(LaneKernel.dot_raw(&vals, &wts)))
+    });
+    g.bench_function("dot_scalar", |b| {
+        b.iter(|| black_box(ScalarKernel.dot_raw(&vals, &wts)))
+    });
+    g.bench_function("shifted_mac_lane", |b| {
+        b.iter(|| {
+            lanes.iter_mut().for_each(|l| *l = 0);
+            LaneKernel.shifted_mac(&row, 1, k, &mut lanes);
+            black_box(lanes[0])
+        })
+    });
+    g.bench_function("shifted_mac_scalar", |b| {
+        b.iter(|| {
+            lanes.iter_mut().for_each(|l| *l = 0);
+            ScalarKernel.shifted_mac(&row, 1, k, &mut lanes);
+            black_box(lanes[0])
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     hot_path,
     bench_nb_read_modes,
     bench_sb_broadcast,
     bench_small_inference,
-    bench_schedule_replay
+    bench_schedule_replay,
+    bench_batch_lanes,
+    bench_reduction_kernels
 );
 criterion_main!(hot_path);

@@ -82,14 +82,16 @@ fn run_bench(smoke: bool) -> (String, Vec<String>) {
     let mut out = r.render();
     if smoke {
         // The CI gate: seed-frozen cycle counts on the fast and the
-        // replayed instrumented path, five-way path bit-identity,
-        // zero-allocation steady state (clean and faulty replay), and
-        // the instrumented replay speedup threshold. No JSON —
+        // replayed instrumented path, six-way path bit-identity (batch
+        // lanes included), zero-allocation steady state (clean, faulty
+        // replay, and batched), the instrumented replay speedup
+        // threshold, and the batched-path no-regression floor. No JSON —
         // BENCH_harness.json holds the full run's numbers.
         errors.extend(perf::smoke_errors(&r.throughput));
         if errors.is_empty() {
             out += "\nsmoke: all seed cycle counts exact, paths bit-identical \
-                    (replay included), 0 allocs, replay speedup gate met\n";
+                    (replay and batch lanes included), 0 allocs, replay and \
+                    batch gates met\n";
         }
     } else {
         let path = "BENCH_harness.json";
@@ -102,12 +104,12 @@ fn run_bench(smoke: bool) -> (String, Vec<String>) {
         }
         if !r.all_paths_bit_identical() {
             errors.push(
-                "an execution path diverged (legacy / run / infer / infer_ref / replay)"
+                "an execution path diverged (legacy / run / infer / infer_ref / replay / batch)"
                     .to_string(),
             );
         }
         if !r.zero_alloc_steady_state() {
-            errors.push("the fast or replay path allocated in steady state".to_string());
+            errors.push("the fast, replay, or batch path allocated in steady state".to_string());
         }
     }
     (out, errors)

@@ -19,7 +19,10 @@
 //!   `SEED_CYCLES_PER_INFERENCE` table from the perf harness,
 //! * **SLO accounting** — per-tenant ledgers must balance, and in smoke
 //!   mode the counts themselves are frozen ([`EXPECTED_SMOKE`]) so CI
-//!   catches any scheduling or accounting drift.
+//!   catches any scheduling or accounting drift — including the
+//!   `batched` follower-lane counts, since the scenario runs with
+//!   `max_batch: 8` and fault-free backlogged tenants get served as
+//!   multi-lane schedule replays.
 
 use crate::json::{comma, json_f64, json_str};
 use crate::perf::SEED_CYCLES_PER_INFERENCE;
@@ -38,18 +41,24 @@ pub const SERVE_SEED: u64 = 0x5E7E;
 /// calibrated clean cycles cross-check against its frozen table.
 const BUILD_SEED: u64 = crate::experiments::SEED;
 
-/// Frozen per-tenant smoke outcomes
-/// `(name, issued, ok, degraded, dropped_faulty, dropped_deadline, rejected)`.
-/// Any drift here means the scheduler, the fault layer, or the SLO
-/// accounting changed behaviour and must be re-frozen deliberately.
-pub const EXPECTED_SMOKE: &[(&str, u64, u64, u64, u64, u64, u64)] = &[
-    ("lenet5-interactive", 18, 18, 0, 0, 0, 0),
-    ("gabor-stream", 50, 32, 3, 0, 5, 10),
-    ("mpcnn-batch", 5, 5, 0, 0, 0, 0),
+/// One frozen smoke ledger row:
+/// `(name, issued, ok, degraded, dropped_faulty, dropped_deadline, rejected, batched)`.
+pub type SmokeLedgerRow = (&'static str, u64, u64, u64, u64, u64, u64, u64);
+
+/// Frozen per-tenant smoke outcomes (one [`SmokeLedgerRow`] per tenant).
+/// Any drift here means the scheduler, the fault layer, the batcher, or
+/// the SLO accounting changed behaviour and must be re-frozen
+/// deliberately. `batched` counts requests served as follower lanes of a
+/// shared schedule replay — the faulty gabor tenant must stay at 0
+/// (batching is gated on a zero fault plan).
+pub const EXPECTED_SMOKE: &[SmokeLedgerRow] = &[
+    ("lenet5-interactive", 18, 18, 0, 0, 0, 0, 2),
+    ("gabor-stream", 50, 32, 3, 0, 5, 10, 0),
+    ("mpcnn-batch", 5, 5, 0, 0, 0, 0, 0),
 ];
 
 /// Virtual cycle the smoke scenario must end at (frozen).
-pub const EXPECTED_SMOKE_END_CYCLES: u64 = 278_856;
+pub const EXPECTED_SMOKE_END_CYCLES: u64 = 280_461;
 
 /// Builds the three-tenant mixed-traffic scenario.
 ///
@@ -127,6 +136,10 @@ pub fn serve_scenario(
         physical_threads: threads,
         admission_salt: salt,
         samples_per_tenant: 6,
+        // Fault-free tenants that backlog (interactive LeNet-5 bursts,
+        // MPCNN whose period is shorter than its clean cycles) get served
+        // as multi-lane schedule replays; followers pay marginal cycles.
+        max_batch: 8,
         ..ServeConfig::default()
     };
     InferenceService::new(config, vec![lenet, gabor, mpcnn])
@@ -254,7 +267,7 @@ impl ServeBenchReport {
                 "    {{\"name\": {}, \"weight\": {}, \"clean_cycles\": {}, \
                  \"issued\": {}, \"ok\": {}, \"degraded\": {}, \"dropped_faulty\": {}, \
                  \"dropped_deadline\": {}, \"rejected\": {}, \"deadline_misses\": {}, \
-                 \"retries\": {}, \"service_cycles\": {}, \"throughput_rps\": {}, \
+                 \"retries\": {}, \"batched\": {}, \"service_cycles\": {}, \"throughput_rps\": {}, \
                  \"latency_p50\": {}, \"latency_p95\": {}, \"latency_p99\": {}, \
                  \"latency_mean\": {}, \"latency_max\": {}, \"queue_depth_max\": {}, \
                  \"queue_depth_mean\": {}, \"faults_detected\": {}, \
@@ -271,6 +284,7 @@ impl ServeBenchReport {
                 s.rejected,
                 s.deadline_misses,
                 s.retries,
+                s.batched,
                 s.service_cycles,
                 json_f64(t.throughput_rps),
                 lat.p50,
@@ -301,12 +315,12 @@ impl ServeBenchReport {
             r.end_cycles,
             r.elapsed_seconds * 1e3,
         );
-        out += "tenant               issued  ok  degr  dropF  dropD  rej  miss   p50     p99     rps\n";
+        out += "tenant               issued  ok  degr  dropF  dropD  rej  miss  batch   p50     p99     rps\n";
         for t in &r.tenants {
             let s = &t.stats;
             let lat = t.latency();
             out += &format!(
-                "{:<20} {:>6} {:>3} {:>5} {:>6} {:>6} {:>4} {:>5} {:>6} {:>7} {:>7.1}\n",
+                "{:<20} {:>6} {:>3} {:>5} {:>6} {:>6} {:>4} {:>5} {:>6} {:>6} {:>7} {:>7.1}\n",
                 t.name,
                 s.issued,
                 s.ok,
@@ -315,6 +329,7 @@ impl ServeBenchReport {
                 s.dropped_deadline,
                 s.rejected,
                 s.deadline_misses,
+                s.batched,
                 lat.p50,
                 lat.p99,
                 t.throughput_rps,
@@ -377,8 +392,19 @@ impl ServeBenchReport {
                     self.report.end_cycles, EXPECTED_SMOKE_END_CYCLES
                 ));
             }
-            for &(name, issued, ok, degraded, dropped_faulty, dropped_deadline, rejected) in
-                EXPECTED_SMOKE
+            if self.report.total(|s| s.batched) == 0 {
+                errors.push("batching never triggered in the smoke scenario".to_string());
+            }
+            for &(
+                name,
+                issued,
+                ok,
+                degraded,
+                dropped_faulty,
+                dropped_deadline,
+                rejected,
+                batched,
+            ) in EXPECTED_SMOKE
             {
                 let Some(t) = self.report.tenants.iter().find(|t| t.name == name) else {
                     errors.push(format!("smoke tenant {name} missing from report"));
@@ -392,6 +418,7 @@ impl ServeBenchReport {
                     s.dropped_faulty,
                     s.dropped_deadline,
                     s.rejected,
+                    s.batched,
                 );
                 let want = (
                     issued,
@@ -400,10 +427,11 @@ impl ServeBenchReport {
                     dropped_faulty,
                     dropped_deadline,
                     rejected,
+                    batched,
                 );
                 if got != want {
                     errors.push(format!(
-                        "{name}: SLO ledger drift: got (issued, ok, degraded, droppedF, droppedD, rejected) = {got:?}, frozen {want:?}"
+                        "{name}: SLO ledger drift: got (issued, ok, degraded, droppedF, droppedD, rejected, batched) = {got:?}, frozen {want:?}"
                     ));
                 }
             }
@@ -454,5 +482,6 @@ mod tests {
         );
         assert!(total(|s| s.rejected) > 0, "no backpressure rejections");
         assert!(total(|s| s.retries) > 0);
+        assert!(total(|s| s.batched) > 0, "no batched follower lanes");
     }
 }

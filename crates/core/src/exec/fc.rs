@@ -1,5 +1,6 @@
 //! Classifier-layer executor (§8.3).
 
+use super::values::{classifier_dot_raw, LaneKernel};
 use super::{bias_addr, fc_weight_addr, Engine};
 use crate::accel::RunError;
 use core::mem;
@@ -211,10 +212,8 @@ fn fast_group(
     for i in 0..group_len {
         let row = weights.row(group_start + i);
         let wrow = store.fc_row(layer_index, group_start + i, row.len());
-        let acc = eng.nfu.acc_mut(i % px, i / px);
-        for (&(idx, _), &w) in row.iter().zip(wrow) {
-            acc.mac(flat[idx], w);
-        }
+        let dot = classifier_dot_raw(&LaneKernel, flat, row, wrow);
+        eng.nfu.acc_mut(i % px, i / px).add_raw(dot);
     }
     Ok(())
 }

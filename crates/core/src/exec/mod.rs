@@ -17,6 +17,7 @@ mod norm;
 mod packed;
 mod pool;
 pub(crate) mod replay;
+pub mod values;
 mod window;
 
 pub(crate) use packed::applies_cfg as packed_applies_cfg;
@@ -62,6 +63,9 @@ pub(crate) struct Scratch {
     pub idxs: Vec<usize>,
     /// Classifier per-PE sparse-row cursors.
     pub cursors: Vec<usize>,
+    /// Per-PE-row i64 lane accumulators for the vectorized window
+    /// reduction (one slot per active PE column).
+    pub sums: Vec<i64>,
 }
 
 /// Mutable execution context threaded through the layer executors.

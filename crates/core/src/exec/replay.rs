@@ -20,6 +20,7 @@
 //! (which must abort at the exact live access, with exact partial
 //! statistics) fall back to live decode in `accel.rs`.
 
+use super::values::{classifier_dot_raw, sum_to_raw, LaneKernel, ValueKernel};
 use super::window::blocks;
 use super::{bias_addr, conv_weight_addr, fc_weight_addr, Engine};
 use crate::accel::RunError;
@@ -45,6 +46,26 @@ pub(crate) fn run_layer(
     sb_patches: &SbPatches,
 ) -> Result<(), RunError> {
     debug_assert!(sched.replayable(), "non-replayable layer reached replay");
+    layer_values(eng, layer, sb_patches);
+    // The whole layer's statistics in one absorb (counter sums, FIFO
+    // peak maxes — the recorded delta was captured before bank-conflict
+    // folding, which the caller applies identically to both paths).
+    eng.stats.absorb(&sched.stats);
+    // Advance the mesh's monotone cumulative FIFO-peak trackers to the
+    // recorded after-layer value, so any later *live*-decoded layer
+    // folds the same cumulative peaks it would have seen live.
+    let (h, v) = sched.fifo_peaks_after;
+    eng.nfu.note_fifo_peaks(h as u32, v as u32);
+    Ok(())
+}
+
+/// Runs only the value-producing arithmetic of a replayable layer — the
+/// replay bodies without the statistics absorb. The batched execution
+/// path calls this directly for lanes 1..N of a batch: control and
+/// statistics were already charged once by the canonical lane, and the
+/// bodies below never touch `eng.stats` (their epilogue metering goes to
+/// a local discard), so a value lane is exactly this call.
+pub(crate) fn layer_values(eng: &mut Engine<'_>, layer: &Layer, sb_patches: &SbPatches) {
     match layer.body() {
         LayerBody::Conv {
             table,
@@ -79,16 +100,6 @@ pub(crate) fn run_layer(
             unreachable!("non-replayable layer kind reached the replay executor")
         }
     }
-    // The whole layer's statistics in one absorb (counter sums, FIFO
-    // peak maxes — the recorded delta was captured before bank-conflict
-    // folding, which the caller applies identically to both paths).
-    eng.stats.absorb(&sched.stats);
-    // Advance the mesh's monotone cumulative FIFO-peak trackers to the
-    // recorded after-layer value, so any later *live*-decoded layer
-    // folds the same cumulative peaks it would have seen live.
-    let (h, v) = sched.fifo_peaks_after;
-    eng.nfu.note_fifo_peaks(h as u32, v as u32);
-    Ok(())
 }
 
 /// Convolution replay: the per-accumulator sequence is, per connected
@@ -106,16 +117,36 @@ fn conv(
     let out_dims = layer.out_dims();
     let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
     let (kx_max, ky_max) = kernel;
+    let ksz = kx_max * ky_max;
     let (sx, sy) = stride;
     let layer_index = eng.layer_index;
+    let store = eng.store;
+    let stack = eng.nbin.contents().expect("session loaded the input");
+    let kern = LaneKernel;
     let mut vals = mem::take(&mut eng.scratch.vals);
     let mut weights = mem::take(&mut eng.scratch.values);
+    let mut lanes = mem::take(&mut eng.scratch.sums);
     // Metering discard: the epilogue helpers charge their statistics
     // here; the real counters arrive wholesale from the schedule.
     let mut meter = LayerStats::default();
 
     for o in 0..layer.out_maps() {
-        let bias = patch_fx(patches, bias_addr(o), eng.store.bias(layer_index, o));
+        let bias = patch_fx(patches, bias_addr(o), store.bias(layer_index, o));
+        let inputs = table.inputs_of(o);
+        // Clean runs borrow each kernel straight out of the SB image —
+        // `conv_kernel` slices are already in sweep (ky, kx) order. A
+        // fault overlay stages all of the map's kernels once, patched.
+        if !patches.is_empty() {
+            weights.clear();
+            for j in 0..inputs.len() {
+                for ky in 0..ky_max {
+                    for kx in 0..kx_max {
+                        let w = store.conv_weight(layer_index, o, j, (kx, ky), kernel);
+                        weights.push(patch_fx(patches, conv_weight_addr(o, j, (kx, ky)), w));
+                    }
+                }
+            }
+        }
         for (origin, active) in blocks(out_dims, pe_dims) {
             let (aw, ah) = active;
             for py in 0..ah {
@@ -123,29 +154,33 @@ fn conv(
                     eng.nfu.pe_mut(px, py).reset_accumulator(bias);
                 }
             }
-            for (j, &im) in table.inputs_of(o).iter().enumerate() {
-                // Stage the kernel in sweep (ky, kx) order, patched.
-                weights.clear();
-                for ky in 0..ky_max {
-                    for kx in 0..kx_max {
-                        let w = eng.store.conv_weight(layer_index, o, j, (kx, ky), kernel);
-                        weights.push(patch_fx(patches, conv_weight_addr(o, j, (kx, ky)), w));
-                    }
-                }
-                let nbin = eng.nbin;
-                let fm = &nbin.contents().expect("session loaded the input")[im];
-                for py in 0..ah {
-                    let base_y = (origin.1 + py) * sy;
-                    for px in 0..aw {
-                        let base_x = (origin.0 + px) * sx;
-                        let acc = eng.nfu.acc_mut(px, py);
-                        for ky in 0..ky_max {
-                            let row = &fm.row(base_y + ky)[base_x..base_x + kx_max];
-                            for (&v, &k) in row.iter().zip(&weights[ky * kx_max..]) {
-                                acc.mac(v, k);
-                            }
+            // Chunked-lane reduction per PE row: lane `px` sums every
+            // connected map's contribution at stride `sx`, then lands on
+            // the accumulator in one raw add — bit-identical to the
+            // per-PE `mac` chain (see `values.rs`; the accumulator is a
+            // plain i64 whose chains cannot overflow, so merging the
+            // per-map partial sums re-associates exact integer adds).
+            let base_x0 = origin.0 * sx;
+            for py in 0..ah {
+                let base_y = (origin.1 + py) * sy;
+                lanes.clear();
+                lanes.resize(aw, 0);
+                for (j, &im) in inputs.iter().enumerate() {
+                    let wts = if patches.is_empty() {
+                        store.conv_kernel(layer_index, o, j, kernel)
+                    } else {
+                        &weights[j * ksz..(j + 1) * ksz]
+                    };
+                    let fm = &stack[im];
+                    for ky in 0..ky_max {
+                        let row = &fm.row(base_y + ky)[base_x0..];
+                        for (kx, &k) in wts[ky * kx_max..(ky + 1) * kx_max].iter().enumerate() {
+                            kern.shifted_mac(&row[kx..], sx, k, &mut lanes);
                         }
                     }
+                }
+                for (acc, &l) in eng.nfu.acc_row_mut(py, aw).iter_mut().zip(&lanes) {
+                    acc.add_raw(l);
                 }
             }
             eng.nfu.read_accumulators_into(active, &mut vals);
@@ -155,6 +190,7 @@ fn conv(
     }
     eng.scratch.vals = vals;
     eng.scratch.values = weights;
+    eng.scratch.sums = lanes;
 }
 
 /// Pooling replay. Overlapping windows mirror the window sweep's `(ky,
@@ -173,7 +209,9 @@ fn pool(
     let in_dims = layer.in_dims();
     let pe_dims = (eng.cfg.pe_cols, eng.cfg.pe_rows);
     let overlapping = stride.0 < window.0 || stride.1 < window.1;
+    let kern = LaneKernel;
     let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut lanes = mem::take(&mut eng.scratch.sums);
     let mut meter = LayerStats::default();
 
     for m in 0..layer.out_maps() {
@@ -191,21 +229,54 @@ fn pool(
 
             let nbin = eng.nbin;
             let fm = &nbin.contents().expect("session loaded the input")[m];
+            let base_x0 = origin.0 * stride.0;
             for py in 0..ah {
                 let y0 = (origin.1 + py) * stride.1;
+                // Overlapping windows always fit (the sweep engine reads
+                // them unclipped); non-overlapping windows clip at the
+                // input edge exactly like the gather loop. The y-extent
+                // is shared by the whole PE row; the x-extent is uniform
+                // iff the rightmost lane's window fits, which lets the
+                // row run on the chunked lane kernel (max and integer
+                // sums are order-independent, so the reduction is
+                // bit-identical to the per-PE gather).
+                let ye = if overlapping {
+                    y0 + window.1
+                } else {
+                    (y0 + window.1).min(in_dims.1)
+                };
+                let right_x0 = (origin.0 + aw - 1) * stride.0;
+                let row_unclipped = overlapping || right_x0 + window.0 <= in_dims.0;
+                if row_unclipped {
+                    match kind {
+                        PoolKind::Max => {
+                            let cmps = eng.nfu.cmp_row_mut(py, aw);
+                            for y in y0..ye {
+                                let row = &fm.row(y)[base_x0..];
+                                for wx in 0..window.0 {
+                                    kern.shifted_max(&row[wx..], stride.0, cmps);
+                                }
+                            }
+                        }
+                        PoolKind::Avg => {
+                            lanes.clear();
+                            lanes.resize(aw, 0);
+                            for y in y0..ye {
+                                let row = &fm.row(y)[base_x0..];
+                                for wx in 0..window.0 {
+                                    kern.shifted_sum(&row[wx..], stride.0, &mut lanes);
+                                }
+                            }
+                            for (acc, &l) in eng.nfu.acc_row_mut(py, aw).iter_mut().zip(&lanes) {
+                                acc.add_raw(sum_to_raw(l));
+                            }
+                        }
+                    }
+                    continue;
+                }
                 for px in 0..aw {
                     let x0 = (origin.0 + px) * stride.0;
-                    // Overlapping windows always fit (the sweep engine
-                    // reads them unclipped); non-overlapping windows clip
-                    // at the input edge exactly like the gather loop.
-                    let (xe, ye) = if overlapping {
-                        (x0 + window.0, y0 + window.1)
-                    } else {
-                        (
-                            (x0 + window.0).min(in_dims.0),
-                            (y0 + window.1).min(in_dims.1),
-                        )
-                    };
+                    let xe = (x0 + window.0).min(in_dims.0);
                     match kind {
                         PoolKind::Max => {
                             let cmp = eng.nfu.cmp_mut(px, py);
@@ -248,6 +319,7 @@ fn pool(
         }
     }
     eng.scratch.vals = vals;
+    eng.scratch.sums = lanes;
 }
 
 /// Classifier replay: each PE's MAC stream is its weight row in
@@ -293,15 +365,17 @@ fn fc(
             let o = group_start + i;
             let row = weights.row(o);
             let wrow = store.fc_row(layer_index, o, row.len());
-            let acc = eng.nfu.acc_mut(i % px, i / px);
             if patches.is_empty() {
-                for (&(idx, _), &w) in row.iter().zip(wrow) {
-                    acc.mac(flat[idx], w);
-                }
+                // Clean run: one chunked-lane dot product per PE
+                // (contiguous when the row is dense), landed in a single
+                // raw add — bit-identical to the `mac` chain.
+                let dot = classifier_dot_raw(&LaneKernel, &flat, row, wrow);
+                eng.nfu.acc_mut(i % px, i / px).add_raw(dot);
             } else {
                 // The live path filters each weight at its (row, slot)
                 // SB-image coordinate — the slot is the cursor position,
                 // i.e. the entry's index within the row.
+                let acc = eng.nfu.acc_mut(i % px, i / px);
                 for (slot, (&(idx, _), &w)) in row.iter().zip(wrow).enumerate() {
                     acc.mac(flat[idx], patch_fx(patches, fc_weight_addr(o, slot), w));
                 }

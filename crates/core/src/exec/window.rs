@@ -8,6 +8,7 @@
 //! — one (output block × input map) sweep — exactly as the paper's Fig. 13
 //! walkthrough prescribes.
 
+use super::values::{sum_to_raw, LaneKernel, ValueKernel};
 use super::Engine;
 use crate::accel::RunError;
 use crate::hfsm::SecondState;
@@ -358,43 +359,57 @@ fn analytic(
     eng.stats.pe_busy_slots += cells * win;
     eng.stats.pe_total_slots += win * eng.cfg.pe_count() as u64;
 
-    // Compute pass: each PE's window is a contiguous row slice per kernel
-    // row, reduced in the same (ky, kx) order as the cycle loop.
+    // Compute pass: each PE *row* reduces its windows as chunked i64
+    // lane partial sums over the kernel offsets (one fused pass through
+    // the lane kernel), folded into the SoA accumulator row with a
+    // single saturating add — bit-identical to the per-cycle fold by
+    // the no-intermediate-saturation argument in [`super::values`].
+    let kern = LaneKernel;
     let nbin = eng.nbin;
     let fm = &nbin.contents().expect("charged reads verified the load")[pass.map];
+    let mut lanes = mem::take(&mut eng.scratch.sums);
+    let base_x0 = pass.block.0 * sx;
     for py in 0..ah {
         let base_y = (pass.block.1 + py) * sy;
-        for px in 0..aw {
-            let base_x = (pass.block.0 + px) * sx;
-            match op {
-                WindowOp::Mac => {
-                    let acc = eng.nfu.acc_mut(px, py);
-                    for ky in 0..ky_max {
-                        let row = &fm.row(base_y + ky)[base_x..base_x + kx_max];
-                        for (&v, &k) in row.iter().zip(&weights[ky * kx_max..]) {
-                            acc.mac(v, k);
-                        }
+        match op {
+            WindowOp::Mac => {
+                lanes.clear();
+                lanes.resize(aw, 0);
+                for ky in 0..ky_max {
+                    let row = &fm.row(base_y + ky)[base_x0..];
+                    for (kx, &k) in weights[ky * kx_max..(ky + 1) * kx_max].iter().enumerate() {
+                        kern.shifted_mac(&row[kx..], sx, k, &mut lanes);
                     }
                 }
-                WindowOp::Max => {
-                    let cmp = eng.nfu.cmp_mut(px, py);
-                    for ky in 0..ky_max {
-                        for &v in &fm.row(base_y + ky)[base_x..base_x + kx_max] {
-                            *cmp = (*cmp).max(v);
-                        }
+                for (acc, &l) in eng.nfu.acc_row_mut(py, aw).iter_mut().zip(&lanes) {
+                    acc.add_raw(l);
+                }
+            }
+            WindowOp::Max => {
+                let cmps = eng.nfu.cmp_row_mut(py, aw);
+                for ky in 0..ky_max {
+                    let row = &fm.row(base_y + ky)[base_x0..];
+                    for kx in 0..kx_max {
+                        kern.shifted_max(&row[kx..], sx, cmps);
                     }
                 }
-                WindowOp::Add => {
-                    let acc = eng.nfu.acc_mut(px, py);
-                    for ky in 0..ky_max {
-                        for &v in &fm.row(base_y + ky)[base_x..base_x + kx_max] {
-                            acc.add_fx(v);
-                        }
+            }
+            WindowOp::Add => {
+                lanes.clear();
+                lanes.resize(aw, 0);
+                for ky in 0..ky_max {
+                    let row = &fm.row(base_y + ky)[base_x0..];
+                    for kx in 0..kx_max {
+                        kern.shifted_sum(&row[kx..], sx, &mut lanes);
                     }
+                }
+                for (acc, &l) in eng.nfu.acc_row_mut(py, aw).iter_mut().zip(&lanes) {
+                    acc.add_raw(sum_to_raw(l));
                 }
             }
         }
     }
+    eng.scratch.sums = lanes;
 
     eng.nfu
         .note_fifo_peaks(kx_max.min(sx) as u32, ky_max.min(sy) as u32);

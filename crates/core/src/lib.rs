@@ -65,7 +65,7 @@ mod schedule;
 mod stats;
 
 pub use accel::{
-    Accelerator, Inference, InferenceRef, PreparedNetwork, RunError, RunOutcome, Session,
+    Accelerator, BatchRef, Inference, InferenceRef, PreparedNetwork, RunError, RunOutcome, Session,
 };
 pub use alu::Alu;
 pub use buffer::{
@@ -78,6 +78,15 @@ pub use pe::{PeMut, PeRef};
 pub use sb::SynapseStore;
 pub use schedule::{LayerSchedule, NetworkSchedule};
 pub use stats::{BufferTraffic, LayerStats, ReadMode, RunStats};
+
+/// The shared value-reduction kernels (vectorized lane kernel + scalar
+/// reference) — public so the microbenches can compare them in
+/// isolation.
+pub mod kernel {
+    pub use crate::exec::values::{
+        classifier_dot_raw, sum_to_raw, LaneKernel, ScalarKernel, ValueKernel,
+    };
+}
 
 // Re-export the fault-injection vocabulary so downstream crates can drive
 // fault campaigns without depending on `shidiannao-faults` directly.

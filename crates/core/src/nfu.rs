@@ -256,6 +256,27 @@ impl Nfu {
         self.pes.cmp_mut(y * self.px + x)
     }
 
+    /// A contiguous accumulator row — PEs `(0..len, y)` — for the
+    /// vectorized window reduction (see `PeArray::acc_row_mut`).
+    #[inline]
+    pub(crate) fn acc_row_mut(&mut self, y: usize, len: usize) -> &mut [Accum] {
+        debug_assert!(
+            y < self.py && len <= self.px,
+            "PE row ({y},+{len}) out of range"
+        );
+        self.pes.acc_row_mut(self.px, y, len)
+    }
+
+    /// A contiguous comparator row (see [`Nfu::acc_row_mut`]).
+    #[inline]
+    pub(crate) fn cmp_row_mut(&mut self, y: usize, len: usize) -> &mut [Fx] {
+        debug_assert!(
+            y < self.py && len <= self.px,
+            "PE row ({y},+{len}) out of range"
+        );
+        self.pes.cmp_row_mut(self.px, y, len)
+    }
+
     /// Folds an analytically derived pass peak into the FIFO peak
     /// tracking (see `PeArray::note_fifo_peaks`).
     #[inline]

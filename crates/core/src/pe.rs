@@ -196,6 +196,23 @@ impl PeArray {
         &mut self.cmp[i]
     }
 
+    /// A contiguous accumulator row — PEs `(0..len, py)` of a mesh
+    /// `px_stride` wide — for the vectorized window reduction: the SoA
+    /// layout keeps a mesh row adjacent, so chunked lane kernels can
+    /// fold partial sums into the whole row at once.
+    #[inline]
+    pub(crate) fn acc_row_mut(&mut self, px_stride: usize, py: usize, len: usize) -> &mut [Accum] {
+        let base = py * px_stride;
+        &mut self.acc[base..base + len]
+    }
+
+    /// A contiguous comparator row (see [`PeArray::acc_row_mut`]).
+    #[inline]
+    pub(crate) fn cmp_row_mut(&mut self, px_stride: usize, py: usize, len: usize) -> &mut [Fx] {
+        let base = py * px_stride;
+        &mut self.cmp[base..base + len]
+    }
+
     /// Folds an analytically derived per-pass peak FIFO occupancy into
     /// the peak tracking. The cycle-accurate sweep reaches the same peak
     /// on every active PE, and [`PeArray::max_fifo_peaks`] reports a

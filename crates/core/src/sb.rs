@@ -161,6 +161,20 @@ impl SynapseStore {
         self.data[idx]
     }
 
+    /// The whole kernel of output map `o`'s `j`-th connected input as one
+    /// contiguous slice in sweep `(ky, kx)` row-major order — the replay
+    /// and batch value lanes borrow this directly instead of staging the
+    /// kernel element by element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn conv_kernel(&self, layer: usize, o: usize, j: usize, kernel: (usize, usize)) -> &[Fx] {
+        let k = kernel.0 * kernel.1;
+        let base = self.entry(layer, o) + 1 + j * k;
+        &self.data[base..base + k]
+    }
+
     /// The `k`-th weight (ascending input-index order) of classifier
     /// output `n`.
     ///
@@ -204,10 +218,15 @@ mod tests {
                     for o in 0..layer.out_maps() {
                         assert_eq!(store.bias(i, o), weights.bias(o));
                         for j in 0..table.inputs_of(o).len() {
+                            let slice = store.conv_kernel(i, o, j, *kernel);
                             for ky in 0..kernel.1 {
                                 for kx in 0..kernel.0 {
                                     assert_eq!(
                                         store.conv_weight(i, o, j, (kx, ky), *kernel),
+                                        weights.kernel(o, j)[(kx, ky)]
+                                    );
+                                    assert_eq!(
+                                        slice[ky * kernel.0 + kx],
                                         weights.kernel(o, j)[(kx, ky)]
                                     );
                                 }

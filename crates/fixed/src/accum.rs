@@ -55,6 +55,22 @@ impl Accum {
         self.0 = self.0.saturating_add((v.to_bits() as i64) << FRAC_BITS);
     }
 
+    /// Adds a pre-summed raw Q*.16 partial sum (a chunked lane reduction
+    /// of `a·b` products). Bit-identical to issuing the products through
+    /// [`Accum::mac`] one at a time as long as no *intermediate* step
+    /// saturates: every product fits in 31 bits and the NB/SB capacities
+    /// bound chain length well below 2^20 terms, so partial sums stay
+    /// under ~2^51 — far from the i64 edge. The debug assertion guards
+    /// that envelope.
+    #[inline]
+    pub fn add_raw(&mut self, raw: i64) {
+        debug_assert!(
+            self.0.checked_add(raw).is_some(),
+            "raw partial sum overflows the accumulator"
+        );
+        self.0 = self.0.saturating_add(raw);
+    }
+
     /// Adds another accumulator (used when partial sums from sub-layers are
     /// merged, e.g. the LRN matrix-addition primitive).
     #[inline]

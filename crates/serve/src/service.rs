@@ -51,6 +51,16 @@ pub struct ServeConfig {
     /// Completed requests retained per tenant for bit-identity
     /// certification against direct `Session::infer`.
     pub samples_per_tenant: usize,
+    /// Maximum inferences served by one schedule replay (`1` disables
+    /// batching). When a worker picks a request from a *fault-free*
+    /// tenant, up to `max_batch - 1` more queued requests of the same
+    /// tenant ride along as follower lanes of a single
+    /// `Session::infer_batch` call: the leader pays the full calibrated
+    /// clean cycles, each follower only the marginal cycles (clean minus
+    /// the Load phase — its input streams into the double-buffered NBin
+    /// while the previous lane computes). Purely a scenario parameter;
+    /// reports stay byte-identical across `physical_threads`.
+    pub max_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +71,7 @@ impl Default for ServeConfig {
             physical_threads: 0,
             admission_salt: 0,
             samples_per_tenant: 8,
+            max_batch: 1,
         }
     }
 }
@@ -196,11 +207,15 @@ pub struct InferenceService {
     tenants: Vec<TenantSpec>,
 }
 
-/// One dispatched request travelling to a physical execution slot.
+/// One dispatched request travelling to a physical execution slot. When
+/// `followers` is non-empty the job is a batched replay: the leader
+/// (`seq`) plus follower sequence numbers execute as the lanes of one
+/// `Session::infer_batch` call.
 struct Job<'p> {
     tenant: usize,
     seq: u64,
     slack: u64,
+    followers: Vec<u64>,
     session: Session<'p>,
 }
 
@@ -220,12 +235,16 @@ enum Outcome {
 /// The execution result folded back into the event loop.
 struct Exec {
     outcome: Outcome,
-    /// Worker cycles consumed, including aborted attempts.
+    /// Worker cycles consumed by the leader, including aborted attempts.
+    /// Follower lanes are charged separately at their marginal cost.
     cycles: u64,
     /// Index of the final attempt (0 = no retries).
     retries: u32,
     output_hash: u64,
     fault: FaultStats,
+    /// Output hashes of batched follower lanes, in lane order (empty for
+    /// unbatched jobs).
+    follower_hashes: Vec<u64>,
 }
 
 impl InferenceService {
@@ -304,8 +323,13 @@ impl InferenceService {
 
         // Calibrate per-tenant clean cycles (input-independent): the
         // fairness charge and the deadline estimator both need the cost
-        // before the first real request runs.
+        // before the first real request runs. The marginal cost of a
+        // batched follower lane is the clean cycles minus the Load phase
+        // (stats always report Load first): a follower's input streams
+        // into the double-buffered NBin while the preceding lane
+        // computes, so only its compute cycles extend the replay.
         let mut clean_cycles = Vec::with_capacity(self.tenants.len());
+        let mut marginal_cycles = Vec::with_capacity(self.tenants.len());
         for (spec, prep) in self.tenants.iter().zip(&prepared) {
             let mut session = prep.session();
             let inference = session
@@ -314,10 +338,13 @@ impl InferenceService {
                     tenant: spec.name.clone(),
                     error,
                 })?;
-            clean_cycles.push(inference.stats().cycles());
+            let clean = inference.stats().cycles();
+            let load = inference.stats().layers().first().map_or(0, |l| l.cycles);
+            clean_cycles.push(clean);
+            marginal_cycles.push(clean - load);
         }
 
-        self.event_loop(&prepared, &clean_cycles)
+        self.event_loop(&prepared, &clean_cycles, &marginal_cycles)
     }
 
     /// The discrete-event loop over the virtual clock.
@@ -325,6 +352,7 @@ impl InferenceService {
         &self,
         prepared: &[PreparedNetwork],
         clean_cycles: &[u64],
+        marginal_cycles: &[u64],
     ) -> Result<ServiceReport, ServeError> {
         let n = self.tenants.len();
         let weights: Vec<u32> = self.tenants.iter().map(|t| t.weight).collect();
@@ -403,9 +431,14 @@ impl InferenceService {
             }
 
             // Phase 2 — fill free virtual workers, dropping requests
-            // that expired while queued.
+            // that expired while queued. A leader picked from a
+            // fault-free tenant pulls up to `max_batch - 1` more queued
+            // requests of the same tenant (EDF order) along as follower
+            // lanes of one schedule replay; each follower is charged its
+            // marginal cycles in the fairness ledger right here, at
+            // dispatch time, like the leader's pick-time charge.
             let mut batch: Vec<Job<'_>> = Vec::new();
-            let mut meta: Vec<(usize, Request)> = Vec::new(); // (worker, request)
+            let mut meta: Vec<(usize, Request, Vec<Request>)> = Vec::new();
             for (w, free_at) in worker_free.iter().enumerate() {
                 if *free_at > now {
                     continue;
@@ -425,25 +458,47 @@ impl InferenceService {
                     }
                 };
                 let Some(request) = picked else { break };
-                let session = pools[request.tenant]
-                    .pop()
-                    .unwrap_or_else(|| prepared[request.tenant].session());
+                let t = request.tenant;
+                let mut followers: Vec<Request> = Vec::new();
+                if self.config.max_batch > 1 && FaultPlan::new(self.tenants[t].faults).is_zero() {
+                    while followers.len() + 1 < self.config.max_batch {
+                        let Some(r) = queues[t].pop_earliest_deadline() else {
+                            break;
+                        };
+                        if now > r.deadline {
+                            stats[t].dropped_deadline += 1;
+                            end_cycles = end_cycles.max(now);
+                            gens[t].on_resolved(now);
+                            continue;
+                        }
+                        scheduler.charge(t, marginal_cycles[t]);
+                        followers.push(r);
+                    }
+                }
+                let session = pools[t].pop().unwrap_or_else(|| prepared[t].session());
                 batch.push(Job {
-                    tenant: request.tenant,
+                    tenant: t,
                     seq: request.seq,
                     slack: request.deadline.saturating_sub(now),
+                    followers: followers.iter().map(|r| r.seq).collect(),
                     session,
                 });
-                meta.push((w, request));
+                meta.push((w, request, followers));
             }
 
             // Phase 3 — execute the batch's pure inference functions on
             // physical threads, then fold results back in batch order.
             let results = run_batch(&self.tenants, batch, threads);
-            for ((w, request), (result, session)) in meta.into_iter().zip(results) {
+            for ((w, request, followers), (result, session)) in meta.into_iter().zip(results) {
                 pools[request.tenant].push(session);
                 let exec = result?;
-                let finish = now.saturating_add(exec.cycles);
+                let marginal = marginal_cycles[request.tenant];
+                // The worker holds the replay for the leader's cycles
+                // plus one marginal slice per follower lane; every lane
+                // of the batch completes together when the replay ends.
+                let finish = now
+                    .saturating_add(exec.cycles)
+                    .saturating_add(marginal.saturating_mul(followers.len() as u64));
                 worker_free[w] = finish;
                 end_cycles = end_cycles.max(finish);
                 let st = &mut stats[request.tenant];
@@ -474,6 +529,28 @@ impl InferenceService {
                     Outcome::DroppedBudget => st.dropped_deadline += 1,
                 }
                 gens[request.tenant].on_resolved(finish);
+                // Follower lanes only form for fault-free tenants, so
+                // they always complete cleanly; each pays marginal
+                // cycles and counts toward `batched`.
+                debug_assert!(followers.is_empty() || exec.outcome == Outcome::Ok);
+                for (follower, &hash) in followers.iter().zip(&exec.follower_hashes) {
+                    st.service_cycles += marginal;
+                    st.ok += 1;
+                    st.batched += 1;
+                    st.latency.record(finish - follower.arrival);
+                    if finish > follower.deadline {
+                        st.deadline_misses += 1;
+                    }
+                    st.output_hash ^= hash;
+                    if st.samples.len() < self.config.samples_per_tenant {
+                        st.samples.push(RequestSample {
+                            seq: follower.seq,
+                            attempt: 0,
+                            output_hash: hash,
+                        });
+                    }
+                    gens[request.tenant].on_resolved(finish);
+                }
             }
 
             // Phase 4 — terminate or advance the clock to the next event.
@@ -531,7 +608,11 @@ impl InferenceService {
 
 /// Executes one request to resolution: salted retries under the tenant's
 /// fault plan, bounded by the retry budget and the deadline slack.
+/// Batched jobs (non-empty `followers`) divert to [`execute_batch`].
 fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>, Session<'p>) {
+    if !job.followers.is_empty() {
+        return execute_batch(spec, job);
+    }
     let mut session = job.session;
     let input = match spec.build_input(job.seq) {
         Ok(input) => input,
@@ -566,6 +647,7 @@ fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>
                         retries: attempt,
                         output_hash: hash_output(inference.output()),
                         fault,
+                        follower_hashes: Vec::new(),
                     }),
                     session,
                 );
@@ -581,6 +663,7 @@ fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>
                             retries: attempt,
                             output_hash: 0,
                             fault,
+                            follower_hashes: Vec::new(),
                         }),
                         session,
                     );
@@ -604,9 +687,58 @@ fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>
             retries: spec.max_retries,
             output_hash: 0,
             fault,
+            follower_hashes: Vec::new(),
         }),
         session,
     )
+}
+
+/// Executes a batched job: the leader and its follower lanes run as one
+/// `Session::infer_batch` schedule replay. Followers only form for
+/// tenants with a zero fault plan, so the salted plan draws no faults and
+/// every lane is bit-identical to a direct clean `Session::infer` of its
+/// input — which is exactly what the retained samples certify.
+fn execute_batch<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>, Session<'p>) {
+    let mut session = job.session;
+    let mut inputs = Vec::with_capacity(1 + job.followers.len());
+    for &seq in std::iter::once(&job.seq).chain(&job.followers) {
+        match spec.build_input(seq) {
+            Ok(input) => inputs.push(input),
+            Err(error) => {
+                return (
+                    Err(ServeError::Input {
+                        tenant: spec.name.clone(),
+                        error,
+                    }),
+                    session,
+                )
+            }
+        }
+    }
+    let base = FaultPlan::new(spec.faults);
+    debug_assert!(base.is_zero(), "batched lanes require a zero fault plan");
+    session.set_fault_plan(base.with_salt(request_salt(job.tenant, job.seq, 0)));
+    match session.infer_batch(&inputs) {
+        Ok(lanes) => {
+            let leader = &lanes[0];
+            let exec = Exec {
+                outcome: Outcome::Ok,
+                cycles: leader.stats().cycles(),
+                retries: 0,
+                output_hash: hash_output(leader.output()),
+                fault: *leader.fault_stats(),
+                follower_hashes: lanes[1..].iter().map(|l| hash_output(l.output())).collect(),
+            };
+            (Ok(exec), session)
+        }
+        Err(error) => (
+            Err(ServeError::Execute {
+                tenant: spec.name.clone(),
+                error,
+            }),
+            session,
+        ),
+    }
 }
 
 /// Executes a dispatched batch on up to `threads` OS threads, returning
@@ -687,11 +819,23 @@ mod tests {
         assert!(report.end_cycles > 0);
     }
 
+    fn backlogged_tenant(count: u64) -> TenantSpec {
+        gabor_tenant(count)
+            .traffic(Traffic::Open {
+                period: 10,
+                jitter: 0,
+                count,
+            })
+            .queue_capacity(32)
+            .deadline_cycles(10_000_000)
+    }
+
     #[test]
     fn report_is_deterministic_across_physical_threads() {
         let mk = |threads| {
             let config = ServeConfig {
                 physical_threads: threads,
+                max_batch: 8,
                 ..ServeConfig::default()
             };
             let faulty = gabor_tenant(10)
@@ -794,6 +938,71 @@ mod tests {
             let input = spec.build_input(sample.seq).expect("input");
             let inference = session.infer(&input).expect("clean run");
             assert_eq!(hash_output(inference.output()), sample.output_hash);
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_unbatched_outputs_and_ledger() {
+        let mk = |max_batch, threads| {
+            let config = ServeConfig {
+                virtual_workers: 1,
+                physical_threads: threads,
+                max_batch,
+                ..ServeConfig::default()
+            };
+            InferenceService::new(config, vec![backlogged_tenant(12)])
+                .expect("valid")
+                .run()
+                .expect("run")
+        };
+        let unbatched = mk(1, 1);
+        let batched = mk(8, 1);
+        let u = &unbatched.tenants[0].stats;
+        let b = &batched.tenants[0].stats;
+        assert_eq!(u.ok, 12);
+        assert_eq!(b.ok, 12);
+        assert_eq!(u.batched, 0);
+        assert!(b.batched > 0, "batching never triggered: {b:?}");
+        // Same requests served, bit for bit: the XOR digest of per-request
+        // output hashes is order-independent, so it must match exactly.
+        assert_eq!(u.output_hash, b.output_hash);
+        assert!(unbatched.accounting_consistent());
+        assert!(batched.accounting_consistent());
+        // Follower lanes pay marginal (clean − Load) cycles, so the
+        // batched ledger is strictly cheaper for the same work.
+        assert!(b.service_cycles < u.service_cycles);
+        // And physical threads still never change a batched report.
+        assert_eq!(batched, mk(8, 4));
+    }
+
+    #[test]
+    fn batched_samples_replay_with_direct_inference() {
+        let config = ServeConfig {
+            virtual_workers: 1,
+            max_batch: 8,
+            samples_per_tenant: 12,
+            ..ServeConfig::default()
+        };
+        let service = InferenceService::new(config, vec![backlogged_tenant(12)]).expect("valid");
+        let report = service.run().expect("run");
+        let stats = &report.tenants[0].stats;
+        assert!(stats.batched > 0, "batching never triggered: {stats:?}");
+        assert_eq!(stats.samples.len(), 12);
+        let spec = &service.tenants()[0];
+        let accel = Accelerator::new(service.config().accel.clone());
+        let prep = accel.prepare(&spec.network).expect("prepare");
+        for sample in &stats.samples {
+            let plan =
+                FaultPlan::new(spec.faults).with_salt(request_salt(0, sample.seq, sample.attempt));
+            let mut session = prep.session_with_faults(plan);
+            let input = spec.build_input(sample.seq).expect("input");
+            let inference = session.infer(&input).expect("clean run");
+            assert_eq!(
+                hash_output(inference.output()),
+                sample.output_hash,
+                "lane for seq {} diverged from direct inference",
+                sample.seq
+            );
         }
     }
 

@@ -180,6 +180,10 @@ pub struct TenantStats {
     pub deadline_misses: u64,
     /// Total retry attempts across all requests.
     pub retries: u64,
+    /// Completed as a follower lane of a batched schedule replay (a
+    /// subset of `ok`): charged marginal cycles instead of the full
+    /// calibrated clean cost.
+    pub batched: u64,
     /// Worker cycles consumed, including wasted (aborted) attempts.
     pub service_cycles: u64,
     /// Latency (arrival → completion) of completed requests.

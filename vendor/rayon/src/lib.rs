@@ -3,16 +3,27 @@
 //! The workspace's containers have no network access, so the real `rayon`
 //! crate cannot be fetched. This shim covers the shape the benchmark
 //! harness uses — `collection.into_par_iter().map(f).collect::<Vec<_>>()`
-//! — with `std::thread::scope` workers pulling items off a shared atomic
-//! index. Results land in their input slot, so **output order always
-//! matches input order** regardless of which worker finishes first; a
-//! parallel map is observationally identical to the serial one.
+//! — with a real **work-stealing** pool: each `std::thread::scope` worker
+//! owns a contiguous range of item indices (an even split of the input),
+//! pops work off its own front, and when dry steals the upper half of the
+//! fullest victim's remaining range. Results land in their input slot, so
+//! **output order always matches input order** regardless of which worker
+//! computes what; a parallel map is observationally identical to the
+//! serial one (the bit-identity certificate the benchmark harness
+//! asserts).
 //!
 //! Thread count comes from `RAYON_NUM_THREADS` (like upstream), else the
-//! machine's available parallelism. `RAYON_NUM_THREADS=1` degenerates to
-//! a plain serial loop on the calling thread.
+//! machine's available parallelism. When the effective pool size is 1 —
+//! or the input has at most one item — the map short-circuits to a plain
+//! serial loop on the calling thread, byte-identical and with zero
+//! threading overhead.
+//!
+//! No `unsafe`: items and results live in per-index `Mutex` cells
+//! (uncontended by construction — exactly one worker ever touches index
+//! `i`), and the range queues are tiny mutexed `(start, end)` pairs. The
+//! stealing protocol never holds two queue locks at once, so it cannot
+//! deadlock.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads a parallel map will use.
@@ -34,28 +45,65 @@ where
     F: Fn(T) -> R + Sync,
 {
     let threads = current_num_threads().min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
+    par_map_vec_with(items, f, threads)
+}
+
+/// [`par_map_vec`] with an explicit worker count, so tests can exercise
+/// the stealing protocol even on single-core machines.
+fn par_map_vec_with<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        // Serial short-circuit: byte-identical results, no threads, no
+        // locks — an effective pool size of 1 must cost exactly a loop.
         return items.into_iter().map(f).collect();
     }
 
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    // Per-worker range queues, seeded with an even split of `0..n`.
+    let queues: Vec<Mutex<(usize, usize)>> = (0..threads)
+        .map(|w| Mutex::new((w * n / threads, (w + 1) * n / threads)))
+        .collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
+        for me in 0..threads {
+            let (queues, work, slots) = (&queues, &work, &slots);
+            scope.spawn(move || {
+                loop {
+                    // Pop the front of our own range.
+                    let popped = {
+                        let mut q = queues[me].lock().expect("rayon shim: poisoned queue");
+                        if q.0 < q.1 {
+                            let i = q.0;
+                            q.0 += 1;
+                            Some(i)
+                        } else {
+                            None
+                        }
+                    };
+                    match popped {
+                        Some(i) => {
+                            let item = work[i]
+                                .lock()
+                                .expect("rayon shim: poisoned work slot")
+                                .take()
+                                .expect("rayon shim: item taken twice");
+                            let result = f(item);
+                            *slots[i].lock().expect("rayon shim: poisoned result slot") =
+                                Some(result);
+                        }
+                        None => {
+                            if !steal(me, queues) {
+                                break;
+                            }
+                        }
+                    }
                 }
-                let item = work[i]
-                    .lock()
-                    .expect("rayon shim: poisoned work slot")
-                    .take()
-                    .expect("rayon shim: item taken twice");
-                let result = f(item);
-                *slots[i].lock().expect("rayon shim: poisoned result slot") = Some(result);
             });
         }
     });
@@ -68,6 +116,53 @@ where
                 .expect("rayon shim: worker panicked before filling its slot")
         })
         .collect()
+}
+
+/// Steals the upper half of the fullest victim's remaining range into
+/// worker `me`'s (empty) queue. Returns `false` when a full scan finds
+/// no work left anywhere — the worker's termination condition. A range
+/// a thief has carved off but not yet installed is invisible to the
+/// scan, but it is owned (and will be drained) by that thief, so no
+/// work is ever lost.
+fn steal(me: usize, queues: &[Mutex<(usize, usize)>]) -> bool {
+    loop {
+        // Snapshot scan for the victim with the most remaining work —
+        // one lock at a time, never two.
+        let mut best: Option<(usize, usize)> = None;
+        for (v, q) in queues.iter().enumerate() {
+            if v == me {
+                continue;
+            }
+            let (start, end) = *q.lock().expect("rayon shim: poisoned queue");
+            let len = end.saturating_sub(start);
+            if len > 0 && best.is_none_or(|(_, bl)| len > bl) {
+                best = Some((v, len));
+            }
+        }
+        let Some((victim, _)) = best else {
+            return false;
+        };
+        // Re-lock the victim and take the upper half of whatever is
+        // still there (it may have shrunk — or emptied — since the
+        // scan; on an empty re-read, rescan).
+        let stolen = {
+            let mut q = queues[victim].lock().expect("rayon shim: poisoned queue");
+            let len = q.1 - q.0;
+            if len == 0 {
+                continue;
+            }
+            let take = len.div_ceil(2);
+            let range = (q.1 - take, q.1);
+            q.1 -= take;
+            range
+        };
+        // The victim's guard is dropped before our own queue locks —
+        // the no-two-locks invariant that keeps stealing deadlock-free.
+        let mut mine = queues[me].lock().expect("rayon shim: poisoned queue");
+        debug_assert!(mine.0 >= mine.1, "stole while holding local work");
+        *mine = stolen;
+        return true;
+    }
 }
 
 /// Conversion into a parallel iterator.
@@ -176,7 +271,9 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
+    use super::par_map_vec_with;
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_input_order() {
@@ -199,5 +296,56 @@ mod tests {
         assert_eq!(v, vec![1, 2, 3, 4]);
         let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn stealing_pool_matches_serial_on_skewed_work() {
+        // Front-loaded work: worker 0's range is far slower than the
+        // rest, forcing the others to steal from it to finish. More
+        // workers than cores is fine — stealing is what's under test.
+        let items: Vec<usize> = (0..257).collect();
+        for &threads in &[2usize, 3, 8] {
+            let out = par_map_vec_with(
+                items.clone(),
+                &|i| {
+                    let spin = if i < 32 { 20_000 } else { 10 };
+                    let mut acc = i as u64;
+                    for k in 0..spin {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    (i, acc)
+                },
+                threads,
+            );
+            // Order preserved and every item computed exactly once.
+            for (slot, &(i, _)) in out.iter().enumerate() {
+                assert_eq!(slot, i, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once_under_stealing() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let out = par_map_vec_with(
+            (0..100).collect::<Vec<usize>>(),
+            &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                i * 3
+            },
+            7,
+        );
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_short_circuits_serially() {
+        // threads == 1 must produce byte-identical results through the
+        // plain serial loop (no pool, no locks).
+        let items: Vec<usize> = (0..50).collect();
+        let serial: Vec<usize> = items.iter().map(|&i| i + 7).collect();
+        let pooled = par_map_vec_with(items, &|i| i + 7, 1);
+        assert_eq!(pooled, serial);
     }
 }
