@@ -2,7 +2,7 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|all|bench]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|all|bench]
 //! ```
 //!
 //! `harness bench` times the harness itself — each experiment serially
@@ -33,11 +33,22 @@
 //! `Session::infer`, or (in smoke mode) if the frozen per-tenant SLO
 //! ledger drifted.
 //!
-//! The three gated subcommands share one exit-code policy: the summary
+//! `harness cluster [--smoke]` drives the same tenant mix through a
+//! heterogeneous fault-tolerant shard cluster twice — healthy, then
+//! under a seeded chaos plan of shard crashes, slow-shard episodes, and
+//! SRAM-fault bursts — writes `BENCH_cluster.json`, and fails if the
+//! report differs across physical thread counts or shard scan orders,
+//! if any tenant's six-class outcome ledger fails to balance (a request
+//! lost or double-counted), if any surviving sampled output diverges
+//! from a direct `Session::infer` on the serving shard's accelerator,
+//! if the chaos plan failed to exercise the crash, drain, slow-shard,
+//! or burst paths, or (in smoke mode) if the frozen ledgers drifted.
+//!
+//! The four gated subcommands share one exit-code policy: the summary
 //! goes to stdout, every gate violation goes to stderr, and the process
 //! exits nonzero iff at least one gate failed.
 
-use shidiannao_bench::{faults, perf, report, serve};
+use shidiannao_bench::{cluster, faults, perf, report, serve};
 use std::env;
 use std::process::ExitCode;
 
@@ -132,6 +143,23 @@ fn run_serve(smoke: bool) -> (String, Vec<String>) {
     (out, errors)
 }
 
+/// `harness cluster [--smoke]`: chaos scenario, artefact, gates.
+fn run_cluster(smoke: bool) -> (String, Vec<String>) {
+    let bench = match cluster::cluster_report(smoke) {
+        Ok(bench) => bench,
+        Err(e) => return (String::new(), vec![format!("scenario failed: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let path = "BENCH_cluster.json";
+    let mut out = bench.render();
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => out += &format!("\nwrote {path}\n"),
+        Err(e) => errors.push(format!("could not write {path}: {e}")),
+    }
+    errors.extend(bench.gate_errors());
+    (out, errors)
+}
+
 fn main() -> ExitCode {
     let arg = env::args().nth(1).unwrap_or_else(|| "all".to_string());
     // The gated subcommands share one exit-code policy (see module docs).
@@ -139,6 +167,7 @@ fn main() -> ExitCode {
         "faults" => Some(run_faults(smoke_flag())),
         "bench" => Some(run_bench(smoke_flag())),
         "serve" => Some(run_serve(smoke_flag())),
+        "cluster" => Some(run_cluster(smoke_flag())),
         _ => None,
     };
     if let Some((out, errors)) = gated {
@@ -199,7 +228,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve calib bench all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster calib bench all"
             );
             return ExitCode::FAILURE;
         }

@@ -389,6 +389,252 @@ impl FaultPlan {
     }
 }
 
+/// Hash-domain separator for shard-level episode decisions, keeping them
+/// independent of the word-level [`FaultSite`] domains.
+const SHARD_DOMAIN: u64 = 0x5348_5244; // "SHRD"
+
+/// What kind of whole-shard failure episode strikes an accelerator
+/// instance in a simulated cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ShardEpisodeKind {
+    /// The shard dies at onset: in-flight work is lost, queued work must
+    /// be failed over, and the shard stays dead until the cluster
+    /// respawns a warm replacement.
+    Crash,
+    /// The shard keeps working but every execution takes
+    /// `factor_x16 / 16` times its clean cycles (thermal throttling, a
+    /// degraded link, a noisy neighbour).
+    Slow {
+        /// Cycle-cost multiplier in sixteenths (`32` = 2x slower).
+        factor_x16: u32,
+    },
+    /// The shard's SRAMs suffer an elevated fault-rate episode: requests
+    /// dispatched during the episode run under `faults` instead of the
+    /// tenant's own (usually clean) fault environment.
+    SramBurst {
+        /// The fault environment in force for the episode.
+        faults: FaultConfig,
+    },
+}
+
+impl ShardEpisodeKind {
+    /// Stable lowercase label (used in reports and event logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardEpisodeKind::Crash => "crash",
+            ShardEpisodeKind::Slow { .. } => "slow",
+            ShardEpisodeKind::SramBurst { .. } => "sram-burst",
+        }
+    }
+}
+
+/// One deterministic shard failure episode on the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardEpisode {
+    /// Virtual cycle the episode begins.
+    pub onset: u64,
+    /// Episode length in cycles (crash outages instead end at the
+    /// cluster's warm respawn, which depends on detection latency).
+    pub duration: u64,
+    /// What happens to the shard.
+    pub kind: ShardEpisodeKind,
+}
+
+impl ShardEpisode {
+    /// Whether the episode covers virtual cycle `t`.
+    #[inline]
+    pub fn covers(&self, t: u64) -> bool {
+        t >= self.onset && t < self.onset.saturating_add(self.duration)
+    }
+}
+
+/// Rates and shapes for building a [`ShardFaultPlan`] — the cluster-level
+/// analogue of [`FaultConfig`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardFaultConfig {
+    /// Seed replaying the entire episode pattern.
+    pub seed: u64,
+    /// Epoch length in cycles; each `(shard, epoch)` slot draws at most
+    /// one episode, so expected episodes per shard per cycle is
+    /// `(crash + slow + sram_burst rates) / epoch_cycles`.
+    pub epoch_cycles: u64,
+    /// Per-slot probability that a crash episode begins.
+    pub crash_rate: f64,
+    /// Per-slot probability that a slow episode begins.
+    pub slow_rate: f64,
+    /// Per-slot probability that an elevated-SRAM-fault episode begins.
+    pub sram_burst_rate: f64,
+    /// Minimum episode duration in cycles.
+    pub min_duration: u64,
+    /// Maximum episode duration in cycles.
+    pub max_duration: u64,
+    /// Word flip rate in force during an SRAM-burst episode.
+    pub burst_flip_rate: f64,
+    /// SRAM protection assumed during burst episodes (detected flips
+    /// abort and retry; only protection-defeating flips corrupt).
+    pub burst_protection: SramProtection,
+}
+
+impl ShardFaultConfig {
+    /// No shard-level failures ever.
+    pub fn zero() -> ShardFaultConfig {
+        ShardFaultConfig {
+            seed: 0,
+            epoch_cycles: 1,
+            crash_rate: 0.0,
+            slow_rate: 0.0,
+            sram_burst_rate: 0.0,
+            min_duration: 0,
+            max_duration: 0,
+            burst_flip_rate: 0.0,
+            burst_protection: SramProtection::None,
+        }
+    }
+}
+
+impl Default for ShardFaultConfig {
+    fn default() -> ShardFaultConfig {
+        ShardFaultConfig::zero()
+    }
+}
+
+/// A compiled shard-level fault plan: every episode is a pure function of
+/// `(seed, shard, epoch)`, so a chaos scenario replays bit-identically
+/// from one `u64` seed regardless of shard count, iteration order, or
+/// physical thread count — exactly like [`FaultPlan`] at word level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardFaultPlan {
+    seed: u64,
+    epoch_cycles: u64,
+    crash_threshold: u64,
+    slow_threshold: u64,
+    sram_threshold: u64,
+    min_duration: u64,
+    max_duration: u64,
+    burst_flip_rate: f64,
+    burst_protection: SramProtection,
+}
+
+impl ShardFaultPlan {
+    /// Compiles a configuration into a plan.
+    pub fn new(cfg: ShardFaultConfig) -> ShardFaultPlan {
+        ShardFaultPlan {
+            seed: cfg.seed,
+            epoch_cycles: cfg.epoch_cycles.max(1),
+            crash_threshold: rate_to_threshold(cfg.crash_rate),
+            slow_threshold: rate_to_threshold(cfg.slow_rate),
+            sram_threshold: rate_to_threshold(cfg.sram_burst_rate),
+            min_duration: cfg.min_duration,
+            max_duration: cfg.max_duration.max(cfg.min_duration),
+            burst_flip_rate: cfg.burst_flip_rate,
+            burst_protection: cfg.burst_protection,
+        }
+    }
+
+    /// The episode-free plan.
+    pub fn none() -> ShardFaultPlan {
+        ShardFaultPlan::new(ShardFaultConfig::zero())
+    }
+
+    /// `true` when no episode of any kind can ever fire.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.crash_threshold == 0 && self.slow_threshold == 0 && self.sram_threshold == 0
+    }
+
+    /// The epoch containing virtual cycle `t`.
+    #[inline]
+    pub fn epoch_of(&self, t: u64) -> u64 {
+        t / self.epoch_cycles
+    }
+
+    fn draw(&self, shard: u64, epoch: u64, lane: u64) -> u64 {
+        let mut h = splitmix64(self.seed ^ SHARD_DOMAIN.rotate_left(17));
+        for w in [SHARD_DOMAIN, shard, epoch, lane] {
+            h = splitmix64(h ^ w.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        }
+        h
+    }
+
+    /// The episode (if any) that `shard` draws in `epoch`. At most one
+    /// per slot; crash takes priority over slow over SRAM burst. Onset is
+    /// jittered within the epoch, and the duration draw is uniform in
+    /// `[min_duration, max_duration]`.
+    pub fn episode(&self, shard: u64, epoch: u64) -> Option<ShardEpisode> {
+        if self.is_zero() {
+            return None;
+        }
+        let kind = if self.draw(shard, epoch, 0) < self.crash_threshold {
+            ShardEpisodeKind::Crash
+        } else if self.draw(shard, epoch, 1) < self.slow_threshold {
+            let factor_x16 = 32 << (self.draw(shard, epoch, 4) % 2); // 2x or 4x
+            ShardEpisodeKind::Slow { factor_x16 }
+        } else if self.draw(shard, epoch, 2) < self.sram_threshold {
+            ShardEpisodeKind::SramBurst {
+                faults: FaultConfig::uniform(
+                    self.draw(shard, epoch, 5),
+                    self.burst_flip_rate,
+                    self.burst_protection,
+                ),
+            }
+        } else {
+            return None;
+        };
+        let onset = epoch
+            .saturating_mul(self.epoch_cycles)
+            .saturating_add(self.draw(shard, epoch, 3) % self.epoch_cycles);
+        let span = self.max_duration - self.min_duration;
+        let duration = self
+            .min_duration
+            .saturating_add(if span == 0 {
+                0
+            } else {
+                self.draw(shard, epoch, 6) % (span + 1)
+            })
+            .max(1);
+        Some(ShardEpisode {
+            onset,
+            duration,
+            kind,
+        })
+    }
+
+    /// How many past epochs an episode can reach into the present from.
+    fn lookback_epochs(&self) -> u64 {
+        self.max_duration / self.epoch_cycles + 1
+    }
+
+    /// The non-crash episode covering cycle `t` on `shard`, preferring
+    /// the most recent onset when several overlap. Crash episodes are
+    /// excluded because a crash outage ends at the cluster's respawn, not
+    /// at the episode's nominal duration.
+    pub fn degradation_at(&self, shard: u64, t: u64) -> Option<ShardEpisode> {
+        if self.is_zero() {
+            return None;
+        }
+        let epoch = self.epoch_of(t);
+        let first = epoch.saturating_sub(self.lookback_epochs());
+        (first..=epoch)
+            .rev()
+            .filter_map(|e| self.episode(shard, e))
+            .find(|ep| ep.covers(t) && !matches!(ep.kind, ShardEpisodeKind::Crash))
+    }
+
+    /// The earliest crash onset at or after cycle `from` on `shard`,
+    /// scanning at most `max_epochs` epochs ahead (`None` when no crash
+    /// occurs within the scan horizon).
+    pub fn next_crash_onset(&self, shard: u64, from: u64, max_epochs: u64) -> Option<u64> {
+        if self.crash_threshold == 0 {
+            return None;
+        }
+        let first = self.epoch_of(from);
+        (first..first.saturating_add(max_epochs))
+            .filter_map(|e| self.episode(shard, e))
+            .find(|ep| matches!(ep.kind, ShardEpisodeKind::Crash) && ep.onset >= from)
+            .map(|ep| ep.onset)
+    }
+}
+
 /// How an executor responds to detected faults and deadline pressure:
 /// bounded retries under salted replans, then skip, all under an optional
 /// cycle budget.
@@ -916,6 +1162,112 @@ mod tests {
         assert_eq!(a.total_faults(), 12);
         assert_eq!(a.silent, 8);
         assert!(a.to_string().contains("12 faults"));
+    }
+
+    fn chaos_plan(seed: u64) -> ShardFaultPlan {
+        ShardFaultPlan::new(ShardFaultConfig {
+            seed,
+            epoch_cycles: 10_000,
+            crash_rate: 0.1,
+            slow_rate: 0.2,
+            sram_burst_rate: 0.2,
+            min_duration: 5_000,
+            max_duration: 20_000,
+            burst_flip_rate: 1e-4,
+            burst_protection: SramProtection::Parity,
+        })
+    }
+
+    #[test]
+    fn zero_shard_plan_never_draws_episodes() {
+        let p = ShardFaultPlan::none();
+        assert!(p.is_zero());
+        for (s, e) in (0..4u64).flat_map(|s| (0..100u64).map(move |e| (s, e))) {
+            assert_eq!(p.episode(s, e), None);
+        }
+        assert_eq!(p.degradation_at(0, 12_345), None);
+        assert_eq!(p.next_crash_onset(0, 0, 1_000), None);
+    }
+
+    #[test]
+    fn shard_episodes_are_pure_seeded_and_shard_separated() {
+        let a = chaos_plan(7);
+        let b = chaos_plan(7);
+        let c = chaos_plan(8);
+        let mut seed_diverged = false;
+        let mut shard_diverged = false;
+        for e in 0..200u64 {
+            assert_eq!(a.episode(0, e), b.episode(0, e));
+            if a.episode(0, e) != c.episode(0, e) {
+                seed_diverged = true;
+            }
+            if a.episode(0, e) != a.episode(1, e) {
+                shard_diverged = true;
+            }
+        }
+        assert!(seed_diverged, "different seeds must differ");
+        assert!(shard_diverged, "different shards must differ");
+    }
+
+    #[test]
+    fn shard_episodes_cover_all_three_kinds() {
+        let p = chaos_plan(3);
+        let (mut crash, mut slow, mut burst) = (0u32, 0u32, 0u32);
+        for s in 0..4u64 {
+            for e in 0..100u64 {
+                match p.episode(s, e).map(|ep| ep.kind) {
+                    Some(ShardEpisodeKind::Crash) => crash += 1,
+                    Some(ShardEpisodeKind::Slow { factor_x16 }) => {
+                        assert!(factor_x16 == 32 || factor_x16 == 64);
+                        slow += 1;
+                    }
+                    Some(ShardEpisodeKind::SramBurst { faults }) => {
+                        assert_eq!(faults.protection, SramProtection::Parity);
+                        assert!(faults.nb_flip_rate > 0.0);
+                        burst += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+        assert!(crash > 0 && slow > 0 && burst > 0, "{crash}/{slow}/{burst}");
+    }
+
+    #[test]
+    fn shard_episode_windows_and_queries_agree() {
+        let p = chaos_plan(11);
+        for s in 0..3u64 {
+            for e in 0..100u64 {
+                let Some(ep) = p.episode(s, e) else { continue };
+                assert!(ep.onset >= e * 10_000 && ep.onset < (e + 1) * 10_000);
+                assert!((5_000..=20_000).contains(&ep.duration));
+                assert!(ep.covers(ep.onset));
+                assert!(!ep.covers(ep.onset + ep.duration));
+                if !matches!(ep.kind, ShardEpisodeKind::Crash) {
+                    // The mid-episode degradation query finds a covering
+                    // episode (possibly a more recent overlapping one).
+                    let mid = ep.onset + ep.duration / 2;
+                    let found = p.degradation_at(s, mid).expect("episode covers mid");
+                    assert!(found.covers(mid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_crash_onset_is_monotone_and_consistent() {
+        let p = chaos_plan(5);
+        let first = p.next_crash_onset(0, 0, 500).expect("crashes exist");
+        let ep = p.episode(0, p.epoch_of(first)).expect("episode at onset");
+        assert_eq!(ep.kind, ShardEpisodeKind::Crash);
+        assert_eq!(ep.onset, first);
+        let after = p
+            .next_crash_onset(0, first + 1, 500)
+            .expect("more crashes in horizon");
+        assert!(after > first);
+        // Beyond the horizon: bounded scan returns None rather than
+        // spinning forever.
+        assert_eq!(p.next_crash_onset(0, u64::MAX - 1, 4), None);
     }
 
     #[test]

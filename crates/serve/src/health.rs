@@ -1,0 +1,173 @@
+//! Shard health machinery: heartbeat-driven failure detection, the
+//! drain/respawn state machine, and failover retry budgets.
+//!
+//! A shard in a [`Cluster`](crate::Cluster) is always in exactly one
+//! [`ShardState`]:
+//!
+//! ```text
+//!             slow / sram-burst episode seen at heartbeat
+//!   Healthy ─────────────────────────────────────────────▶ Draining
+//!      ▲  ◀──────────────────────────────────────────────────┘
+//!      │        episode over and queues drained (heartbeat)
+//!      │
+//!      │  crash onset + miss_threshold missed heartbeats
+//!      └──────────────────────────────────────────────────▶ Down
+//!         ◀───────────────────────────────────────────────────┘
+//!                  warm respawn at `detection + respawn_cycles`
+//! ```
+//!
+//! All transitions happen at deterministic virtual-clock instants
+//! (heartbeat ticks, respawn deadlines, drain deadlines), so the whole
+//! health history of a chaos scenario is a pure function of the scenario
+//! seed — the same property the word-level fault plans have.
+
+/// Tunables for shard failure detection and recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Virtual cycles between cluster heartbeat sweeps. Detection,
+    /// drain transitions, and healing all happen on these ticks.
+    pub heartbeat_cycles: u64,
+    /// Consecutive missed heartbeats before a crashed shard is declared
+    /// down (a real monitor cannot distinguish "slow to answer" from
+    /// "dead" on a single miss).
+    pub miss_threshold: u32,
+    /// How long a draining shard gets to empty its queues before the
+    /// remainder is forcibly migrated (a `DrainTimeout` event).
+    pub drain_timeout: u64,
+    /// Cycles between declaring a shard down and its warm replacement
+    /// accepting work again.
+    pub respawn_cycles: u64,
+    /// Grace period after a crash onset before lost in-flight work is
+    /// eligible for failover — models the client-side timeout that has
+    /// to expire before anyone knows the response is never coming.
+    pub crash_timeout: u64,
+    /// Base of the exponential failover backoff: a request on failover
+    /// round `r` waits `backoff_base << r` cycles before re-routing.
+    pub backoff_base: u64,
+    /// Maximum failover rounds per request. Every migration, in-flight
+    /// loss, and failed re-route consumes one round; exceeding the
+    /// budget is a terminal `RetryBudgetExhausted` outcome.
+    pub retry_budget: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            heartbeat_cycles: 5_000,
+            miss_threshold: 2,
+            drain_timeout: 30_000,
+            respawn_cycles: 20_000,
+            crash_timeout: 8_000,
+            backoff_base: 1_000,
+            retry_budget: 3,
+        }
+    }
+}
+
+/// Where a shard is in the detection/drain/respawn lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Accepting and executing work. An undetected crash still reports
+    /// `Healthy` — the router keeps sending work to it until the
+    /// heartbeat monitor notices, exactly like a real cluster.
+    Healthy,
+    /// A degradation episode was detected: the router stops admitting
+    /// new work, queued work keeps executing (at the degraded rate).
+    Draining {
+        /// Virtual cycle by which the queues must be empty; whatever
+        /// remains is forcibly migrated.
+        deadline: u64,
+    },
+    /// Crash detected; queues were migrated and the shard is dead until
+    /// its warm replacement comes up.
+    Down {
+        /// Virtual cycle the replacement starts accepting work.
+        respawn_at: u64,
+    },
+}
+
+impl ShardState {
+    /// Stable lowercase label for reports and event logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardState::Healthy => "healthy",
+            ShardState::Draining { .. } => "draining",
+            ShardState::Down { .. } => "down",
+        }
+    }
+
+    /// Whether the router may place new work on the shard.
+    pub fn is_accepting(&self) -> bool {
+        matches!(self, ShardState::Healthy)
+    }
+}
+
+/// Per-shard health bookkeeping inside the cluster event loop.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ShardHealth {
+    pub(crate) state: ShardState,
+    /// Consecutive heartbeat misses since the last healthy response.
+    pub(crate) misses: u32,
+    /// The next crash onset on this shard's timeline, if the fault plan
+    /// schedules one within the scan horizon. `onset <= now` means the
+    /// shard is dead (possibly not yet detected).
+    pub(crate) crash_onset: Option<u64>,
+}
+
+impl ShardHealth {
+    pub(crate) fn new(crash_onset: Option<u64>) -> ShardHealth {
+        ShardHealth {
+            state: ShardState::Healthy,
+            misses: 0,
+            crash_onset,
+        }
+    }
+
+    /// Whether the shard's executor is dead at cycle `now` (crash onset
+    /// reached or crash already detected) — dispatch must skip it even
+    /// while the router, not yet knowing, still queues work on it.
+    pub(crate) fn is_dead(&self, now: u64) -> bool {
+        matches!(self.state, ShardState::Down { .. })
+            || self.crash_onset.is_some_and(|onset| onset <= now)
+    }
+}
+
+/// Exponential failover backoff: `base << round`, shift-capped so large
+/// rounds saturate instead of overflowing, and never zero so a failed
+/// re-route always moves the clock forward.
+pub(crate) fn backoff(base: u64, round: u32) -> u64 {
+    base.saturating_mul(1u64 << round.min(16)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_labels_and_acceptance() {
+        assert_eq!(ShardState::Healthy.label(), "healthy");
+        assert_eq!(ShardState::Draining { deadline: 5 }.label(), "draining");
+        assert_eq!(ShardState::Down { respawn_at: 9 }.label(), "down");
+        assert!(ShardState::Healthy.is_accepting());
+        assert!(!ShardState::Draining { deadline: 5 }.is_accepting());
+        assert!(!ShardState::Down { respawn_at: 9 }.is_accepting());
+    }
+
+    #[test]
+    fn dead_tracks_onset_and_detection() {
+        let mut h = ShardHealth::new(Some(100));
+        assert!(!h.is_dead(99));
+        assert!(h.is_dead(100));
+        h.state = ShardState::Down { respawn_at: 500 };
+        h.crash_onset = None;
+        assert!(h.is_dead(0));
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        assert_eq!(backoff(1_000, 0), 1_000);
+        assert_eq!(backoff(1_000, 3), 8_000);
+        assert_eq!(backoff(0, 5), 1); // never stalls the clock
+        assert_eq!(backoff(u64::MAX, 40), u64::MAX); // saturates
+    }
+}

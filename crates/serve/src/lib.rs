@@ -54,12 +54,19 @@
 // these lints deliberately do not cover.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+mod cluster;
+mod health;
 mod loadgen;
 mod queue;
 mod scheduler;
 mod service;
 mod stats;
 
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterReport, ClusterSample, ClusterTenantReport, ShardReport,
+    ShardSpec,
+};
+pub use health::{HealthConfig, ShardState};
 pub use loadgen::{InputSource, TenantSpec, Traffic};
 pub use queue::{BoundedQueue, QueueFull, Request};
 pub use scheduler::FairScheduler;
@@ -70,7 +77,10 @@ pub use stats::{hash_output, FixedHistogram, HistogramSummary, RequestSample, Te
 
 // Re-export the pieces of the fault vocabulary the service surfaces.
 pub use shidiannao_core::Session;
-pub use shidiannao_faults::{DegradePolicy, FaultConfig, FaultStats, SramProtection};
+pub use shidiannao_faults::{
+    DegradePolicy, FaultConfig, FaultStats, ShardEpisode, ShardEpisodeKind, ShardFaultConfig,
+    ShardFaultPlan, SramProtection,
+};
 
 /// One step of the splitmix64 sequence — the same generator the fault
 /// plan and synthetic sensor use, kept local so the crate has no

@@ -112,6 +112,30 @@ pub enum ServeError {
         /// Underlying sensor error.
         error: StreamError,
     },
+    /// No healthy shard in the cluster could accept a request (all
+    /// shards down, draining, or full).
+    ShardUnavailable {
+        /// Tenant whose request could not be placed.
+        tenant: String,
+    },
+    /// A request exhausted its failover retry budget before any shard
+    /// served it.
+    RetryBudgetExhausted {
+        /// Owning tenant.
+        tenant: String,
+        /// Per-tenant request sequence number.
+        seq: u64,
+        /// The budget that was exhausted (failover rounds).
+        budget: u32,
+    },
+    /// A draining shard failed to empty its queues before the drain
+    /// deadline; the remaining requests were forcibly migrated.
+    DrainTimeout {
+        /// The shard that timed out.
+        shard: String,
+        /// Requests still queued at the deadline (all migrated).
+        pending: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -130,6 +154,25 @@ impl fmt::Display for ServeError {
             }
             ServeError::Input { tenant, error } => {
                 write!(f, "tenant {tenant}: input failed: {error}")
+            }
+            ServeError::ShardUnavailable { tenant } => {
+                write!(f, "tenant {tenant}: no healthy shard available")
+            }
+            ServeError::RetryBudgetExhausted {
+                tenant,
+                seq,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant}: request {seq} exhausted its retry budget of {budget} failovers"
+                )
+            }
+            ServeError::DrainTimeout { shard, pending } => {
+                write!(
+                    f,
+                    "shard {shard}: drain deadline expired with {pending} requests queued"
+                )
             }
         }
     }
@@ -211,17 +254,28 @@ pub struct InferenceService {
 /// `followers` is non-empty the job is a batched replay: the leader
 /// (`seq`) plus follower sequence numbers execute as the lanes of one
 /// `Session::infer_batch` call.
-struct Job<'p> {
-    tenant: usize,
-    seq: u64,
-    slack: u64,
-    followers: Vec<u64>,
-    session: Session<'p>,
+///
+/// Shared with the cluster layer, which dispatches the same job shape
+/// per shard — under the shard's *effective* fault plan (a burst episode
+/// overrides the tenant's environment) and with a failover-round salt
+/// base so re-executions draw fresh fault patterns.
+pub(crate) struct Job<'p> {
+    pub(crate) tenant: usize,
+    pub(crate) seq: u64,
+    pub(crate) slack: u64,
+    pub(crate) followers: Vec<u64>,
+    /// Base fault plan for this execution (before per-attempt salting).
+    pub(crate) plan: FaultPlan,
+    /// First salted-attempt index: `round × (max_retries + 1)` for a
+    /// request on its `round`-th failover, so a re-executed request never
+    /// replays the fault pattern that already failed it.
+    pub(crate) attempt_base: u32,
+    pub(crate) session: Session<'p>,
 }
 
 /// How a single execution resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Outcome {
+pub(crate) enum Outcome {
     /// Clean on the first attempt.
     Ok,
     /// Completed after ≥ 1 salted retry.
@@ -233,18 +287,18 @@ enum Outcome {
 }
 
 /// The execution result folded back into the event loop.
-struct Exec {
-    outcome: Outcome,
+pub(crate) struct Exec {
+    pub(crate) outcome: Outcome,
     /// Worker cycles consumed by the leader, including aborted attempts.
     /// Follower lanes are charged separately at their marginal cost.
-    cycles: u64,
-    /// Index of the final attempt (0 = no retries).
-    retries: u32,
-    output_hash: u64,
-    fault: FaultStats,
+    pub(crate) cycles: u64,
+    /// Absolute index of the final attempt (`attempt_base` = no retries).
+    pub(crate) retries: u32,
+    pub(crate) output_hash: u64,
+    pub(crate) fault: FaultStats,
     /// Output hashes of batched follower lanes, in lane order (empty for
     /// unbatched jobs).
-    follower_hashes: Vec<u64>,
+    pub(crate) follower_hashes: Vec<u64>,
 }
 
 impl InferenceService {
@@ -481,6 +535,8 @@ impl InferenceService {
                     seq: request.seq,
                     slack: request.deadline.saturating_sub(now),
                     followers: followers.iter().map(|r| r.seq).collect(),
+                    plan: FaultPlan::new(self.tenants[t].faults),
+                    attempt_base: 0,
                     session,
                 });
                 meta.push((w, request, followers));
@@ -606,10 +662,13 @@ impl InferenceService {
     }
 }
 
-/// Executes one request to resolution: salted retries under the tenant's
-/// fault plan, bounded by the retry budget and the deadline slack.
+/// Executes one request to resolution: salted retries under the job's
+/// base fault plan, bounded by the retry budget and the deadline slack.
 /// Batched jobs (non-empty `followers`) divert to [`execute_batch`].
-fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>, Session<'p>) {
+pub(crate) fn execute_one<'p>(
+    spec: &TenantSpec,
+    job: Job<'p>,
+) -> (Result<Exec, ServeError>, Session<'p>) {
     if !job.followers.is_empty() {
         return execute_batch(spec, job);
     }
@@ -626,16 +685,16 @@ fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>
             )
         }
     };
-    let base = FaultPlan::new(spec.faults);
+    let base = job.plan;
     let mut cycles: u64 = 0;
     let mut fault = FaultStats::default();
-    for attempt in 0..=spec.max_retries {
+    for attempt in job.attempt_base..=job.attempt_base.saturating_add(spec.max_retries) {
         session.set_fault_plan(base.with_salt(request_salt(job.tenant, job.seq, attempt)));
         match session.infer(&input) {
             Ok(inference) => {
                 cycles += inference.stats().cycles();
                 fault.absorb(inference.fault_stats());
-                let outcome = if attempt == 0 {
+                let outcome = if attempt == job.attempt_base {
                     Outcome::Ok
                 } else {
                     Outcome::Degraded
@@ -684,7 +743,7 @@ fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>
         Ok(Exec {
             outcome: Outcome::DroppedFaulty,
             cycles,
-            retries: spec.max_retries,
+            retries: job.attempt_base.saturating_add(spec.max_retries),
             output_hash: 0,
             fault,
             follower_hashes: Vec::new(),
@@ -700,6 +759,7 @@ fn execute_one<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>
 /// input — which is exactly what the retained samples certify.
 fn execute_batch<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeError>, Session<'p>) {
     let mut session = job.session;
+    let attempt_base = job.attempt_base;
     let mut inputs = Vec::with_capacity(1 + job.followers.len());
     for &seq in std::iter::once(&job.seq).chain(&job.followers) {
         match spec.build_input(seq) {
@@ -715,16 +775,16 @@ fn execute_batch<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeErro
             }
         }
     }
-    let base = FaultPlan::new(spec.faults);
+    let base = job.plan;
     debug_assert!(base.is_zero(), "batched lanes require a zero fault plan");
-    session.set_fault_plan(base.with_salt(request_salt(job.tenant, job.seq, 0)));
+    session.set_fault_plan(base.with_salt(request_salt(job.tenant, job.seq, attempt_base)));
     match session.infer_batch(&inputs) {
         Ok(lanes) => {
             let leader = &lanes[0];
             let exec = Exec {
                 outcome: Outcome::Ok,
                 cycles: leader.stats().cycles(),
-                retries: 0,
+                retries: attempt_base,
                 output_hash: hash_output(leader.output()),
                 fault: *leader.fault_stats(),
                 follower_hashes: lanes[1..].iter().map(|l| hash_output(l.output())).collect(),
@@ -746,9 +806,13 @@ fn execute_batch<'p>(spec: &TenantSpec, job: Job<'p>) -> (Result<Exec, ServeErro
 /// same shape as the vendored rayon shim), and because each execution is
 /// a pure function of `(spec, seq, salt)`, assignment of jobs to threads
 /// cannot affect any result.
-type JobResult<'p> = (Result<Exec, ServeError>, Session<'p>);
+pub(crate) type JobResult<'p> = (Result<Exec, ServeError>, Session<'p>);
 
-fn run_batch<'p>(specs: &[TenantSpec], batch: Vec<Job<'p>>, threads: usize) -> Vec<JobResult<'p>> {
+pub(crate) fn run_batch<'p>(
+    specs: &[TenantSpec],
+    batch: Vec<Job<'p>>,
+    threads: usize,
+) -> Vec<JobResult<'p>> {
     let n = batch.len();
     if threads <= 1 || n <= 1 {
         return batch

@@ -118,6 +118,22 @@ impl FixedHistogram {
         self.max
     }
 
+    /// Folds another histogram into this one: buckets add element-wise,
+    /// counts and sums add, and the exact maximum is preserved. Because
+    /// recording is a pure per-sample bucket increment, merging the
+    /// histograms of any partition of a sample set equals recording the
+    /// union directly — the property the cluster layer relies on to merge
+    /// per-shard SLO stats into one deterministic cluster view (proved by
+    /// the `merge_equals_record_of_union` property test).
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
     /// The standard summary tuple for reports.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {

@@ -18,7 +18,9 @@
 //! * [`sensor`] — the CMOS-sensor streaming front-end (§2, §10.2),
 //! * [`serve`] — the multi-tenant inference service: session pooling,
 //!   deadline- and fairness-aware scheduling, bounded admission queues,
-//!   and a deterministic load generator.
+//!   a deterministic load generator, and the fault-tolerant sharded
+//!   cluster (rendezvous routing, heartbeat health checks,
+//!   drain/failover with retry budgets, seeded chaos episodes).
 //!
 //! # Quickstart
 //!
@@ -57,7 +59,10 @@ pub mod prelude {
     pub use crate::fixed::{Accum, Fx, Pla};
     pub use crate::pipeline::{DegradePolicy, StreamingPipeline};
     pub use crate::sensor::{FrameSource, RegionStream};
-    pub use crate::serve::{InferenceService, ServeConfig, TenantSpec, Traffic};
+    pub use crate::serve::{
+        Cluster, ClusterConfig, InferenceService, ServeConfig, ShardFaultConfig, ShardSpec,
+        TenantSpec, Traffic,
+    };
     pub use crate::sim::{
         Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, PreparedNetwork, Session,
         SramProtection,
