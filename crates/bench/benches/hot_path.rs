@@ -200,6 +200,96 @@ fn bench_schedule_replay(c: &mut Criterion) {
     }
 }
 
+/// Optimized-schedule replay vs the recorded stream, one layer kind at
+/// a time on the clean instrumented path: the same inference through
+/// the optimizer's coalesced row-lane micro-ops and through the raw
+/// recording. The ratio is the per-layer version of the harness's
+/// `opt_replay_speedup` column — where the dedup, mode-reselect, and
+/// row-lane folding actually pay.
+fn bench_optimized_replay(c: &mut Criterion) {
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    for (kind, net) in single_layer_nets() {
+        let input = net.random_input(9);
+        let prepared = accel.prepare(&net).expect("prepare");
+        let mut optimized = prepared.session();
+        optimized.set_optimized_replay(true);
+        let mut recorded = prepared.session();
+        for _ in 0..16 {
+            let _ = optimized.infer_ref(&input).expect("warm-up");
+            let _ = recorded.infer_ref(&input).expect("warm-up");
+        }
+        let mut g = c.benchmark_group(format!("optimized_{kind}"));
+        g.sample_size(500);
+        g.bench_function("optimized", |b| {
+            b.iter(|| {
+                black_box(
+                    optimized
+                        .infer_ref(&input)
+                        .expect("optimized")
+                        .stats()
+                        .cycles(),
+                )
+            })
+        });
+        g.bench_function("recorded", |b| {
+            b.iter(|| {
+                black_box(
+                    recorded
+                        .infer_ref(&input)
+                        .expect("recorded")
+                        .stats()
+                        .cycles(),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+/// The marginal cost of one autotuner grid-point evaluation with the
+/// network already prepared: a full simulator run plus the three
+/// protection-level energy re-costings and the area model. This is what
+/// each of the tuner's hundreds of points pays after the prepared-
+/// network cache absorbs `prepare`, and it must stay well under a
+/// millisecond for the design-space sweep to be interactive.
+fn bench_tuner_point(c: &mut Criterion) {
+    use shidiannao_core::area::area_with_protection;
+    use shidiannao_core::energy::EnergyModel;
+
+    let net = shidiannao_cnn::zoo::lenet5().build(2015).expect("builds");
+    let cfg = AcceleratorConfig {
+        nbin_bytes: 64 * 1024,
+        nbout_bytes: 64 * 1024,
+        sb_bytes: 128 * 1024,
+        ..AcceleratorConfig::with_pe_grid(12, 12)
+    };
+    let prepared = Accelerator::new(cfg.clone()).prepare(&net).expect("fits");
+    let input = net.random_input(9);
+    let protections = [
+        SramProtection::None,
+        SramProtection::Parity,
+        SramProtection::Secded,
+    ];
+    let mut g = c.benchmark_group("tuner");
+    g.sample_size(200);
+    g.bench_function("point_eval", |b| {
+        b.iter(|| {
+            let run = prepared.run(&input).expect("runs");
+            let total = run.stats().total();
+            let mut cost = 0.0f64;
+            for p in protections {
+                cost += EnergyModel::paper_65nm()
+                    .with_sram_protection(p)
+                    .charge(&total)
+                    .total_nj();
+                cost += area_with_protection(&cfg, p).total_mm2();
+            }
+            black_box((run.stats().cycles(), cost))
+        })
+    });
+    g.finish();
+}
+
 /// Batch-1 vs batch-8 through `Session::infer_batch_into`, one layer
 /// kind at a time. The batch-8 call runs eight inferences through one
 /// schedule replay (lane 0 instrumented, lanes 1–7 value-only), so the
@@ -294,6 +384,8 @@ criterion_group!(
     bench_sb_broadcast,
     bench_small_inference,
     bench_schedule_replay,
+    bench_optimized_replay,
+    bench_tuner_point,
     bench_batch_lanes,
     bench_reduction_kernels
 );

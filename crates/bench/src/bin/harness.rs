@@ -2,7 +2,7 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|all|bench]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|tune|all|bench]
 //! ```
 //!
 //! `harness bench` times the harness itself — each experiment serially
@@ -44,11 +44,21 @@
 //! if the chaos plan failed to exercise the crash, drain, slow-shard,
 //! or burst paths, or (in smoke mode) if the frozen ledgers drifted.
 //!
-//! The four gated subcommands share one exit-code policy: the summary
+//! `harness tune [--smoke]` runs the design-space autotuner: a sweep of
+//! PE mesh sides, NB/SB capacities (the NB bank width follows the mesh),
+//! and SRAM protection levels over the zoo, costed as (area, geomean
+//! energy, geomean cycles) and reduced to a Pareto frontier plus a
+//! per-tenant minimum-EDAP pick. It writes `BENCH_tuner.json` and fails
+//! if the document is not byte-identical across three evaluations (one
+//! pinned to a single rayon worker), if a picked configuration fails the
+//! optimized-schedule bit-identity certificate, or (in smoke mode) if
+//! the frozen frontier labels or tenant picks drifted.
+//!
+//! The five gated subcommands share one exit-code policy: the summary
 //! goes to stdout, every gate violation goes to stderr, and the process
 //! exits nonzero iff at least one gate failed.
 
-use shidiannao_bench::{cluster, faults, perf, report, serve};
+use shidiannao_bench::{cluster, faults, perf, report, serve, tune};
 use std::env;
 use std::process::ExitCode;
 
@@ -168,6 +178,7 @@ fn main() -> ExitCode {
         "bench" => Some(run_bench(smoke_flag())),
         "serve" => Some(run_serve(smoke_flag())),
         "cluster" => Some(run_cluster(smoke_flag())),
+        "tune" => Some(tune::run_tune(smoke_flag())),
         _ => None,
     };
     if let Some((out, errors)) = gated {
@@ -228,7 +239,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster calib bench all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster tune calib bench all"
             );
             return ExitCode::FAILURE;
         }

@@ -30,7 +30,12 @@
 //!   nonzero), so the fault-tolerance machinery is never silently idle,
 //! * **frozen smoke ledger** — in smoke mode the per-tenant outcome
 //!   counts and end cycles of both scenarios are frozen so CI catches
-//!   any routing, health, failover, or accounting drift.
+//!   any routing, health, failover, or accounting drift,
+//! * **tuned fleet** — a third, healthy scenario serves the same
+//!   tenants on the design-space autotuner's per-tenant minimum-EDAP
+//!   shard picks ([`crate::tune::tuned_shard_specs`]), certifying that
+//!   tuner-chosen heterogeneous configurations run end-to-end with
+//!   balanced ledgers and bit-identical sampled outputs.
 
 use crate::json::{comma, json_f64, json_str};
 use crate::perf::SEED_CYCLES_PER_INFERENCE;
@@ -144,6 +149,39 @@ pub fn cluster_scenario(
     threads: usize,
     shard_salt: u64,
 ) -> Result<Cluster, ServeError> {
+    scenario_with_shards(smoke, chaos, threads, shard_salt, shard_specs(smoke))
+}
+
+/// The tuner-chosen variant: the same tenant mix on the heterogeneous
+/// shard fleet the design-space autotuner picked
+/// ([`crate::tune::tuned_shard_specs`]), under the healthy (zero
+/// shard-fault) plan. This closes the loop from `harness tune` back
+/// into the cluster: the per-tenant minimum-EDAP frontier points become
+/// the serving fleet.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] if a zoo network fails to build or the specs
+/// fail validation.
+pub fn tuned_cluster_scenario(
+    smoke: bool,
+    threads: usize,
+    shard_salt: u64,
+) -> Result<Cluster, ServeError> {
+    let shards = crate::tune::tuned_shard_specs()
+        .into_iter()
+        .map(|(name, cfg)| ShardSpec::new(name).accel(cfg))
+        .collect();
+    scenario_with_shards(smoke, false, threads, shard_salt, shards)
+}
+
+fn scenario_with_shards(
+    smoke: bool,
+    chaos: bool,
+    threads: usize,
+    shard_salt: u64,
+    shards: Vec<ShardSpec>,
+) -> Result<Cluster, ServeError> {
     let build = |b: shidiannao_cnn::NetworkBuilder| {
         b.build(BUILD_SEED).map_err(|e| ServeError::Spec {
             tenant: "zoo".to_string(),
@@ -205,7 +243,7 @@ pub fn cluster_scenario(
         .queue_capacity(2)
         .deadline_cycles(250_000);
     let config = ClusterConfig {
-        shards: shard_specs(smoke),
+        shards,
         physical_threads: threads,
         shard_salt,
         samples_per_tenant: 6,
@@ -231,6 +269,9 @@ pub struct ClusterBenchReport {
     pub healthy: ClusterReport,
     /// The chaos run, single-threaded.
     pub chaos: ClusterReport,
+    /// The healthy run on the autotuner's heterogeneous shard picks,
+    /// single-threaded.
+    pub tuned: ClusterReport,
     /// Both scenarios on 3 OS threads produced equal reports.
     pub thread_invariant: bool,
     /// Both scenarios with a salted shard scan order produced equal
@@ -255,23 +296,26 @@ pub fn cluster_report(smoke: bool) -> Result<ClusterBenchReport, ServeError> {
     let mut shard_order_invariant = true;
     let mut verified_samples = 0;
     let mut outputs_match_direct = true;
-    let mut certify = |chaos: bool| -> Result<ClusterReport, ServeError> {
-        let serial = cluster_scenario(smoke, chaos, 1, 0)?.run()?;
-        let threaded = cluster_scenario(smoke, chaos, 3, 0)?.run()?;
-        let permuted = cluster_scenario(smoke, chaos, 1, 0x5EED_CAFE)?.run()?;
-        thread_invariant &= serial == threaded;
-        shard_order_invariant &= serial == permuted;
-        let (checked, matched) = verify_samples(smoke, chaos, &serial)?;
-        verified_samples += checked;
-        outputs_match_direct &= matched;
-        Ok(serial)
-    };
-    let healthy = certify(false)?;
-    let chaos = certify(true)?;
+    let mut certify =
+        |build: &dyn Fn(usize, u64) -> Result<Cluster, ServeError>| -> Result<ClusterReport, ServeError> {
+            let serial = build(1, 0)?.run()?;
+            let threaded = build(3, 0)?.run()?;
+            let permuted = build(1, 0x5EED_CAFE)?.run()?;
+            thread_invariant &= serial == threaded;
+            shard_order_invariant &= serial == permuted;
+            let (checked, matched) = verify_samples(&build(1, 0)?, &serial)?;
+            verified_samples += checked;
+            outputs_match_direct &= matched;
+            Ok(serial)
+        };
+    let healthy = certify(&|threads, salt| cluster_scenario(smoke, false, threads, salt))?;
+    let chaos = certify(&|threads, salt| cluster_scenario(smoke, true, threads, salt))?;
+    let tuned = certify(&|threads, salt| tuned_cluster_scenario(smoke, threads, salt))?;
     Ok(ClusterBenchReport {
         smoke,
         healthy,
         chaos,
+        tuned,
         thread_invariant,
         shard_order_invariant,
         outputs_match_direct,
@@ -285,12 +329,7 @@ pub fn cluster_report(smoke: bool) -> Result<ClusterBenchReport, ServeError> {
 /// under the sample's recorded fault environment (the tenant's own, or
 /// the burst episode's) and salted attempt. Returns
 /// `(samples_checked, all_matched)`.
-fn verify_samples(
-    smoke: bool,
-    chaos: bool,
-    report: &ClusterReport,
-) -> Result<(usize, bool), ServeError> {
-    let cluster = cluster_scenario(smoke, chaos, 1, 0)?;
+fn verify_samples(cluster: &Cluster, report: &ClusterReport) -> Result<(usize, bool), ServeError> {
     let mut checked = 0;
     let mut all_match = true;
     for (tenant, (spec, tr)) in cluster.tenants().iter().zip(&report.tenants).enumerate() {
@@ -457,7 +496,8 @@ impl ClusterBenchReport {
         );
         out += &format!("  \"verified_samples\": {},\n", self.verified_samples);
         out += &format!("  \"healthy\": {},\n", json_cluster(&self.healthy));
-        out += &format!("  \"chaos\": {}\n", json_cluster(&self.chaos));
+        out += &format!("  \"chaos\": {},\n", json_cluster(&self.chaos));
+        out += &format!("  \"tuned\": {}\n", json_cluster(&self.tuned));
         out += "}\n";
         out
     }
@@ -471,7 +511,11 @@ impl ClusterBenchReport {
             self.healthy.end_cycles,
             self.chaos.end_cycles,
         );
-        for (title, r) in [("healthy", &self.healthy), ("chaos", &self.chaos)] {
+        for (title, r) in [
+            ("healthy", &self.healthy),
+            ("chaos", &self.chaos),
+            ("tuned", &self.tuned),
+        ] {
             out += &format!(
                 "[{title}] crashes {} drains {} (timeouts {}) respawns {} \
                  slow-dispatch {} burst-dispatch {} unavailable {}\n",
@@ -521,13 +565,14 @@ impl ClusterBenchReport {
         }
         out += &format!(
             "certificates: thread-invariant {}, shard-order-invariant {}, \
-             outputs-match-direct {} ({} samples), ledgers balance {}/{}\n",
+             outputs-match-direct {} ({} samples), ledgers balance {}/{}/{}\n",
             self.thread_invariant,
             self.shard_order_invariant,
             self.outputs_match_direct,
             self.verified_samples,
             self.healthy.accounting_consistent(),
             self.chaos.accounting_consistent(),
+            self.tuned.accounting_consistent(),
         );
         out
     }
@@ -548,7 +593,11 @@ impl ClusterBenchReport {
         if self.verified_samples == 0 {
             errors.push("no samples were available for bit-identity verification".to_string());
         }
-        for (title, r) in [("healthy", &self.healthy), ("chaos", &self.chaos)] {
+        for (title, r) in [
+            ("healthy", &self.healthy),
+            ("chaos", &self.chaos),
+            ("tuned", &self.tuned),
+        ] {
             if !r.accounting_consistent() {
                 errors.push(format!(
                     "{title}: a tenant's six-class ledger does not balance (a request \
@@ -585,17 +634,37 @@ impl ClusterBenchReport {
                 }
             }
         }
-        // The healthy run must never touch the failure machinery.
-        let h = &self.healthy;
-        if h.crashes_detected + h.drains + h.respawns + h.slow_dispatches + h.burst_dispatches != 0
-        {
-            errors.push("healthy run reported failure-path activity".to_string());
+        // The healthy runs (paper fleet and tuned fleet) must never
+        // touch the failure machinery.
+        for (title, h) in [("healthy", &self.healthy), ("tuned", &self.tuned)] {
+            if h.crashes_detected + h.drains + h.respawns + h.slow_dispatches + h.burst_dispatches
+                != 0
+            {
+                errors.push(format!("{title} run reported failure-path activity"));
+            }
+            if h.tenants
+                .iter()
+                .any(|t| t.budget_exhausted + t.migrated + t.lost_inflight + t.failovers != 0)
+            {
+                errors.push(format!("{title} run reported failover activity"));
+            }
         }
-        if h.tenants
-            .iter()
-            .any(|t| t.budget_exhausted + t.migrated + t.lost_inflight + t.failovers != 0)
-        {
-            errors.push("healthy run reported failover activity".to_string());
+        // The tuned fleet must really be the autotuner's heterogeneous
+        // pick set: nonempty, and spanning more than one PE grid.
+        if self.tuned.shards.is_empty() {
+            errors.push("tuned run served on an empty shard fleet".to_string());
+        } else {
+            let mut grids: Vec<(usize, usize)> = self
+                .tuned
+                .shards
+                .iter()
+                .map(|s| (s.pe_cols, s.pe_rows))
+                .collect();
+            grids.sort_unstable();
+            grids.dedup();
+            if grids.len() < 2 {
+                errors.push("tuned shard fleet collapsed to a single PE grid".to_string());
+            }
         }
         // The chaos run must demonstrably exercise every failure path.
         let c = &self.chaos;
@@ -623,7 +692,7 @@ impl ClusterBenchReport {
             for (title, r, end, rows) in [
                 (
                     "healthy",
-                    h,
+                    &self.healthy,
                     EXPECTED_SMOKE_HEALTHY_END_CYCLES,
                     EXPECTED_SMOKE_HEALTHY,
                 ),

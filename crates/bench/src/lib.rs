@@ -15,6 +15,7 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod serve;
+pub mod tune;
 
 /// Every binary, bench, and test linking this crate counts heap
 /// allocations, so `harness bench` can certify the zero-allocation
@@ -31,6 +32,7 @@ pub use experiments::{
 pub use faults::{DegradationRow, FaultCell, FaultReport, ProtectionOverhead};
 pub use perf::{ExperimentTiming, PerfReport, ThroughputRow};
 pub use serve::{serve_report, ServeBenchReport};
+pub use tune::{run_tune, tuned_shard_specs, TenantPick, TunePoint, TuneReport};
 
 /// Geometric mean of a non-empty slice.
 ///

@@ -38,6 +38,15 @@
 //!   `Session::infer` of the same input on outputs, statistics, energy,
 //!   and fault counters.
 //!
+//! * **Optimized-replay rows** — per benchmark, the schedule optimizer's
+//!   rewritten stream ([`shidiannao_core::opt`]: NB dedup, read-mode
+//!   re-selection, SB coalescing, FIFO-fold, row-lane replay bodies) is
+//!   certified as the seventh execution path (outputs and per-layer
+//!   traces bit-identical to the recorded replay, clean and under a
+//!   silent fault plan) and timed against the recorded replay in
+//!   interleaved best-of passes, with per-pass elimination counters
+//!   copied from the prepared network's [`shidiannao_core::OptReport`].
+//!
 //! `smoke_errors` distills the rows into the CI gate: seed-frozen
 //! `sim_cycles_per_inference` for all ten networks (fast and
 //! instrumented paths alike — any scheduled-path cycle drift fails CI),
@@ -115,6 +124,27 @@ const BATCH_TIMING_PASSES: usize = 3;
 /// allocation gate (NB and SB sites only, no protection — every flip is
 /// silently patched through the schedule overlay, never aborting).
 const SILENT_FAULT_RATE: f64 = 1e-4;
+
+/// Minimum optimized-replay over recorded-replay wall-clock speedup
+/// (same warmed `infer_ref` burst, interleaved best-of passes) the smoke
+/// gate requires on [`OPT_SPEEDUP_NETS`] benchmarks. The optimizer's
+/// row-lane replay bodies run one lane-kernel call per output row
+/// instead of one per `Px×Py` block, so the host replay itself gets
+/// faster, not just the modeled cycle count.
+pub const OPT_REPLAY_GATE: f64 = 1.1;
+
+/// How many of the ten frozen benchmarks must clear [`OPT_REPLAY_GATE`].
+pub const OPT_SPEEDUP_NETS: usize = 5;
+
+/// How many of the ten frozen benchmarks must report *strictly* fewer
+/// optimized modeled cycles than the seed-frozen recording (no benchmark
+/// may ever report more).
+pub const OPT_CYCLES_REDUCED_NETS: usize = 5;
+
+/// Timed passes of the optimized vs recorded replay comparison. Like
+/// [`BATCH_TIMING_PASSES`], the gate is a ratio of two wall-clock
+/// numbers, so each side keeps its best pass and the passes interleave.
+const OPT_TIMING_PASSES: usize = 3;
 
 /// Simulated cycles per inference frozen at the repository seed; the
 /// SoA datapath must never change a cycle count (`harness bench --smoke`
@@ -265,6 +295,38 @@ pub struct ThroughputRow {
     /// sequential `infer` of the same input (the certificate's sixth
     /// execution path).
     pub batch_bit_identical: bool,
+    /// Simulated cycles per inference reported by the *optimized*
+    /// schedule replay; must never exceed the seed-frozen count, and
+    /// must be strictly below it on [`OPT_CYCLES_REDUCED_NETS`]
+    /// benchmarks.
+    pub opt_cycles_per_inference: u64,
+    /// Wall-clock seconds for a warmed `infer_ref` burst replaying the
+    /// optimized schedule; best of [`OPT_TIMING_PASSES`] interleaved
+    /// passes.
+    pub opt_replay_wall_s: f64,
+    /// Wall-clock seconds for the same burst replaying the recorded
+    /// (unoptimized) schedule — the denominator of
+    /// [`ThroughputRow::opt_replay_speedup`]; best of the same
+    /// interleaved passes.
+    pub opt_baseline_wall_s: f64,
+    /// Heap allocations counted during the warmed optimized-replay burst
+    /// (the optimizer must preserve the zero-allocation steady state).
+    pub opt_allocs: u64,
+    /// Whether the optimized replay agreed bit-for-bit with the recorded
+    /// replay — outputs and per-layer traces on the instrumented run,
+    /// outputs on the fast path, and outputs under the silent fault plan
+    /// (the certificate's seventh execution path).
+    pub opt_paths_bit_identical: bool,
+    /// Redundant NB word deliveries eliminated by the `nb_dedup` pass.
+    pub opt_nb_reads_eliminated: u64,
+    /// NB read requests removed by the `mode_select` re-cover.
+    pub opt_modes_reselected: u64,
+    /// SB bytes removed by the `sb_coalesce` dedup.
+    pub opt_sb_bytes_coalesced: u64,
+    /// SB read requests removed by `sb_coalesce` dedup + burst merging.
+    pub opt_sb_accesses_coalesced: u64,
+    /// Modeled cycles folded out by the `fifo_fold` pass.
+    pub opt_cycles_saved: u64,
 }
 
 impl ThroughputRow {
@@ -355,6 +417,17 @@ impl ThroughputRow {
         }
         self.batch_one_wall_s / self.batch_wall_s
     }
+
+    /// Recorded-replay over optimized-replay wall time: what the schedule
+    /// optimizer's rewritten stream buys the host replay itself, measured
+    /// side by side in the same process (the [`OPT_REPLAY_GATE`]
+    /// evidence).
+    pub fn opt_replay_speedup(&self) -> f64 {
+        if self.opt_replay_wall_s == 0.0 {
+            return 0.0;
+        }
+        self.opt_baseline_wall_s / self.opt_replay_wall_s
+    }
 }
 
 /// The complete harness performance report.
@@ -398,9 +471,12 @@ impl PerfReport {
     /// (legacy / run / infer / infer_ref, the replay-vs-live instrumented
     /// certificate, and the batched lanes-vs-sequential certificate).
     pub fn all_paths_bit_identical(&self) -> bool {
-        self.throughput
-            .iter()
-            .all(|t| t.paths_bit_identical && t.instr_paths_bit_identical && t.batch_bit_identical)
+        self.throughput.iter().all(|t| {
+            t.paths_bit_identical
+                && t.instr_paths_bit_identical
+                && t.batch_bit_identical
+                && t.opt_paths_bit_identical
+        })
     }
 
     /// Whether no benchmark's measured burst touched the heap — the
@@ -408,7 +484,23 @@ impl PerfReport {
     /// batched burst alike.
     pub fn zero_alloc_steady_state(&self) -> bool {
         self.throughput.iter().all(|t| {
-            t.steady_state_allocs == 0 && t.fault_replay_allocs == 0 && t.batch_allocs == 0
+            t.steady_state_allocs == 0
+                && t.fault_replay_allocs == 0
+                && t.batch_allocs == 0
+                && t.opt_allocs == 0
+        })
+    }
+
+    /// The optimizer's elimination counters summed over every benchmark
+    /// — the aggregate the `harness bench` summary line prints.
+    pub fn optimizer_totals(&self) -> (u64, u64, u64, u64) {
+        self.throughput.iter().fold((0, 0, 0, 0), |acc, t| {
+            (
+                acc.0 + t.opt_nb_reads_eliminated,
+                acc.1 + t.opt_modes_reselected,
+                acc.2 + t.opt_sb_bytes_coalesced,
+                acc.3 + t.opt_cycles_saved,
+            )
         })
     }
 
@@ -461,7 +553,14 @@ impl PerfReport {
                  \"batch_size\": {}, \"batch_inferences\": {}, \
                  \"batch_wall_s\": {}, \"batch_one_wall_s\": {}, \
                  \"batch_speedup\": {}, \"batch_sim_cycles_per_s\": {}, \
-                 \"batch_allocs\": {}, \"batch_bit_identical\": {}}}{}\n",
+                 \"batch_allocs\": {}, \"batch_bit_identical\": {}, \
+                 \"opt_cycles_per_inference\": {}, \"opt_replay_wall_s\": {}, \
+                 \"opt_baseline_wall_s\": {}, \"opt_replay_speedup\": {}, \
+                 \"opt_allocs\": {}, \"opt_paths_bit_identical\": {}, \
+                 \"opt_nb_reads_eliminated\": {}, \"opt_modes_reselected\": {}, \
+                 \"opt_sb_bytes_coalesced\": {}, \
+                 \"opt_sb_accesses_coalesced\": {}, \
+                 \"opt_cycles_saved\": {}}}{}\n",
                 t.name,
                 json_f64(t.prepare_s),
                 t.inferences,
@@ -494,6 +593,17 @@ impl PerfReport {
                 json_f64(t.batch_sim_cycles_per_s()),
                 t.batch_allocs,
                 t.batch_bit_identical,
+                t.opt_cycles_per_inference,
+                json_f64(t.opt_replay_wall_s),
+                json_f64(t.opt_baseline_wall_s),
+                json_f64(t.opt_replay_speedup()),
+                t.opt_allocs,
+                t.opt_paths_bit_identical,
+                t.opt_nb_reads_eliminated,
+                t.opt_modes_reselected,
+                t.opt_sb_bytes_coalesced,
+                t.opt_sb_accesses_coalesced,
+                t.opt_cycles_saved,
                 comma(i, self.throughput.len()),
             );
         }
@@ -577,6 +687,31 @@ impl PerfReport {
                 if t.batch_bit_identical { "yes" } else { "NO" },
             );
         }
+        out += "\nOptimized-replay throughput (schedule optimizer passes, vs recorded replay)\n\
+                CNN          cycles/inf  saved  vs recorded  NB elim  modes  SB bytes  allocs  7-path\n";
+        for t in &self.throughput {
+            out += &format!(
+                "{:<12} {:>10} {:>6} {:>10.2}x {:>8} {:>6} {:>9}  {:>6}  {}\n",
+                t.name,
+                t.opt_cycles_per_inference,
+                t.opt_cycles_saved,
+                t.opt_replay_speedup(),
+                t.opt_nb_reads_eliminated,
+                t.opt_modes_reselected,
+                t.opt_sb_bytes_coalesced,
+                t.opt_allocs,
+                if t.opt_paths_bit_identical {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            );
+        }
+        let (nb, modes, sb, cycles) = self.optimizer_totals();
+        out += &format!(
+            "optimizer totals: {nb} NB deliveries eliminated, {modes} NB requests \
+             re-covered, {sb} SB bytes coalesced, {cycles} modeled cycles folded\n"
+        );
         out
     }
 }
@@ -848,6 +983,69 @@ fn measure_one(
         batch_one_wall_s = batch_one_wall_s.min(start.elapsed().as_secs_f64());
     }
 
+    // Seventh path of the certificate: the schedule optimizer's
+    // rewritten stream must agree with the recorded replay bit-for-bit
+    // — outputs and per-layer traces on the instrumented run, outputs
+    // on the fast path, and outputs under the silent fault plan —
+    // before its replay is worth timing.
+    let opt_report = *prepared.optimizer_report();
+    let mut opt_instr = prepared.session();
+    opt_instr.set_optimized_replay(true);
+    let opt_run = opt_instr.run(&input).expect("optimized instrumented run");
+    let opt_cycles = opt_run.stats().cycles();
+    let mut opt_paths_bit_identical = opt_run.output() == run.output()
+        && opt_run.layer_outputs() == run.layer_outputs()
+        && opt_run.stats().cycles() <= run.stats().cycles();
+    let mut opt_fast = prepared.session();
+    opt_fast.set_optimized_replay(true);
+    {
+        let r = opt_fast.infer_ref(&input).expect("optimized infer_ref");
+        opt_paths_bit_identical &= r.output() == inf.output();
+    }
+    {
+        let mut opt_faulty = prepared.session_with_faults(plan);
+        opt_faulty.set_optimized_replay(true);
+        let a = opt_faulty
+            .infer_ref(&input)
+            .expect("silent faults never abort");
+        let b = faulty.infer_ref(&input).expect("silent faults never abort");
+        opt_paths_bit_identical &= a.output() == b.output();
+    }
+
+    // Optimized-replay burst: warm to the allocation steady state, count
+    // heap allocations over a full burst untimed, then time optimized vs
+    // recorded replay interleaved, keeping each side's best pass (the
+    // [`OPT_REPLAY_GATE`] policy mirrors the batch gate's).
+    let mut quiet = 0;
+    for _ in 0..WARMUP_CAP {
+        let (allocs, ()) = crate::alloc::count_allocations(|| {
+            let _ = opt_fast.infer_ref(&input).expect("optimized infer_ref");
+        });
+        quiet = if allocs == 0 { quiet + 1 } else { 0 };
+        if quiet >= WARMUP_QUIET {
+            break;
+        }
+    }
+    let (opt_allocs, ()) = crate::alloc::count_allocations(|| {
+        for _ in 0..burst {
+            let _ = opt_fast.infer_ref(&input).expect("optimized infer_ref");
+        }
+    });
+    let mut opt_replay_wall_s = f64::INFINITY;
+    let mut opt_baseline_wall_s = f64::INFINITY;
+    for _ in 0..OPT_TIMING_PASSES {
+        let start = Instant::now();
+        for _ in 0..burst {
+            let _ = opt_fast.infer_ref(&input).expect("optimized infer_ref");
+        }
+        opt_replay_wall_s = opt_replay_wall_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..burst {
+            let _ = session.infer_ref(&input).expect("recorded infer_ref");
+        }
+        opt_baseline_wall_s = opt_baseline_wall_s.min(start.elapsed().as_secs_f64());
+    }
+
     ThroughputRow {
         name: net.name().to_string(),
         prepare_s,
@@ -872,6 +1070,16 @@ fn measure_one(
         batch_one_wall_s,
         batch_allocs,
         batch_bit_identical,
+        opt_cycles_per_inference: opt_cycles,
+        opt_replay_wall_s,
+        opt_baseline_wall_s,
+        opt_allocs,
+        opt_paths_bit_identical,
+        opt_nb_reads_eliminated: opt_report.nb_reads_eliminated,
+        opt_modes_reselected: opt_report.nb_modes_reselected,
+        opt_sb_bytes_coalesced: opt_report.sb_bytes_coalesced,
+        opt_sb_accesses_coalesced: opt_report.sb_accesses_coalesced,
+        opt_cycles_saved: opt_report.cycles_saved,
     }
 }
 
@@ -913,6 +1121,7 @@ pub fn measure_smoke() -> PerfReport {
 /// the list of violations (empty means pass).
 pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
     let mut errors = Vec::new();
+    let mut cycles_reduced = 0usize;
     for &(name, expect) in SEED_CYCLES_PER_INFERENCE {
         match rows.iter().find(|r| r.name == name) {
             None => errors.push(format!("{name}: missing from the throughput rows")),
@@ -930,8 +1139,24 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
                         row.instr_cycles_per_inference
                     ));
                 }
+                if row.opt_cycles_per_inference > expect {
+                    errors.push(format!(
+                        "{name}: optimizer increased modeled cycles — optimized replay \
+                         reported {} cycles, seed-frozen recording {expect}",
+                        row.opt_cycles_per_inference
+                    ));
+                } else if row.opt_cycles_per_inference < expect {
+                    cycles_reduced += 1;
+                }
             }
         }
+    }
+    if cycles_reduced < OPT_CYCLES_REDUCED_NETS {
+        errors.push(format!(
+            "only {cycles_reduced}/{} benchmarks showed strictly reduced optimized \
+             modeled cycles ({OPT_CYCLES_REDUCED_NETS} required)",
+            SEED_CYCLES_PER_INFERENCE.len()
+        ));
     }
     for row in rows {
         if !row.paths_bit_identical {
@@ -973,6 +1198,18 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
                 row.name, row.batch_allocs
             ));
         }
+        if !row.opt_paths_bit_identical {
+            errors.push(format!(
+                "{}: optimized replay diverged from the recorded replay",
+                row.name
+            ));
+        }
+        if row.opt_allocs != 0 {
+            errors.push(format!(
+                "{}: optimized replay allocated {} times in steady state",
+                row.name, row.opt_allocs
+            ));
+        }
     }
     if let Some(row) = rows.iter().find(|r| r.name == "LeNet-5") {
         if row.instr_speedup() < INSTR_SPEEDUP_GATE {
@@ -1000,6 +1237,20 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
         errors.push(format!(
             "only {fast_enough}/{} benchmarks met the {INSTR_SPEEDUP_GATE}x instrumented \
              replay speedup ({INSTR_SPEEDUP_NETS} required)",
+            SEED_CYCLES_PER_INFERENCE.len()
+        ));
+    }
+    let opt_fast_enough = rows
+        .iter()
+        .filter(|r| {
+            lookup(SEED_CYCLES_PER_INFERENCE, &r.name).is_some()
+                && r.opt_replay_speedup() >= OPT_REPLAY_GATE
+        })
+        .count();
+    if opt_fast_enough < OPT_SPEEDUP_NETS {
+        errors.push(format!(
+            "only {opt_fast_enough}/{} benchmarks met the {OPT_REPLAY_GATE}x optimized-replay \
+             speedup ({OPT_SPEEDUP_NETS} required)",
             SEED_CYCLES_PER_INFERENCE.len()
         ));
     }
@@ -1035,6 +1286,16 @@ mod tests {
             batch_one_wall_s: 0.8,
             batch_allocs: 0,
             batch_bit_identical: true,
+            opt_cycles_per_inference: 10016,
+            opt_replay_wall_s: 0.2,
+            opt_baseline_wall_s: 0.4,
+            opt_allocs: 0,
+            opt_paths_bit_identical: true,
+            opt_nb_reads_eliminated: 100,
+            opt_modes_reselected: 10,
+            opt_sb_bytes_coalesced: 64,
+            opt_sb_accesses_coalesced: 8,
+            opt_cycles_saved: 1,
         }
     }
 
@@ -1099,6 +1360,17 @@ mod tests {
             "\"batch_sim_cycles_per_s\"",
             "\"batch_allocs\"",
             "\"batch_bit_identical\"",
+            "\"opt_cycles_per_inference\"",
+            "\"opt_replay_wall_s\"",
+            "\"opt_baseline_wall_s\"",
+            "\"opt_replay_speedup\"",
+            "\"opt_allocs\"",
+            "\"opt_paths_bit_identical\"",
+            "\"opt_nb_reads_eliminated\"",
+            "\"opt_modes_reselected\"",
+            "\"opt_sb_bytes_coalesced\"",
+            "\"opt_sb_accesses_coalesced\"",
+            "\"opt_cycles_saved\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1117,6 +1389,7 @@ mod tests {
         assert!((row.session_speedup() - 2.0).abs() < 1e-12);
         assert!((row.instr_speedup() - 10.0).abs() < 1e-12);
         assert!((row.batch_speedup() - 2.0).abs() < 1e-12);
+        assert!((row.opt_replay_speedup() - 2.0).abs() < 1e-12);
         assert!((row.batch_sim_cycles_per_s() - 10017.0 * 80.0 / 0.4).abs() < 1e-6);
         let instr = row.instr_sim_cycles_per_s();
         assert!((instr - 10017.0 * 10.0 / 0.1).abs() < 1e-6);
@@ -1135,6 +1408,7 @@ mod tests {
                 name: name.into(),
                 sim_cycles_per_inference: cycles,
                 instr_cycles_per_inference: cycles,
+                opt_cycles_per_inference: cycles - 1,
                 ..probe_row()
             })
             .collect();
@@ -1152,9 +1426,12 @@ mod tests {
         bad[5].fault_replay_allocs = 3;
         bad[6].batch_bit_identical = false;
         bad[7].batch_allocs = 11;
+        bad[0].opt_cycles_per_inference += 10;
+        bad[1].opt_paths_bit_identical = false;
+        bad[2].opt_allocs = 4;
         bad.pop();
         let errors = smoke_errors(&bad);
-        assert_eq!(errors.len(), 9, "{errors:?}");
+        assert_eq!(errors.len(), 12, "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("seed-frozen")));
         assert!(errors.iter().any(|e| e.contains("diverged (legacy")));
         assert!(errors.iter().any(|e| e.contains("fast path allocated")));
@@ -1167,7 +1444,51 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| e.contains("batched inference allocated")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("optimizer increased modeled cycles")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("optimized replay diverged")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("optimized replay allocated")));
         assert!(errors.iter().any(|e| e.contains("missing")));
+    }
+
+    #[test]
+    fn smoke_errors_enforces_the_optimizer_gates() {
+        let mut rows: Vec<ThroughputRow> = SEED_CYCLES_PER_INFERENCE
+            .iter()
+            .map(|&(name, cycles)| ThroughputRow {
+                name: name.into(),
+                sim_cycles_per_inference: cycles,
+                instr_cycles_per_inference: cycles,
+                opt_cycles_per_inference: cycles - 1,
+                ..probe_row()
+            })
+            .collect();
+        // Slow optimized replay on six networks trips the 5-of-10
+        // speedup count (equal wall times are a 1.0x "speedup").
+        for row in rows.iter_mut().take(6) {
+            row.opt_replay_wall_s = row.opt_baseline_wall_s;
+        }
+        let errors = smoke_errors(&rows);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("optimized-replay"), "{errors:?}");
+        // Cycle parity (optimized == recorded) on six networks trips the
+        // strict-reduction count without tripping the never-increase
+        // check.
+        for row in rows.iter_mut().take(6) {
+            row.opt_replay_wall_s = probe_row().opt_replay_wall_s;
+            row.opt_cycles_per_inference += 1;
+        }
+        let errors = smoke_errors(&rows);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(
+            errors[0].contains("strictly reduced optimized"),
+            "{errors:?}"
+        );
     }
 
     #[test]
@@ -1178,6 +1499,7 @@ mod tests {
                 name: name.into(),
                 sim_cycles_per_inference: cycles,
                 instr_cycles_per_inference: cycles,
+                opt_cycles_per_inference: cycles - 1,
                 ..probe_row()
             })
             .collect();
@@ -1206,6 +1528,7 @@ mod tests {
                 name: name.into(),
                 sim_cycles_per_inference: cycles,
                 instr_cycles_per_inference: cycles,
+                opt_cycles_per_inference: cycles - 1,
                 ..probe_row()
             })
             .collect();

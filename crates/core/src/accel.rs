@@ -265,6 +265,8 @@ impl Accelerator {
             layer_instruction_counts,
             layer_labels,
             schedule: Arc::new(NetworkSchedule::empty()),
+            opt_schedule: Arc::new(NetworkSchedule::empty()),
+            opt_report: crate::opt::OptReport::default(),
         };
         // Record the precompiled micro-op schedule: one instrumented run
         // with a recorder attached to the fault-filter hook points. The
@@ -282,7 +284,19 @@ impl Accelerator {
                 .expect("the recording run does not detach the recorder")
                 .into_schedule()
         };
+        // Optimize the recorded schedule once (every pass on); sessions
+        // replay the verbatim recording by default and opt in to the
+        // optimized stream via `Session::set_optimized_replay`.
+        let (opt_schedule, opt_report) = crate::opt::optimize(
+            &schedule,
+            &prepared.network,
+            &prepared.config,
+            &prepared.energy_model,
+            &crate::opt::OptConfig::default(),
+        );
         prepared.schedule = Arc::new(schedule);
+        prepared.opt_schedule = Arc::new(opt_schedule);
+        prepared.opt_report = opt_report;
         Ok(prepared)
     }
 
@@ -379,6 +393,12 @@ pub struct PreparedNetwork {
     /// session — per-tenant control state is paid for once, not per
     /// session.
     schedule: Arc<NetworkSchedule>,
+    /// The optimizer's rewrite of `schedule` (all passes of
+    /// [`crate::opt::OptConfig::default`]), built once at prepare time;
+    /// sessions swap it in via [`Session::set_optimized_replay`].
+    opt_schedule: Arc<NetworkSchedule>,
+    /// What the optimizer eliminated building `opt_schedule`.
+    opt_report: crate::opt::OptReport,
 }
 
 impl PreparedNetwork {
@@ -411,6 +431,35 @@ impl PreparedNetwork {
     /// callers can verify sharing: every open session holds one clone).
     pub fn schedule(&self) -> &Arc<NetworkSchedule> {
         &self.schedule
+    }
+
+    /// The optimizer's rewrite of the recorded schedule (all default
+    /// passes), shared by every session that opts in via
+    /// [`Session::set_optimized_replay`].
+    pub fn optimized_schedule(&self) -> &Arc<NetworkSchedule> {
+        &self.opt_schedule
+    }
+
+    /// Per-pass elimination counters from building the optimized
+    /// schedule.
+    pub fn optimizer_report(&self) -> &crate::opt::OptReport {
+        &self.opt_report
+    }
+
+    /// Rebuilds the optimized schedule with an explicit pass subset
+    /// (the default is every pass on) — how tests and benches exercise
+    /// individual passes. Sessions opened afterwards see the new
+    /// schedule; already-open sessions keep their `Arc` clone.
+    pub fn reoptimize(&mut self, opt: &crate::opt::OptConfig) {
+        let (sched, report) = crate::opt::optimize(
+            &self.schedule,
+            &self.network,
+            &self.config,
+            &self.energy_model,
+            opt,
+        );
+        self.opt_schedule = Arc::new(sched);
+        self.opt_report = report;
     }
 
     /// Opens a [`Session`]: NBin/NBout, SB, IB, the PE mesh, and the ALU
@@ -449,6 +498,7 @@ impl PreparedNetwork {
             map_bin: Vec::new(),
             last_cycles: 0,
             replay_enabled: true,
+            optimized: false,
             overlays: Vec::new(),
             overlays_valid: false,
             recorder: None,
@@ -514,6 +564,10 @@ pub struct Session<'p> {
     /// Schedule replay on/off (on by default; benches flip it off to
     /// measure live decode).
     replay_enabled: bool,
+    /// Whether `schedule` currently points at the prepared network's
+    /// optimizer-rewritten stream (off by default — the verbatim
+    /// recording is the frozen-baseline path).
+    optimized: bool,
     /// Per-layer fault overlays, resolved lazily from the schedule the
     /// first faulted run after a plan change, then reused run after run.
     overlays: Vec<LayerOverlay>,
@@ -550,6 +604,30 @@ impl<'p> Session<'p> {
     /// Whether schedule replay is enabled.
     pub fn schedule_replay(&self) -> bool {
         self.replay_enabled
+    }
+
+    /// Switches the session between the verbatim recording (default)
+    /// and the optimizer-rewritten schedule ([`crate::opt`]). Outputs
+    /// are bit-identical either way; the optimized stream replays
+    /// faster, models strictly fewer cycles, and charges less energy.
+    /// Fault overlays are resolved against a specific schedule, so
+    /// switching invalidates them (the next faulted run rebuilds).
+    pub fn set_optimized_replay(&mut self, enabled: bool) {
+        if self.optimized == enabled {
+            return;
+        }
+        self.optimized = enabled;
+        self.schedule = if enabled {
+            Arc::clone(&self.prepared.opt_schedule)
+        } else {
+            Arc::clone(&self.prepared.schedule)
+        };
+        self.overlays_valid = false;
+    }
+
+    /// Whether the session replays the optimized schedule.
+    pub fn optimized_replay(&self) -> bool {
+        self.optimized
     }
 
     /// The fault plan in force.
@@ -1035,10 +1113,11 @@ impl<'p> Session<'p> {
                 fast,
                 recorder: None,
             };
-            if replay_this {
-                replay::layer_values(&mut engine, layer, sb_patches);
-            } else {
-                engine.run_layer(layer)?;
+            match sched_layer {
+                Some(sl) if replay_this => {
+                    replay::layer_values(&mut engine, layer, sb_patches, sl.row_lanes())
+                }
+                _ => engine.run_layer(layer)?,
             }
             self.nbout.finish_output_into_input()?;
             core::mem::swap(&mut self.nbin, &mut self.nbout);

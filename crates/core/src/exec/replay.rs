@@ -30,7 +30,7 @@ use crate::stats::LayerStats;
 use core::mem;
 use shidiannao_cnn::Activation;
 use shidiannao_cnn::{ConnectionTable, FcWeights, Layer, LayerBody, PoolKind};
-use shidiannao_fixed::Fx;
+use shidiannao_fixed::{Accum, Fx};
 
 /// SB patches of the layer's fault overlay (empty on clean runs).
 type SbPatches = [([u64; 3], u16)];
@@ -46,7 +46,7 @@ pub(crate) fn run_layer(
     sb_patches: &SbPatches,
 ) -> Result<(), RunError> {
     debug_assert!(sched.replayable(), "non-replayable layer reached replay");
-    layer_values(eng, layer, sb_patches);
+    layer_values(eng, layer, sb_patches, sched.row_lanes());
     // The whole layer's statistics in one absorb (counter sums, FIFO
     // peak maxes — the recorded delta was captured before bank-conflict
     // folding, which the caller applies identically to both paths).
@@ -65,7 +65,17 @@ pub(crate) fn run_layer(
 /// statistics were already charged once by the canonical lane, and the
 /// bodies below never touch `eng.stats` (their epilogue metering goes to
 /// a local discard), so a value lane is exactly this call.
-pub(crate) fn layer_values(eng: &mut Engine<'_>, layer: &Layer, sb_patches: &SbPatches) {
+///
+/// `row_lanes` selects the optimizer's whole-output-row conv/pool bodies
+/// ([`crate::opt`]): one lane-kernel sweep per output row instead of one
+/// per `Px`-wide block slice, bit-identical by the same
+/// exact-integer-reassociation argument as the block bodies.
+pub(crate) fn layer_values(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    sb_patches: &SbPatches,
+    row_lanes: bool,
+) {
     match layer.body() {
         LayerBody::Conv {
             table,
@@ -75,7 +85,11 @@ pub(crate) fn layer_values(eng: &mut Engine<'_>, layer: &Layer, sb_patches: &SbP
             ..
         } => {
             eng.hfsm.enter(FirstState::Conv).expect("HFSM: conv entry");
-            conv(eng, layer, table, *kernel, *stride, *activation, sb_patches);
+            if row_lanes {
+                conv_rows(eng, layer, table, *kernel, *stride, *activation, sb_patches);
+            } else {
+                conv(eng, layer, table, *kernel, *stride, *activation, sb_patches);
+            }
         }
         LayerBody::Pool {
             window,
@@ -85,7 +99,11 @@ pub(crate) fn layer_values(eng: &mut Engine<'_>, layer: &Layer, sb_patches: &SbP
             ..
         } => {
             eng.hfsm.enter(FirstState::Pool).expect("HFSM: pool entry");
-            pool(eng, layer, *window, *stride, *kind, *activation);
+            if row_lanes {
+                pool_rows(eng, layer, *window, *stride, *kind, *activation);
+            } else {
+                pool(eng, layer, *window, *stride, *kind, *activation);
+            }
         }
         LayerBody::Fc {
             weights,
@@ -186,6 +204,80 @@ fn conv(
             eng.nfu.read_accumulators_into(active, &mut vals);
             let _ = eng.alu.activate(&mut vals, activation, &mut meter);
             eng.nbout.write_block(o, origin, active, &vals, &mut meter);
+        }
+    }
+    eng.scratch.vals = vals;
+    eng.scratch.values = weights;
+    eng.scratch.sums = lanes;
+}
+
+/// The optimizer's whole-output-row convolution body: one lane sweep per
+/// output row (`ow` lanes) instead of one per `Px`-wide block slice.
+/// Bit-identical to [`conv`]: each output pixel's accumulator still
+/// receives `bias` plus one raw add of the exact i64 sum of all its
+/// `(j, ky, kx)` products in the same order — only the lane-batching
+/// width changes, and integer adds re-associate exactly.
+fn conv_rows(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    table: &ConnectionTable,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    activation: Activation,
+    patches: &SbPatches,
+) {
+    let (ow, oh) = layer.out_dims();
+    let (kx_max, ky_max) = kernel;
+    let ksz = kx_max * ky_max;
+    let (sx, sy) = stride;
+    let layer_index = eng.layer_index;
+    let store = eng.store;
+    let stack = eng.nbin.contents().expect("session loaded the input");
+    let kern = LaneKernel;
+    let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut weights = mem::take(&mut eng.scratch.values);
+    let mut lanes = mem::take(&mut eng.scratch.sums);
+    let mut meter = LayerStats::default();
+
+    for o in 0..layer.out_maps() {
+        let bias = patch_fx(patches, bias_addr(o), store.bias(layer_index, o));
+        let inputs = table.inputs_of(o);
+        if !patches.is_empty() {
+            weights.clear();
+            for j in 0..inputs.len() {
+                for ky in 0..ky_max {
+                    for kx in 0..kx_max {
+                        let w = store.conv_weight(layer_index, o, j, (kx, ky), kernel);
+                        weights.push(patch_fx(patches, conv_weight_addr(o, j, (kx, ky)), w));
+                    }
+                }
+            }
+        }
+        for y in 0..oh {
+            lanes.clear();
+            lanes.resize(ow, 0);
+            for (j, &im) in inputs.iter().enumerate() {
+                let wts = if patches.is_empty() {
+                    store.conv_kernel(layer_index, o, j, kernel)
+                } else {
+                    &weights[j * ksz..(j + 1) * ksz]
+                };
+                let fm = &stack[im];
+                for ky in 0..ky_max {
+                    let row = fm.row(y * sy + ky);
+                    for (kx, &k) in wts[ky * kx_max..(ky + 1) * kx_max].iter().enumerate() {
+                        kern.shifted_mac(&row[kx..], sx, k, &mut lanes);
+                    }
+                }
+            }
+            vals.clear();
+            for &l in &lanes {
+                let mut a = Accum::from_fx(bias);
+                a.add_raw(l);
+                vals.push(a.to_fx());
+            }
+            let _ = eng.alu.activate(&mut vals, activation, &mut meter);
+            eng.nbout.write_block(o, (0, y), (ow, 1), &vals, &mut meter);
         }
     }
     eng.scratch.vals = vals;
@@ -320,6 +412,109 @@ fn pool(
     }
     eng.scratch.vals = vals;
     eng.scratch.sums = lanes;
+}
+
+/// The optimizer's whole-output-row pooling body: the unclipped lane
+/// prefix of each output row runs on the chunked lane kernel; lanes
+/// whose window clips at the right input edge reduce per pixel exactly
+/// like the gather loop. Max and exact integer sums are
+/// order-independent, so results are bit-identical to [`pool`].
+fn pool_rows(
+    eng: &mut Engine<'_>,
+    layer: &Layer,
+    window: (usize, usize),
+    stride: (usize, usize),
+    kind: PoolKind,
+    activation: Activation,
+) {
+    let (ow, oh) = layer.out_dims();
+    let in_dims = layer.in_dims();
+    let overlapping = stride.0 < window.0 || stride.1 < window.1;
+    // Lanes 0..n_unclip have full windows in x (monotone in the lane
+    // index); overlapping windows always fit.
+    let n_unclip = if overlapping {
+        ow
+    } else if in_dims.0 >= window.0 {
+        ow.min((in_dims.0 - window.0) / stride.0 + 1)
+    } else {
+        0
+    };
+    let kern = LaneKernel;
+    let mut vals = mem::take(&mut eng.scratch.vals);
+    let mut lanes = mem::take(&mut eng.scratch.sums);
+    let mut cmps = mem::take(&mut eng.scratch.aux);
+    let mut meter = LayerStats::default();
+
+    for m in 0..layer.out_maps() {
+        let fm = &eng.nbin.contents().expect("session loaded the input")[m];
+        for y in 0..oh {
+            let y0 = y * stride.1;
+            let ye = if overlapping {
+                y0 + window.1
+            } else {
+                (y0 + window.1).min(in_dims.1)
+            };
+            vals.clear();
+            match kind {
+                PoolKind::Max => {
+                    cmps.clear();
+                    cmps.resize(ow, Fx::MIN);
+                    if n_unclip > 0 {
+                        for yy in y0..ye {
+                            let row = fm.row(yy);
+                            for wx in 0..window.0 {
+                                kern.shifted_max(&row[wx..], stride.0, &mut cmps[..n_unclip]);
+                            }
+                        }
+                    }
+                    for (px, c) in cmps.iter_mut().enumerate().skip(n_unclip) {
+                        let x0 = px * stride.0;
+                        let xe = (x0 + window.0).min(in_dims.0);
+                        for yy in y0..ye {
+                            for &v in &fm.row(yy)[x0..xe] {
+                                *c = (*c).max(v);
+                            }
+                        }
+                    }
+                    vals.extend_from_slice(&cmps);
+                }
+                PoolKind::Avg => {
+                    lanes.clear();
+                    lanes.resize(n_unclip, 0);
+                    if n_unclip > 0 {
+                        for yy in y0..ye {
+                            let row = fm.row(yy);
+                            for wx in 0..window.0 {
+                                kern.shifted_sum(&row[wx..], stride.0, &mut lanes);
+                            }
+                        }
+                    }
+                    for px in 0..ow {
+                        let x0 = px * stride.0;
+                        let xe = (x0 + window.0).min(in_dims.0);
+                        let mut a = Accum::from_fx(Fx::ZERO);
+                        // Lanes cover the first `n_unclip` windows; the
+                        // clipped tail recomputes directly.
+                        if let Some(&sum) = lanes.get(px) {
+                            a.add_raw(sum_to_raw(sum));
+                        } else {
+                            for yy in y0..ye {
+                                for &v in &fm.row(yy)[x0..xe] {
+                                    a.add_fx(v);
+                                }
+                            }
+                        }
+                        vals.push(a.mean((xe - x0) * (ye - y0)));
+                    }
+                }
+            }
+            let _ = eng.alu.activate(&mut vals, activation, &mut meter);
+            eng.nbout.write_block(m, (0, y), (ow, 1), &vals, &mut meter);
+        }
+    }
+    eng.scratch.vals = vals;
+    eng.scratch.sums = lanes;
+    eng.scratch.aux = cmps;
 }
 
 /// Classifier replay: each PE's MAC stream is its weight row in

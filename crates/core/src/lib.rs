@@ -59,6 +59,7 @@ mod config;
 mod exec;
 mod hfsm;
 mod nfu;
+pub mod opt;
 mod pe;
 mod sb;
 mod schedule;
@@ -74,6 +75,7 @@ pub use buffer::{
 pub use config::{AcceleratorConfig, ConfigError};
 pub use hfsm::{FirstState, Hfsm, SecondState, TransitionError};
 pub use nfu::Nfu;
+pub use opt::{OptConfig, OptReport};
 pub use pe::{PeMut, PeRef};
 pub use sb::SynapseStore;
 pub use schedule::{LayerSchedule, NetworkSchedule};

@@ -74,6 +74,11 @@ pub struct LayerSchedule {
     /// (normalization layers, multi-map-packed convolutions): they
     /// live-decode every run.
     pub(crate) replayable: bool,
+    /// `true` when the schedule optimizer has rewritten this layer's
+    /// replay body to run whole output rows per lane-kernel call
+    /// (conv/pool only — see [`crate::opt`]). Recordings always start
+    /// with the block-sweep body (`false`).
+    pub(crate) row_lanes: bool,
 }
 
 impl LayerSchedule {
@@ -98,6 +103,22 @@ impl LayerSchedule {
     pub fn sb_words(&self) -> usize {
         self.sb_reads.len()
     }
+
+    /// `true` when the optimizer rewrote this layer's replay body to
+    /// whole-output-row lane-kernel calls.
+    pub fn row_lanes(&self) -> bool {
+        self.row_lanes
+    }
+
+    /// NB read requests the layer issues (sum over modes (a)–(f)).
+    pub fn nb_read_accesses(&self) -> u64 {
+        self.stats.nbin.read_accesses
+    }
+
+    /// SB read requests the layer issues.
+    pub fn sb_read_accesses(&self) -> u64 {
+        self.stats.sb.read_accesses
+    }
 }
 
 /// A whole network's precompiled control state, shared (`Arc`) by every
@@ -111,6 +132,12 @@ impl NetworkSchedule {
     /// The placeholder installed while the recording pass itself runs.
     pub(crate) fn empty() -> NetworkSchedule {
         NetworkSchedule::default()
+    }
+
+    /// Rebuilds a schedule from transformed per-layer entries — the
+    /// schedule optimizer's constructor ([`crate::opt::optimize`]).
+    pub(crate) fn from_layers(layers: Vec<LayerSchedule>) -> NetworkSchedule {
+        NetworkSchedule { layers }
     }
 
     /// Per-layer schedules, in execution order.
@@ -266,6 +293,7 @@ impl ScheduleRecorder {
             nb_flat: self.nb_flat,
             fifo_peaks_after,
             replayable: self.replayable,
+            row_lanes: false,
         });
     }
 
