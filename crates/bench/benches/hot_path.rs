@@ -378,6 +378,79 @@ fn bench_reduction_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// The XNOR-popcount dot product against the 16-bit lane and scalar
+/// kernels, on ±magnitude operands (what a binarized layer actually
+/// feeds them). All three are bit-identical on these inputs (the quant
+/// crate's certificates prove it); this measures what the 1-bit
+/// datapath buys per reduction — the microarchitectural basis for the
+/// `WeightPrecision::W1` energy scaling.
+fn bench_xnor_kernels(c: &mut Criterion) {
+    use shidiannao_quant::{XnorLaneKernel, XnorScalarKernel};
+
+    let val_mag = Fx::from_f32(0.5);
+    let wt_mag = Fx::from_f32(0.25);
+    let vals: Vec<Fx> = (0..256)
+        .map(|i| if (i * 7) % 3 == 0 { val_mag } else { -val_mag })
+        .collect();
+    let wts: Vec<Fx> = (0..256)
+        .map(|i| if (i * 11) % 5 < 2 { wt_mag } else { -wt_mag })
+        .collect();
+    let xs = XnorScalarKernel::new(val_mag, wt_mag);
+    let xl = XnorLaneKernel::new(val_mag, wt_mag);
+    let mut g = c.benchmark_group("xnor");
+    g.sample_size(10_000);
+    g.bench_function("dot_xnor_lane", |b| {
+        b.iter(|| black_box(xl.dot_raw(&vals, &wts)))
+    });
+    g.bench_function("dot_xnor_scalar", |b| {
+        b.iter(|| black_box(xs.dot_raw(&vals, &wts)))
+    });
+    g.bench_function("dot_i16_lane", |b| {
+        b.iter(|| black_box(LaneKernel.dot_raw(&vals, &wts)))
+    });
+    g.finish();
+}
+
+/// One binarized front-end inference vs one full-precision LeNet-5
+/// inference through the prepared session — the wall-clock version of
+/// the cascade's per-region cycle advantage (`harness cascade` gates
+/// the modeled ratio at ≥ 4x).
+fn bench_front_vs_full(c: &mut Criterion) {
+    use shidiannao_quant::cascade::{binary_front, full_stage};
+    use shidiannao_serve::binarize_pixel;
+
+    let front = binary_front(42).expect("binarizes");
+    let full = full_stage(42).expect("builds");
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    let front_prepared = accel.prepare(&front.network).expect("prepare front");
+    let full_prepared = accel.prepare(&full).expect("prepare full");
+    let raw = full.random_input(9);
+    let bin = raw.map(|&px| binarize_pixel(px));
+    let mut front_session = front_prepared.session();
+    let mut full_session = full_prepared.session();
+    for _ in 0..16 {
+        let _ = front_session.infer_ref(&bin).expect("warm-up");
+        let _ = full_session.infer_ref(&raw).expect("warm-up");
+    }
+    let mut g = c.benchmark_group("cascade_stage");
+    g.sample_size(200);
+    g.bench_function("front_w1", |b| {
+        b.iter(|| {
+            black_box(
+                front_session
+                    .infer_ref(&bin)
+                    .expect("front")
+                    .stats()
+                    .cycles(),
+            )
+        })
+    });
+    g.bench_function("full_lenet5", |b| {
+        b.iter(|| black_box(full_session.infer_ref(&raw).expect("full").stats().cycles()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     hot_path,
     bench_nb_read_modes,
@@ -387,6 +460,8 @@ criterion_group!(
     bench_optimized_replay,
     bench_tuner_point,
     bench_batch_lanes,
-    bench_reduction_kernels
+    bench_reduction_kernels,
+    bench_xnor_kernels,
+    bench_front_vs_full
 );
 criterion_main!(hot_path);

@@ -2,7 +2,7 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|tune|all|bench]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|tune|cascade|all|bench]
 //! ```
 //!
 //! `harness bench` times the harness itself — each experiment serially
@@ -54,11 +54,27 @@
 //! optimized-schedule bit-identity certificate, or (in smoke mode) if
 //! the frozen frontier labels or tenant picks drifted.
 //!
-//! The five gated subcommands share one exit-code policy: the summary
+//! `harness cascade [--smoke]` runs the quantized two-stage early-exit
+//! cascade: a 1-bit binarized front-end (XNOR kernels certified
+//! bit-identical to the 16-bit kernels) scores every sensor region and
+//! only above-threshold regions escalate to the full-precision LeNet-5.
+//! It writes `BENCH_cascade.json` (escalation rate, cycles/energy saved
+//! vs all-full-precision, accuracy delta vs the run-everything oracle,
+//! bit-identity certificates for both stages, and the w16/w2/w1
+//! quantization accuracy study) and fails if the document is not
+//! byte-identical across three evaluations (one pinned to a single
+//! rayon worker), if the front-end's per-inference cycle advantage
+//! falls below 4x, if the cascade is not strictly cheaper than the
+//! baseline on both cycles and energy, if either stage diverges from
+//! the fixed-point golden reference, if the XNOR kernels fail
+//! certification, or (in smoke mode) if the frozen escalation count
+//! drifted.
+//!
+//! The six gated subcommands share one exit-code policy: the summary
 //! goes to stdout, every gate violation goes to stderr, and the process
 //! exits nonzero iff at least one gate failed.
 
-use shidiannao_bench::{cluster, faults, perf, report, serve, tune};
+use shidiannao_bench::{cascade, cluster, faults, perf, report, serve, tune};
 use std::env;
 use std::process::ExitCode;
 
@@ -179,6 +195,7 @@ fn main() -> ExitCode {
         "serve" => Some(run_serve(smoke_flag())),
         "cluster" => Some(run_cluster(smoke_flag())),
         "tune" => Some(tune::run_tune(smoke_flag())),
+        "cascade" => Some(cascade::run_cascade(smoke_flag())),
         _ => None,
     };
     if let Some((out, errors)) = gated {
@@ -239,7 +256,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster tune calib bench all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster tune cascade calib bench all"
             );
             return ExitCode::FAILURE;
         }

@@ -8,6 +8,7 @@
 //! measured-vs-paper numbers are recorded in EXPERIMENTS.md.
 
 pub mod alloc;
+pub mod cascade;
 pub mod cluster;
 pub mod experiments;
 pub mod faults;
@@ -23,6 +24,7 @@ pub mod tune;
 #[global_allocator]
 static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
+pub use cascade::{run_cascade, CascadeBenchReport};
 pub use experiments::{
     compute_paper_runs, design_space_sweep, fig18_speedups, fig19_energy, fig7_bandwidth,
     framerate_report, paper_runs, reuse_report, table1_storage, table4_characteristics,
@@ -32,7 +34,9 @@ pub use experiments::{
 pub use faults::{DegradationRow, FaultCell, FaultReport, ProtectionOverhead};
 pub use perf::{ExperimentTiming, PerfReport, ThroughputRow};
 pub use serve::{serve_report, ServeBenchReport};
-pub use tune::{run_tune, tuned_shard_specs, TenantPick, TunePoint, TuneReport};
+pub use tune::{
+    run_tune, tuned_shard_specs, tuned_shard_specs_for, TenantPick, TunePoint, TuneReport,
+};
 
 /// Geometric mean of a non-empty slice.
 ///

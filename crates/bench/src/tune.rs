@@ -42,9 +42,9 @@ use crate::experiments::{prepared_cache_stats, prepared_cached, SEED};
 use crate::json::{comma, json_f64, json_str};
 use rayon::prelude::*;
 use shidiannao_cnn::{zoo, Network};
-use shidiannao_core::area::area_with_protection;
+use shidiannao_core::area::{area_with_precision, area_with_protection};
 use shidiannao_core::energy::EnergyModel;
-use shidiannao_core::{AcceleratorConfig, SramProtection};
+use shidiannao_core::{AcceleratorConfig, SramProtection, WeightPrecision};
 
 /// Square PE-mesh sides swept by the full grid.
 pub const FULL_SIDES: [usize; 13] = [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
@@ -70,6 +70,17 @@ pub const PROTECTIONS: [SramProtection; 3] = [
     SramProtection::None,
     SramProtection::Parity,
     SramProtection::Secded,
+];
+
+/// Weight precisions costed per point, in column order. The 16-bit
+/// column drives frontier dominance and the picks; the 2-bit and 1-bit
+/// columns are informational (`shidiannao-quant` certifies when a
+/// network can actually run at them), so adding them cannot move the
+/// frozen frontier.
+pub const PRECISIONS: [WeightPrecision; 3] = [
+    WeightPrecision::W16,
+    WeightPrecision::W2,
+    WeightPrecision::W1,
 ];
 
 /// Minimum evaluated grid points the full run must cover.
@@ -134,6 +145,11 @@ pub struct NetCost {
     pub cycles: u64,
     /// Modeled energy per inference at the point's protection level.
     pub energy_nj: f64,
+    /// The same inference re-costed with 2-bit weights
+    /// ([`WeightPrecision::W2`] PE/SB scaling).
+    pub energy_nj_w2: f64,
+    /// The same inference re-costed with 1-bit weights (XNOR datapath).
+    pub energy_nj_w1: f64,
 }
 
 /// One evaluated design point.
@@ -158,10 +174,16 @@ pub struct TunePoint {
     pub per_net: Vec<NetCost>,
     /// Total accelerator area at 65 nm, protection overhead included.
     pub area_mm2: f64,
+    /// Area with the SB and multiplier array shrunk for 1-bit weights.
+    pub area_mm2_w1: f64,
     /// Geomean cycles over the networks (0 unless fully feasible).
     pub geomean_cycles: f64,
     /// Geomean energy over the networks (0 unless fully feasible).
     pub geomean_energy_nj: f64,
+    /// Geomean 2-bit-weight energy (informational column).
+    pub geomean_energy_nj_w2: f64,
+    /// Geomean 1-bit-weight energy (informational column).
+    pub geomean_energy_nj_w1: f64,
     /// Whether the point sits on the Pareto frontier.
     pub on_frontier: bool,
 }
@@ -180,6 +202,13 @@ impl TunePoint {
     /// Geomean energy-delay-area product (0 unless fully feasible).
     pub fn edap(&self) -> f64 {
         self.geomean_energy_nj * self.geomean_cycles * self.area_mm2
+    }
+
+    /// The EDAP the point would post if every network ran with 1-bit
+    /// weights (same cycles, W1 energy and area). Informational: it
+    /// selects the binary front-end shard, never the frontier.
+    pub fn edap_w1(&self) -> f64 {
+        self.geomean_energy_nj_w1 * self.geomean_cycles * self.area_mm2_w1
     }
 }
 
@@ -274,7 +303,7 @@ pub fn evaluate(smoke: bool) -> TuneReport {
     let pairs: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|c| (0..nets.len()).map(move |n| (c, n)))
         .collect();
-    let sims: Vec<Option<(u64, [f64; 3])>> = pairs
+    let sims: Vec<Option<(u64, [[f64; 3]; 3])>> = pairs
         .into_par_iter()
         .map(|(c, n)| {
             let (side, nb_kb, sb_kb) = configs[c];
@@ -282,11 +311,17 @@ pub fn evaluate(smoke: bool) -> TuneReport {
             let prepared = prepared_cached(&nets[n], &cfg).ok()?;
             let run = prepared.run(&nets[n].random_input(SEED ^ 0xABCD)).ok()?;
             let total = run.stats().total();
+            // Per protection × per precision: protection scales the SRAM
+            // terms, precision scales the PE-busy and SB terms, and both
+            // re-cost the same traffic counters from one simulation.
             let energies = PROTECTIONS.map(|p| {
-                EnergyModel::paper_65nm()
-                    .with_sram_protection(p)
-                    .charge(&total)
-                    .total_nj()
+                PRECISIONS.map(|q| {
+                    EnergyModel::paper_65nm()
+                        .with_sram_protection(p)
+                        .with_weight_precision(q)
+                        .charge(&total)
+                        .total_nj()
+                })
             });
             Some((run.stats().cycles(), energies))
         })
@@ -300,6 +335,8 @@ pub fn evaluate(smoke: bool) -> TuneReport {
         for (p_idx, &protection) in PROTECTIONS.iter().enumerate() {
             let cfg = grid_config(side, nb_kb, sb_kb);
             let area_mm2 = area_with_protection(&cfg, protection).total_mm2();
+            let area_mm2_w1 =
+                area_with_precision(&cfg, protection, WeightPrecision::W1).total_mm2();
             let per_net: Vec<NetCost> = if fully {
                 nets.iter()
                     .zip(chunk)
@@ -307,20 +344,30 @@ pub fn evaluate(smoke: bool) -> TuneReport {
                         sim.as_ref().map(|&(cycles, energies)| NetCost {
                             net: net.name().to_string(),
                             cycles,
-                            energy_nj: energies[p_idx],
+                            energy_nj: energies[p_idx][0],
+                            energy_nj_w2: energies[p_idx][1],
+                            energy_nj_w1: energies[p_idx][2],
                         })
                     })
                     .collect()
             } else {
                 Vec::new()
             };
-            let (geomean_cycles, geomean_energy_nj) = if fully {
-                let cycles: Vec<f64> = per_net.iter().map(|n| n.cycles as f64).collect();
-                let energies: Vec<f64> = per_net.iter().map(|n| n.energy_nj).collect();
-                (crate::geomean(&cycles), crate::geomean(&energies))
-            } else {
-                (0.0, 0.0)
+            let gm = |f: fn(&NetCost) -> f64| {
+                let v: Vec<f64> = per_net.iter().map(f).collect();
+                crate::geomean(&v)
             };
+            let (geomean_cycles, geomean_energy_nj, geomean_energy_nj_w2, geomean_energy_nj_w1) =
+                if fully {
+                    (
+                        gm(|n| n.cycles as f64),
+                        gm(|n| n.energy_nj),
+                        gm(|n| n.energy_nj_w2),
+                        gm(|n| n.energy_nj_w1),
+                    )
+                } else {
+                    (0.0, 0.0, 0.0, 0.0)
+                };
             points.push(TunePoint {
                 label: format!(
                     "pe{side}x{side}-nb{nb_kb}k-sb{sb_kb}k-{}",
@@ -334,8 +381,11 @@ pub fn evaluate(smoke: bool) -> TuneReport {
                 networks: nets.len(),
                 per_net,
                 area_mm2,
+                area_mm2_w1,
                 geomean_cycles,
                 geomean_energy_nj,
+                geomean_energy_nj_w2,
+                geomean_energy_nj_w1,
                 on_frontier: false,
             });
         }
@@ -446,7 +496,19 @@ fn certify_picks(nets: &[Network], picks: &[TenantPick], points: &[TunePoint]) -
 /// The tuner-chosen heterogeneous shard fleet for `harness cluster`:
 /// the distinct accelerator configurations among the smoke-grid tenant
 /// picks, as `(shard name, configuration)` pairs in pick order.
+/// Equivalent to [`tuned_shard_specs_for`]`(false)` — the cluster
+/// bench's frozen ledgers depend on this exact fleet.
 pub fn tuned_shard_specs() -> Vec<(String, AcceleratorConfig)> {
+    tuned_shard_specs_for(false)
+}
+
+/// [`tuned_shard_specs`], optionally extended with a **binary
+/// front-end shard**: the frontier point minimizing the Gabor tenant's
+/// 1-bit EDAP (`energy_w1 × cycles × area_w1`), named
+/// `tuned-binary-front`. A cascade deployment pins its binarized
+/// front-end tenant to that shard while the full-precision tenants
+/// stay on the 16-bit picks.
+pub fn tuned_shard_specs_for(include_binary_front: bool) -> Vec<(String, AcceleratorConfig)> {
     let report = evaluate(true);
     let mut specs: Vec<(String, AcceleratorConfig)> = Vec::new();
     for pick in &report.picks {
@@ -464,6 +526,20 @@ pub fn tuned_shard_specs() -> Vec<(String, AcceleratorConfig)> {
             ),
             cfg,
         ));
+    }
+    if include_binary_front {
+        let front = report
+            .points
+            .iter()
+            .filter(|p| p.on_frontier)
+            .filter_map(|p| {
+                let gabor = p.per_net.iter().find(|n| n.net == "Gabor")?;
+                Some((gabor.energy_nj_w1 * gabor.cycles as f64 * p.area_mm2_w1, p))
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((_, point)) = front {
+            specs.push(("tuned-binary-front".to_string(), point.config()));
+        }
     }
     specs
 }
@@ -506,8 +582,10 @@ impl TuneReport {
             out += &format!(
                 "    {{\"label\": {}, \"side\": {}, \"nb_kb\": {}, \"sb_kb\": {}, \
                  \"protection\": {}, \"feasible\": {}, \"networks\": {}, \
-                 \"area_mm2\": {}, \"geomean_cycles\": {}, \
-                 \"geomean_energy_nj\": {}, \"edap\": {}, \"on_frontier\": {}}}{}\n",
+                 \"area_mm2\": {}, \"area_mm2_w1\": {}, \"geomean_cycles\": {}, \
+                 \"geomean_energy_nj\": {}, \"geomean_energy_nj_w2\": {}, \
+                 \"geomean_energy_nj_w1\": {}, \"edap\": {}, \"edap_w1\": {}, \
+                 \"on_frontier\": {}}}{}\n",
                 json_str(&p.label),
                 p.side,
                 p.nb_kb,
@@ -516,9 +594,13 @@ impl TuneReport {
                 p.feasible,
                 p.networks,
                 json_f64(p.area_mm2),
+                json_f64(p.area_mm2_w1),
                 json_f64(p.geomean_cycles),
                 json_f64(p.geomean_energy_nj),
+                json_f64(p.geomean_energy_nj_w2),
+                json_f64(p.geomean_energy_nj_w1),
                 json_f64(p.edap()),
+                json_f64(p.edap_w1()),
                 p.on_frontier,
                 comma(i, self.points.len()),
             );
@@ -561,15 +643,17 @@ impl TuneReport {
             self.fully_feasible(),
             self.frontier_labels().len(),
         );
-        out +=
-            "frontier point                  area mm2  geomean cycles  geomean nJ          EDAP\n";
+        out += "frontier point                  area mm2  geomean cycles  geomean nJ  \
+                w2 nJ    w1 nJ          EDAP\n";
         for p in self.points.iter().filter(|p| p.on_frontier) {
             out += &format!(
-                "{:<30} {:>9.3} {:>15.1} {:>11.1} {:>13.3e}\n",
+                "{:<30} {:>9.3} {:>15.1} {:>11.1} {:>8.1} {:>8.1} {:>13.3e}\n",
                 p.label,
                 p.area_mm2,
                 p.geomean_cycles,
                 p.geomean_energy_nj,
+                p.geomean_energy_nj_w2,
+                p.geomean_energy_nj_w1,
                 p.edap(),
             );
         }
@@ -748,6 +832,36 @@ mod tests {
             assert!(name.starts_with("tuned-pe"), "{name}");
             assert!(cfg.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn precision_columns_order_strictly_and_leave_the_frontier_alone() {
+        let report = evaluate(true);
+        for p in report.points.iter().filter(|p| p.fully_feasible()) {
+            // Narrower weights strictly cheaper: w1 < w2 < w16 on both
+            // energy and (for w1) area.
+            assert!(p.geomean_energy_nj_w1 < p.geomean_energy_nj_w2);
+            assert!(p.geomean_energy_nj_w2 < p.geomean_energy_nj);
+            assert!(p.area_mm2_w1 < p.area_mm2);
+            for n in &p.per_net {
+                assert!(n.energy_nj_w1 < n.energy_nj_w2);
+                assert!(n.energy_nj_w2 < n.energy_nj);
+            }
+        }
+        // The informational columns must not have moved the frozen
+        // frontier (dominance still runs on the 16-bit column).
+        assert_eq!(report.frontier_labels(), EXPECTED_SMOKE_FRONTIER);
+    }
+
+    #[test]
+    fn binary_front_shard_extends_but_never_perturbs_the_fleet() {
+        let base = tuned_shard_specs();
+        let with_front = tuned_shard_specs_for(true);
+        assert_eq!(with_front.len(), base.len() + 1);
+        assert_eq!(&with_front[..base.len()], &base[..]);
+        let (name, cfg) = with_front.last().unwrap();
+        assert_eq!(name, "tuned-binary-front");
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

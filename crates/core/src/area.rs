@@ -8,6 +8,7 @@
 //! other design points.
 
 use crate::config::AcceleratorConfig;
+use crate::energy::WeightPrecision;
 use core::fmt;
 use shidiannao_faults::SramProtection;
 
@@ -95,6 +96,28 @@ pub fn area_with_protection(cfg: &AcceleratorConfig, protection: SramProtection)
         nbout_mm2: base.nbout_mm2 * storage,
         sb_mm2: base.sb_mm2 * storage,
         ib_mm2: base.ib_mm2 * storage,
+    }
+}
+
+/// Estimates the silicon area with both SRAM protection and a synaptic
+/// weight precision applied: the SB shrinks to the packed word width
+/// ([`WeightPrecision::sb_scale`]) before the check-bit overhead grows
+/// it back, and the NFU multiplier array shrinks by the same PE factor
+/// the energy model uses ([`WeightPrecision::pe_scale`]) — only the
+/// multiplier share of the PE, taken as half of the NFU area, scales;
+/// accumulators, FIFOs, and the ALU stay full-width. `W16` is exactly
+/// [`area_with_protection`].
+pub fn area_with_precision(
+    cfg: &AcceleratorConfig,
+    protection: SramProtection,
+    precision: WeightPrecision,
+) -> AreaReport {
+    let base = area_with_protection(cfg, protection);
+    let mul_share = 0.5;
+    AreaReport {
+        nfu_mm2: base.nfu_mm2 * (1.0 - mul_share + mul_share * precision.pe_scale()),
+        sb_mm2: base.sb_mm2 * precision.sb_scale(),
+        ..base
     }
 }
 
@@ -212,6 +235,24 @@ mod tests {
         let parity = area_with_protection(&cfg, SramProtection::Parity);
         assert!(parity.total_mm2() > base.total_mm2());
         assert!(parity.total_mm2() < secded.total_mm2());
+    }
+
+    #[test]
+    fn precision_shrinks_sb_and_multipliers_only() {
+        let cfg = AcceleratorConfig::paper();
+        let base = area_with_protection(&cfg, SramProtection::None);
+        assert_eq!(
+            area_with_precision(&cfg, SramProtection::None, WeightPrecision::W16),
+            base
+        );
+        let w1 = area_with_precision(&cfg, SramProtection::None, WeightPrecision::W1);
+        assert!((w1.sb_mm2 / base.sb_mm2 - 1.0 / 16.0).abs() < 1e-12);
+        assert!((w1.nfu_mm2 / base.nfu_mm2 - 0.5625).abs() < 1e-12);
+        assert_eq!(w1.nbin_mm2, base.nbin_mm2);
+        assert_eq!(w1.ib_mm2, base.ib_mm2);
+        let w2 = area_with_precision(&cfg, SramProtection::None, WeightPrecision::W2);
+        assert!(w2.total_mm2() > w1.total_mm2());
+        assert!(w2.total_mm2() < base.total_mm2());
     }
 
     #[test]

@@ -12,6 +12,65 @@ use crate::stats::{LayerStats, RunStats};
 use core::fmt;
 use shidiannao_faults::SramProtection;
 
+/// Synaptic-weight storage precision (the SB word width).
+///
+/// The baseline accelerator stores 16-bit Q7.8 weights. The quantized
+/// execution modes (`shidiannao-quant`) pack sign-binarized weights as
+/// 1-bit or 2-bit SB words and replace the 16×16 multiplier array with
+/// XNOR-popcount (1-bit) or two-plane add/sub (2-bit) datapaths. Cycle
+/// counts are unchanged — the mesh still retires one MAC-equivalent per
+/// PE per cycle — but SB traffic and multiplier energy scale down, which
+/// [`EnergyModel::with_weight_precision`] models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WeightPrecision {
+    /// The paper's 16-bit fixed-point weights.
+    #[default]
+    W16,
+    /// 2-bit weights: two sign bit-planes, values `{-3, -1, +1, +3} × α`.
+    W2,
+    /// 1-bit weights: one sign bit-plane, values `±α`.
+    W1,
+}
+
+impl WeightPrecision {
+    /// SB word width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            WeightPrecision::W16 => 16,
+            WeightPrecision::W2 => 2,
+            WeightPrecision::W1 => 1,
+        }
+    }
+
+    /// SB per-byte energy scale: packed words move `bits/16` of the
+    /// baseline bytes for the same synapse traffic.
+    pub fn sb_scale(self) -> f64 {
+        f64::from(self.bits()) / 16.0
+    }
+
+    /// PE arithmetic energy scale. A 16×16 truncated multiplier is an
+    /// array of ~16 partial-product rows; a 1-bit weight reduces it to an
+    /// XNOR + popcount slice and a 2-bit weight to two add/sub planes.
+    /// The accumulator and FIFOs stay full-width, so the scale is held
+    /// conservatively above `bits/16`: 1/8 for 1-bit, 1/4 for 2-bit.
+    pub fn pe_scale(self) -> f64 {
+        match self {
+            WeightPrecision::W16 => 1.0,
+            WeightPrecision::W2 => 0.25,
+            WeightPrecision::W1 => 0.125,
+        }
+    }
+
+    /// Stable lowercase label (`w16`/`w2`/`w1`) for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightPrecision::W16 => "w16",
+            WeightPrecision::W2 => "w2",
+            WeightPrecision::W1 => "w1",
+        }
+    }
+}
+
 /// Per-event energies in picojoules.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
@@ -74,6 +133,28 @@ impl EnergyModel {
             sb_byte_pj: self.sb_byte_pj * storage,
             sb_access_pj: self.sb_access_pj * logic,
             ib_byte_pj: self.ib_byte_pj * storage,
+        }
+    }
+
+    /// Derives a model with per-precision scaling applied: SB per-byte
+    /// energy scales with the packed word width
+    /// ([`WeightPrecision::sb_scale`]) and PE arithmetic energy with the
+    /// reduced multiplier datapath ([`WeightPrecision::pe_scale`]).
+    /// Neuron buffers, the ALU, and the IB are unchanged — activations
+    /// and instructions stay 16-bit/61-bit. `WeightPrecision::W16`
+    /// returns the model unchanged, so the Table 4 calibration is
+    /// unaffected. Composes with
+    /// [`with_sram_protection`](EnergyModel::with_sram_protection):
+    /// check bits protect the packed words.
+    pub fn with_weight_precision(&self, precision: WeightPrecision) -> EnergyModel {
+        let pe = precision.pe_scale();
+        let sb = precision.sb_scale();
+        EnergyModel {
+            pe_busy_pj: self.pe_busy_pj * pe,
+            pe_idle_pj: self.pe_idle_pj,
+            alu_op_pj: self.alu_op_pj,
+            sb_byte_pj: self.sb_byte_pj * sb,
+            ..*self
         }
     }
 
@@ -266,6 +347,39 @@ mod tests {
         let parity = base.with_sram_protection(SramProtection::Parity);
         assert!(parity.nb_read_byte_pj < secded.nb_read_byte_pj);
         assert!(parity.nb_read_byte_pj > base.nb_read_byte_pj);
+    }
+
+    #[test]
+    fn weight_precision_scales_sb_and_pe_only() {
+        let base = EnergyModel::paper_65nm();
+        assert_eq!(base.with_weight_precision(WeightPrecision::W16), base);
+        let w1 = base.with_weight_precision(WeightPrecision::W1);
+        assert!((w1.sb_byte_pj / base.sb_byte_pj - 1.0 / 16.0).abs() < 1e-12);
+        assert!((w1.pe_busy_pj / base.pe_busy_pj - 0.125).abs() < 1e-12);
+        assert_eq!(w1.nb_read_byte_pj, base.nb_read_byte_pj);
+        assert_eq!(w1.alu_op_pj, base.alu_op_pj);
+        assert_eq!(w1.ib_byte_pj, base.ib_byte_pj);
+        assert_eq!(w1.pe_idle_pj, base.pe_idle_pj);
+        let w2 = base.with_weight_precision(WeightPrecision::W2);
+        assert!(w2.sb_byte_pj > w1.sb_byte_pj && w2.sb_byte_pj < base.sb_byte_pj);
+        assert!(w2.pe_busy_pj > w1.pe_busy_pj && w2.pe_busy_pj < base.pe_busy_pj);
+        // A quantized charge is strictly cheaper on a busy layer.
+        let s = sample_stats();
+        assert!(w1.charge(&s).total_nj() < base.charge(&s).total_nj());
+        // Precision and protection scaling compose.
+        let both = base
+            .with_weight_precision(WeightPrecision::W1)
+            .with_sram_protection(SramProtection::Parity);
+        assert!(both.sb_byte_pj > w1.sb_byte_pj);
+    }
+
+    #[test]
+    fn precision_labels_and_bits() {
+        assert_eq!(WeightPrecision::W16.bits(), 16);
+        assert_eq!(WeightPrecision::W2.bits(), 2);
+        assert_eq!(WeightPrecision::W1.bits(), 1);
+        assert_eq!(WeightPrecision::W1.label(), "w1");
+        assert_eq!(WeightPrecision::default(), WeightPrecision::W16);
     }
 
     #[test]

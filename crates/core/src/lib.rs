@@ -73,6 +73,7 @@ pub use buffer::{
     CapacityError, EmptyBufferError, InstructionBuffer, NeuronBuffer, ReadScratch, SynapseBuffer,
 };
 pub use config::{AcceleratorConfig, ConfigError};
+pub use energy::{EnergyModel, EnergyReport, WeightPrecision};
 pub use hfsm::{FirstState, Hfsm, SecondState, TransitionError};
 pub use nfu::Nfu;
 pub use opt::{OptConfig, OptReport};

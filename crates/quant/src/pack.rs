@@ -1,0 +1,357 @@
+//! Bit-plane weight packing for the SB.
+//!
+//! The paper stores 16-bit weights in the synapse buffer; the binary
+//! execution mode stores one sign bit per weight (W1) or two bits per
+//! weight (W2) plus one shared magnitude per weight group. This module
+//! is the storage half of that claim: [`PackedWeights`] holds the
+//! planes, round-trips back to the exact `Fx` values, and reports the
+//! packed SB footprint the per-precision energy/area scaling charges.
+//!
+//! # Encoding
+//!
+//! Both precisions store sign bit-planes in `u64` words, weight `i` at
+//! bit `i % 64` of word `i / 64` (bit set ⇔ the factor is `+1`):
+//!
+//! * **W1** — one plane; weight `i` is `±α` where `α` is the group
+//!   scale: `w = b₀·α`, `b₀ ∈ {−1, +1}`.
+//! * **W2** — two planes; `w = (2·b₁ + b₀)·s` with `b₁, b₀ ∈ {−1, +1}`,
+//!   which spans the four levels `{−3, −1, +1, +3}·s` for step `s`.
+//!   `b₁` is the sign; `b₀` distinguishes the outer magnitude on the
+//!   positive side and the inner one on the negative side.
+//!
+//! The scale is itself an ordinary `Fx`, so unpacking reproduces the
+//! exact 16-bit values the quantizer wrote into the network — packing
+//! is lossless *given* quantized weights, and [`PackedWeights::pack`]
+//! rejects any weight that is not one of the precision's levels.
+
+use shidiannao_fixed::Fx;
+
+use crate::QuantError;
+use shidiannao_core::WeightPrecision;
+
+/// The sign predicate shared by the packer and the XNOR kernels: zero
+/// packs as `+1`, matching `Fx::to_bits() >= 0`.
+#[inline]
+pub fn sign_is_positive(v: Fx) -> bool {
+    v.to_bits() >= 0
+}
+
+/// Packs the signs of a slice into `u64` words, element `i` at bit
+/// `i % 64` of word `i / 64` (set ⇔ non-negative). This is the load the
+/// XNOR lane kernel does per 64-element chunk, exposed so benches and
+/// tests can stage operands exactly as the datapath would see them.
+pub fn pack_signs(vals: &[Fx]) -> Vec<u64> {
+    let mut words = vec![0u64; vals.len().div_ceil(64)];
+    for (i, &v) in vals.iter().enumerate() {
+        if sign_is_positive(v) {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// A weight group packed at 1 or 2 bits per weight.
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao_fixed::Fx;
+/// use shidiannao_quant::{PackedWeights, WeightPrecision};
+///
+/// let alpha = Fx::from_f32(0.25);
+/// let wts = vec![alpha, -alpha, -alpha, alpha, alpha];
+/// let packed = PackedWeights::pack(&wts, WeightPrecision::W1, alpha).unwrap();
+/// assert_eq!(packed.unpack(), wts); // exact round trip
+/// assert_eq!(packed.sb_bytes(), 1); // 5 sign bits vs 10 bytes at 16-bit
+/// assert_eq!(packed.baseline_sb_bytes(), 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedWeights {
+    precision: WeightPrecision,
+    /// Group magnitude: `α` for W1, the step `s` for W2.
+    scale: Fx,
+    len: usize,
+    /// One plane for W1 (`b₀`), two for W2 (`b₁` then `b₀`).
+    planes: Vec<Vec<u64>>,
+}
+
+impl PackedWeights {
+    /// Packs `wts` at `precision` with the given group scale.
+    ///
+    /// Every weight must be exactly one of the precision's levels for
+    /// that scale (`±scale` for W1; `{±1, ±3}·scale` for W2) — the
+    /// quantizer guarantees this; anything else is a [`QuantError::Pack`].
+    /// `W16` is stored directly in the SB, not bit-plane packed, and
+    /// returns [`QuantError::UnpackedPrecision`].
+    pub fn pack(
+        wts: &[Fx],
+        precision: WeightPrecision,
+        scale: Fx,
+    ) -> Result<PackedWeights, QuantError> {
+        if precision == WeightPrecision::W16 {
+            return Err(QuantError::UnpackedPrecision);
+        }
+        let s = scale.to_bits();
+        if s <= 0 {
+            return Err(QuantError::Pack {
+                reason: format!("scale must be positive, got {scale}"),
+            });
+        }
+        let words = wts.len().div_ceil(64);
+        let mut planes = match precision {
+            WeightPrecision::W1 => vec![vec![0u64; words]],
+            WeightPrecision::W2 => vec![vec![0u64; words], vec![0u64; words]],
+            WeightPrecision::W16 => unreachable!("rejected above"),
+        };
+        for (i, &w) in wts.iter().enumerate() {
+            let wb = i32::from(w.to_bits());
+            let sb = i32::from(s);
+            let bit = 1u64 << (i % 64);
+            match precision {
+                WeightPrecision::W1 => {
+                    // w = b₀·α.
+                    if wb == sb {
+                        planes[0][i / 64] |= bit;
+                    } else if wb != -sb {
+                        return Err(QuantError::Pack {
+                            reason: format!("weight {w} is not ±{scale} (index {i})"),
+                        });
+                    }
+                }
+                WeightPrecision::W2 => {
+                    // w = (2·b₁ + b₀)·s: +3s → (+,+), +s → (+,−),
+                    // −s → (−,+), −3s → (−,−).
+                    let (b1, b0) = if wb == 3 * sb {
+                        (true, true)
+                    } else if wb == sb {
+                        (true, false)
+                    } else if wb == -sb {
+                        (false, true)
+                    } else if wb == -3 * sb {
+                        (false, false)
+                    } else {
+                        return Err(QuantError::Pack {
+                            reason: format!("weight {w} is not (±1|±3)·{scale} (index {i})"),
+                        });
+                    };
+                    if b1 {
+                        planes[0][i / 64] |= bit;
+                    }
+                    if b0 {
+                        planes[1][i / 64] |= bit;
+                    }
+                }
+                WeightPrecision::W16 => unreachable!("rejected above"),
+            }
+        }
+        Ok(PackedWeights {
+            precision,
+            scale,
+            len: wts.len(),
+            planes,
+        })
+    }
+
+    /// Reconstructs the exact `Fx` weight values.
+    pub fn unpack(&self) -> Vec<Fx> {
+        let s = i32::from(self.scale.to_bits());
+        (0..self.len)
+            .map(|i| {
+                let bit = |p: usize| (self.planes[p][i / 64] >> (i % 64)) & 1 == 1;
+                let level = match self.precision {
+                    WeightPrecision::W1 => {
+                        if bit(0) {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                    WeightPrecision::W2 => {
+                        let b1: i32 = if bit(0) { 1 } else { -1 };
+                        let b0: i32 = if bit(1) { 1 } else { -1 };
+                        2 * b1 + b0
+                    }
+                    WeightPrecision::W16 => unreachable!("pack() rejects W16"),
+                };
+                // Levels are at most ±3·scale; the quantizer keeps the
+                // step small enough that this cannot leave i16 (it
+                // packed the same product as an Fx to begin with).
+                Fx::from_bits((level * s) as i16)
+            })
+            .collect()
+    }
+
+    /// The packed precision.
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
+    }
+
+    /// The group magnitude (`α` for W1, the step for W2).
+    pub fn scale(&self) -> Fx {
+        self.scale
+    }
+
+    /// Number of packed weights.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit-planes (`[b₀]` for W1, `[b₁, b₀]` for W2).
+    pub fn planes(&self) -> &[Vec<u64>] {
+        &self.planes
+    }
+
+    /// SB bytes this group occupies packed: `⌈len·bits/8⌉` (the shared
+    /// scale rides in the layer descriptor, not the SB).
+    pub fn sb_bytes(&self) -> usize {
+        (self.len * self.precision.bits() as usize).div_ceil(8)
+    }
+
+    /// SB bytes the same group occupies in the 16-bit store.
+    pub fn baseline_sb_bytes(&self) -> usize {
+        self.len * 2
+    }
+
+    /// Raw Q*.16 dot product straight off the packed planes against a
+    /// sign-binarized value vector (`vals[i] = ±val_mag`), via
+    /// XNOR-popcount per plane. Bit-identical to unpacking and running
+    /// the 16-bit kernel — see `kernel` for the argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val_signs` has fewer sign words than packed weights.
+    pub fn dot_raw_packed(&self, val_signs: &[u64], val_mag: Fx) -> i64 {
+        assert!(
+            val_signs.len() >= self.len.div_ceil(64),
+            "sign words shorter than packed group"
+        );
+        let mv = i64::from(val_mag.to_bits());
+        let ms = i64::from(self.scale.to_bits());
+        // Σ signᵥ·signᵤ per plane, via popcount of XNOR. The last
+        // word's padding bits cancel by masking both operands.
+        let plane_s = |plane: &[u64]| -> i64 {
+            let mut s = 0i64;
+            for (i, (&a, &b)) in val_signs.iter().zip(plane).enumerate() {
+                let valid = self.len - i * 64;
+                let mask = if valid >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << valid) - 1
+                };
+                let matches = (!(a ^ b) & mask).count_ones() as i64;
+                s += 2 * matches - (valid.min(64) as i64);
+            }
+            s
+        };
+        match self.precision {
+            WeightPrecision::W1 => plane_s(&self.planes[0]) * mv * ms,
+            // Σ v·(2b₁+b₀)·s = (2·s₁ + s₀)·v·s.
+            WeightPrecision::W2 => {
+                (2 * plane_s(&self.planes[0]) + plane_s(&self.planes[1])) * mv * ms
+            }
+            WeightPrecision::W16 => unreachable!("pack() rejects W16"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shidiannao_core::kernel::{ScalarKernel, ValueKernel};
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn levels(precision: WeightPrecision, scale: Fx, seed: u64, n: usize) -> Vec<Fx> {
+        let s = scale.to_bits();
+        let mut st = seed;
+        (0..n)
+            .map(|_| {
+                let r = splitmix(&mut st);
+                let lv = match precision {
+                    WeightPrecision::W1 => [s, -s][(r % 2) as usize],
+                    WeightPrecision::W2 => [s, -s, 3 * s, -3 * s][(r % 4) as usize],
+                    WeightPrecision::W16 => unreachable!(),
+                };
+                Fx::from_bits(lv)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_exact_across_lengths() {
+        for precision in [WeightPrecision::W1, WeightPrecision::W2] {
+            for n in [0usize, 1, 5, 63, 64, 65, 200] {
+                let scale = Fx::from_bits(37);
+                let wts = levels(precision, scale, 0x5eed + n as u64, n);
+                let packed = PackedWeights::pack(&wts, precision, scale).unwrap();
+                assert_eq!(packed.unpack(), wts, "{precision:?} n={n}");
+                assert_eq!(packed.len(), n);
+                assert_eq!(
+                    packed.sb_bytes(),
+                    (n * precision.bits() as usize).div_ceil(8)
+                );
+                assert_eq!(packed.baseline_sb_bytes(), 2 * n);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_rejects_off_level_weights_and_w16() {
+        let scale = Fx::from_bits(10);
+        let bad = [Fx::from_bits(10), Fx::from_bits(11)];
+        assert!(matches!(
+            PackedWeights::pack(&bad, WeightPrecision::W1, scale),
+            Err(QuantError::Pack { .. })
+        ));
+        assert!(matches!(
+            PackedWeights::pack(&bad, WeightPrecision::W2, scale),
+            Err(QuantError::Pack { .. })
+        ));
+        assert_eq!(
+            PackedWeights::pack(&[], WeightPrecision::W16, scale),
+            Err(QuantError::UnpackedPrecision)
+        );
+        assert!(matches!(
+            PackedWeights::pack(&[], WeightPrecision::W1, Fx::ZERO),
+            Err(QuantError::Pack { .. })
+        ));
+    }
+
+    #[test]
+    fn packed_dot_matches_unpacked_scalar_kernel() {
+        let val_mag = Fx::from_bits(200);
+        for precision in [WeightPrecision::W1, WeightPrecision::W2] {
+            for n in [1usize, 7, 64, 100, 129] {
+                let scale = Fx::from_bits(21);
+                let wts = levels(precision, scale, 0xabc + n as u64, n);
+                let vals = levels(WeightPrecision::W1, val_mag, 0xdef ^ n as u64, n);
+                let packed = PackedWeights::pack(&wts, precision, scale).unwrap();
+                let signs = pack_signs(&vals);
+                assert_eq!(
+                    packed.dot_raw_packed(&signs, val_mag),
+                    ScalarKernel.dot_raw(&vals, &wts),
+                    "{precision:?} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sign_packing_puts_element_i_at_bit_i() {
+        let vals = [Fx::ONE, -Fx::ONE, Fx::ZERO, -Fx::EPSILON];
+        // +, −, + (zero is non-negative), −  →  0b0101.
+        assert_eq!(pack_signs(&vals), vec![0b0101]);
+        assert_eq!(pack_signs(&[]), Vec::<u64>::new());
+    }
+}

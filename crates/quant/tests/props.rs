@@ -1,0 +1,165 @@
+//! Property-based tests for the quantization subsystem: pack/unpack
+//! round trips, XNOR-vs-scalar bit identity across random shapes, and
+//! cascade determinism.
+
+use proptest::prelude::*;
+use shidiannao_core::kernel::{LaneKernel, ScalarKernel, ValueKernel};
+use shidiannao_fixed::Fx;
+use shidiannao_quant::{
+    cascade::{run_cascade, CascadeConfig},
+    pack::pack_signs,
+    PackedWeights, WeightPrecision, XnorLaneKernel, XnorScalarKernel,
+};
+
+/// Deterministic level sampler shared by the pack properties.
+fn levels(precision: WeightPrecision, scale_bits: i16, seed: u64, n: usize) -> Vec<Fx> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let r = z ^ (z >> 31);
+            let lv = match precision {
+                WeightPrecision::W1 => [scale_bits, -scale_bits][(r % 2) as usize],
+                WeightPrecision::W2 => {
+                    [scale_bits, -scale_bits, 3 * scale_bits, -3 * scale_bits][(r % 4) as usize]
+                }
+                WeightPrecision::W16 => unreachable!(),
+            };
+            Fx::from_bits(lv)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn one_bit_pack_round_trips_exactly(
+        n in 0usize..300,
+        scale_bits in 1i16..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        let scale = Fx::from_bits(scale_bits);
+        let wts = levels(WeightPrecision::W1, scale_bits, seed, n);
+        let packed = PackedWeights::pack(&wts, WeightPrecision::W1, scale).unwrap();
+        prop_assert_eq!(packed.unpack(), wts);
+        prop_assert_eq!(packed.sb_bytes(), n.div_ceil(8));
+        prop_assert_eq!(packed.planes().len(), 1);
+    }
+
+    #[test]
+    fn two_bit_pack_round_trips_exactly(
+        n in 0usize..300,
+        scale_bits in 1i16..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        let scale = Fx::from_bits(scale_bits);
+        let wts = levels(WeightPrecision::W2, scale_bits, seed, n);
+        let packed = PackedWeights::pack(&wts, WeightPrecision::W2, scale).unwrap();
+        prop_assert_eq!(packed.unpack(), wts);
+        prop_assert_eq!(packed.sb_bytes(), (2 * n).div_ceil(8));
+        prop_assert_eq!(packed.planes().len(), 2);
+    }
+
+    #[test]
+    fn packed_dot_equals_the_sixteen_bit_kernels(
+        n in 1usize..300,
+        scale_bits in 1i16..2000,
+        val_bits in 1i16..2000,
+        seed in 0u64..1_000_000,
+        two_bit in 0u8..2,
+    ) {
+        let precision = if two_bit == 1 { WeightPrecision::W2 } else { WeightPrecision::W1 };
+        let scale = Fx::from_bits(scale_bits);
+        let val_mag = Fx::from_bits(val_bits);
+        let wts = levels(precision, scale_bits, seed, n);
+        let vals = levels(WeightPrecision::W1, val_bits, seed ^ 0xffff, n);
+        let packed = PackedWeights::pack(&wts, precision, scale).unwrap();
+        let want = ScalarKernel.dot_raw(&vals, &wts);
+        prop_assert_eq!(packed.dot_raw_packed(&pack_signs(&vals), val_mag), want);
+        prop_assert_eq!(LaneKernel.dot_raw(&vals, &wts), want);
+    }
+
+    #[test]
+    fn xnor_lane_is_bit_identical_to_xnor_scalar_and_the_engine_kernels(
+        n in 1usize..300,
+        stride in 1usize..4,
+        val_bits in 1i16..3000,
+        wt_bits in 1i16..3000,
+        seed in 0u64..1_000_000,
+    ) {
+        let val_mag = Fx::from_bits(val_bits);
+        let wt_mag = Fx::from_bits(wt_bits);
+        let vals = levels(WeightPrecision::W1, val_bits, seed, n);
+        let wts = levels(WeightPrecision::W1, wt_bits, seed ^ 0xaaaa, n);
+        let xs = XnorScalarKernel::new(val_mag, wt_mag);
+        let xl = XnorLaneKernel::new(val_mag, wt_mag);
+
+        let want = ScalarKernel.dot_raw(&vals, &wts);
+        prop_assert_eq!(xs.dot_raw(&vals, &wts), want);
+        prop_assert_eq!(xl.dot_raw(&vals, &wts), want);
+
+        let lanes = (n - 1) / stride + 1;
+        let k = if seed % 2 == 0 { wt_mag } else { -wt_mag };
+        let mut m_ref = vec![0i64; lanes];
+        let mut m_xs = vec![0i64; lanes];
+        let mut m_xl = vec![0i64; lanes];
+        ScalarKernel.shifted_mac(&vals, stride, k, &mut m_ref);
+        xs.shifted_mac(&vals, stride, k, &mut m_xs);
+        xl.shifted_mac(&vals, stride, k, &mut m_xl);
+        prop_assert_eq!(&m_xs, &m_ref);
+        prop_assert_eq!(&m_xl, &m_ref);
+
+        let mut s_ref = vec![0i64; lanes];
+        let mut s_xl = vec![0i64; lanes];
+        ScalarKernel.shifted_sum(&vals, stride, &mut s_ref);
+        xl.shifted_sum(&vals, stride, &mut s_xl);
+        prop_assert_eq!(&s_xl, &s_ref);
+
+        let mut c_ref = vec![Fx::MIN; lanes];
+        let mut c_xl = vec![Fx::MIN; lanes];
+        ScalarKernel.shifted_max(&vals, stride, &mut c_ref);
+        xl.shifted_max(&vals, stride, &mut c_xl);
+        prop_assert_eq!(&c_xl, &c_ref);
+    }
+
+}
+
+proptest! {
+    // Each case prepares both stages twice; a handful of cases is
+    // plenty to pin determinism across seeds and thresholds.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cascade_is_a_pure_function_of_its_config(
+        seed in 0u64..16,
+        threshold_bits in -30i16..120,
+    ) {
+        let mut cfg = CascadeConfig::smoke();
+        cfg.frames = 1;
+        cfg.seed = 2015 + seed;
+        cfg.threshold = Fx::from_bits(threshold_bits);
+        let a = run_cascade(&cfg).unwrap();
+        let b = run_cascade(&cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        // The escalation set is exactly the above-threshold set, and the
+        // aggregates follow from it.
+        let escalated: Vec<bool> =
+            a.regions.iter().map(|r| r.front_score >= cfg.threshold).collect();
+        prop_assert_eq!(
+            escalated.iter().filter(|&&e| e).count(),
+            a.escalated
+        );
+        for (r, e) in a.regions.iter().zip(&escalated) {
+            prop_assert_eq!(r.escalated(), *e);
+        }
+        prop_assert_eq!(
+            a.cascade_cycles,
+            a.front_cycles * a.regions.len() as u64 + a.full_cycles * a.escalated as u64
+        );
+        prop_assert!(a.front_bit_identical && a.full_bit_identical);
+    }
+}

@@ -67,7 +67,7 @@ pub use cluster::{
     ShardSpec,
 };
 pub use health::{HealthConfig, ShardState};
-pub use loadgen::{InputSource, TenantSpec, Traffic};
+pub use loadgen::{binarize_pixel, InputSource, TenantSpec, Traffic};
 pub use queue::{BoundedQueue, QueueFull, Request};
 pub use scheduler::FairScheduler;
 pub use service::{

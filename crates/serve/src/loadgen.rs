@@ -76,6 +76,20 @@ pub enum InputSource {
         /// Region tiling stride `(x, y)`.
         stride: (usize, usize),
     },
+    /// [`InputSource::Stream`] with every region pixel sign-binarized to
+    /// `±1.0` against the mid-scale threshold (pixel ≥ 0.5 → `+1`) — the
+    /// input a binary front-end tenant (`shidiannao-quant`) consumes.
+    /// The comparator sits in the sensor readout, so a binarized tenant
+    /// moves 1-bit pixels instead of 8-bit ones; the stacked input is
+    /// still Q7.8 `±ONE` values on the wire into NBin.
+    BinarizedStream {
+        /// Sensor seed.
+        seed: u64,
+        /// Sensor frame dimensions `(width, height)`.
+        frame: (usize, usize),
+        /// Region tiling stride `(x, y)`.
+        stride: (usize, usize),
+    },
 }
 
 /// One tenant of the service: a network plus traffic, SLO, fault
@@ -184,28 +198,59 @@ impl TenantSpec {
                 seed,
                 frame,
                 stride,
-            } => {
-                let dims = self.network.input_dims();
-                let grid = RegionGrid::new(frame, dims, stride);
-                let regions = grid.count() as u64;
-                let frame_index = seq / regions;
-                let region = (seq % regions) as usize;
-                // Frames are cheap (a hash per pixel) and random access
-                // is rare, so replay the sensor up to the frame we need.
-                // Scanline faults ride the tenant's fault plan, like the
-                // streaming pipeline's camera does.
-                let mut cam = FaultySensor::new(SyntheticSensor::new(frame.0, frame.1, seed), {
-                    FaultPlan::new(self.faults)
-                });
-                let mut f = cam.next_frame();
-                for _ in 0..frame_index {
-                    f = cam.next_frame();
-                }
-                let (nx, _) = grid.counts();
-                let origin = grid.origin(region % nx, region / nx);
-                f.try_region_stacked(origin, dims, self.network.input_maps())
-            }
+            } => self.stream_region(seed, frame, stride, seq, false),
+            InputSource::BinarizedStream {
+                seed,
+                frame,
+                stride,
+            } => self.stream_region(seed, frame, stride, seq, true),
         }
+    }
+
+    /// The shared streaming path behind [`InputSource::Stream`] and
+    /// [`InputSource::BinarizedStream`].
+    fn stream_region(
+        &self,
+        seed: u64,
+        frame: (usize, usize),
+        stride: (usize, usize),
+        seq: u64,
+        binarize: bool,
+    ) -> Result<MapStack<Fx>, StreamError> {
+        let dims = self.network.input_dims();
+        let grid = RegionGrid::new(frame, dims, stride);
+        let regions = grid.count() as u64;
+        let frame_index = seq / regions;
+        let region = (seq % regions) as usize;
+        // Frames are cheap (a hash per pixel) and random access
+        // is rare, so replay the sensor up to the frame we need.
+        // Scanline faults ride the tenant's fault plan, like the
+        // streaming pipeline's camera does.
+        let mut cam = FaultySensor::new(SyntheticSensor::new(frame.0, frame.1, seed), {
+            FaultPlan::new(self.faults)
+        });
+        let mut f = cam.next_frame();
+        for _ in 0..frame_index {
+            f = cam.next_frame();
+        }
+        let (nx, _) = grid.counts();
+        let origin = grid.origin(region % nx, region / nx);
+        let stack = f.try_region_stacked(origin, dims, self.network.input_maps())?;
+        Ok(if binarize {
+            stack.map(|&px| binarize_pixel(px))
+        } else {
+            stack
+        })
+    }
+}
+
+/// Sign-binarizes one sensor pixel against the mid-scale threshold:
+/// `[0.5, 1) → +ONE`, `[0, 0.5) → -ONE`.
+pub fn binarize_pixel(px: Fx) -> Fx {
+    if px >= Fx::from_f32(0.5) {
+        Fx::ONE
+    } else {
+        -Fx::ONE
     }
 }
 
@@ -363,6 +408,32 @@ mod tests {
         assert_eq!(a.flatten(), b.flatten());
         let c = spec.build_input(5).expect("input");
         assert_ne!(a.flatten(), c.flatten());
+    }
+
+    #[test]
+    fn binarized_stream_is_pure_sign_of_the_raw_stream() {
+        let net = shidiannao_cnn::zoo::gabor().build(1).expect("build gabor");
+        let raw = TenantSpec::new("g", net.clone()).source(InputSource::Stream {
+            seed: 5,
+            frame: (40, 40),
+            stride: (20, 20),
+        });
+        let bin = TenantSpec::new("g", net).source(InputSource::BinarizedStream {
+            seed: 5,
+            frame: (40, 40),
+            stride: (20, 20),
+        });
+        for seq in [0u64, 3, 7] {
+            let r = raw.build_input(seq).expect("raw region").flatten();
+            let b = bin.build_input(seq).expect("binarized region").flatten();
+            assert!(b.iter().all(|&v| v == Fx::ONE || v == -Fx::ONE));
+            for (r, b) in r.iter().zip(&b) {
+                assert_eq!(*b, binarize_pixel(*r), "seq {seq}");
+            }
+            // Pure replay.
+            let again = bin.build_input(seq).expect("replay").flatten();
+            assert_eq!(b, again);
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use shidiannao_cnn as cnn;
 pub use shidiannao_core as sim;
 pub use shidiannao_faults as faults;
 pub use shidiannao_fixed as fixed;
+pub use shidiannao_quant as quant;
 pub use shidiannao_sensor as sensor;
 pub use shidiannao_serve as serve;
 pub use shidiannao_tensor as tensor;
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use crate::cnn::{zoo, Layer, Network, NetworkBuilder};
     pub use crate::fixed::{Accum, Fx, Pla};
     pub use crate::pipeline::{DegradePolicy, StreamingPipeline};
+    pub use crate::quant::{CascadeConfig, QuantizedNetwork, WeightPrecision};
     pub use crate::sensor::{FrameSource, RegionStream};
     pub use crate::serve::{
         Cluster, ClusterConfig, InferenceService, ServeConfig, ShardFaultConfig, ShardSpec,
