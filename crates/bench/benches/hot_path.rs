@@ -451,6 +451,117 @@ fn bench_front_vs_full(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-region frame differencing — the sensor-side cost every video
+/// frame pays before any gating decision. `observe_clean` diffs a frame
+/// against an identical predecessor (steady state of a static scene);
+/// `observe_dirty` alternates two frames of a panning scene so every
+/// region crosses the threshold.
+fn bench_frame_diff(c: &mut Criterion) {
+    use shidiannao_sensor::{FrameDelta, FrameSource, Motion, RegionGrid, VideoSensor};
+
+    let grid = RegionGrid::new((60, 60), (20, 20), (20, 20));
+    let mut cam = VideoSensor::new(60, 60, 7, Motion::Static);
+    let frame = cam.next_frame();
+    let mut pan = VideoSensor::new(60, 60, 7, Motion::Pan { dx: 3, dy: 1 });
+    let (pan_a, pan_b) = (pan.next_frame(), pan.next_frame());
+    let mut delta = FrameDelta::new(grid, 8);
+    delta.observe(&frame).expect("dims match");
+    let mut pan_delta = FrameDelta::new(grid, 8);
+    pan_delta.observe(&pan_a).expect("dims match");
+    let mut flip = false;
+    let mut g = c.benchmark_group("frame_diff");
+    g.sample_size(10_000);
+    g.bench_function("observe_clean", |b| {
+        b.iter(|| black_box(delta.observe(&frame).expect("dims match").dirty_count()))
+    });
+    g.bench_function("observe_dirty", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let f = if flip { &pan_b } else { &pan_a };
+            black_box(pan_delta.observe(f).expect("dims match").dirty_count())
+        })
+    });
+    g.finish();
+}
+
+/// Cross-frame NBin residency: a warm `infer_delta_ref` repeat of an
+/// unchanged input (hash-compare every row, stream none) against the
+/// plain cold-load `infer_ref` (stream every row). The gap is what the
+/// video pipeline's per-region residency buys on a static region.
+fn bench_delta_load(c: &mut Criterion) {
+    use shidiannao_core::NbResidency;
+
+    let net = NetworkBuilder::new("delta", 1, (16, 16))
+        .conv(ConvSpec::new(4, (5, 5)))
+        .pool(PoolSpec::max((2, 2)))
+        .fc(FcSpec::new(10))
+        .build(7)
+        .expect("valid network");
+    let input = net.random_input(9);
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    let prepared = accel.prepare(&net).expect("prepare");
+    let mut warm = prepared.session();
+    let mut residency = NbResidency::new();
+    let mut cold = prepared.session();
+    for _ in 0..16 {
+        let _ = warm
+            .infer_delta_ref(&input, &mut residency)
+            .expect("warm-up");
+        let _ = cold.infer_ref(&input).expect("warm-up");
+    }
+    let mut g = c.benchmark_group("delta_load");
+    g.sample_size(200);
+    g.bench_function("warm_delta", |b| {
+        b.iter(|| {
+            let (inf, dl) = warm.infer_delta_ref(&input, &mut residency).expect("delta");
+            black_box((inf.stats().cycles(), dl.rows_streamed))
+        })
+    });
+    g.bench_function("cold_load", |b| {
+        b.iter(|| black_box(cold.infer_ref(&input).expect("cold").stats().cycles()))
+    });
+    g.finish();
+}
+
+/// Steady-state cost of one static-scene video frame: every region
+/// clean, every result replayed from cache. With the oracle off and no
+/// forced refresh this is the frame-diff pass plus the calibrated
+/// compare-only accounting — the per-frame floor the motion gate can
+/// reach.
+fn bench_video_replay(c: &mut Criterion) {
+    use shidiannao::video::{VideoConfig, VideoPipeline};
+    use shidiannao_sensor::{FrameSource, Motion, RegionGrid, VideoSensor};
+
+    let net = shidiannao_cnn::zoo::gabor().build(1).expect("builds");
+    let grid = RegionGrid::new((60, 60), net.input_dims(), (20, 20));
+    let config = VideoConfig {
+        refresh_interval: 0,
+        oracle: false,
+        ..VideoConfig::default()
+    };
+    let mut pipe = VideoPipeline::new(
+        Accelerator::new(AcceleratorConfig::paper()),
+        net,
+        grid,
+        config,
+    )
+    .expect("valid pipeline");
+    let mut cam = VideoSensor::new(60, 60, 7, Motion::Static);
+    let frame = cam.next_frame();
+    for _ in 0..4 {
+        let _ = pipe.process_frame(&frame).expect("warm-up");
+    }
+    let mut g = c.benchmark_group("video");
+    g.sample_size(200);
+    g.bench_function("static_replay", |b| {
+        b.iter(|| {
+            let report = pipe.process_frame(&frame).expect("frame");
+            black_box((report.total_cycles(), report.ledger().skipped))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     hot_path,
     bench_nb_read_modes,
@@ -462,6 +573,9 @@ criterion_group!(
     bench_batch_lanes,
     bench_reduction_kernels,
     bench_xnor_kernels,
-    bench_front_vs_full
+    bench_front_vs_full,
+    bench_frame_diff,
+    bench_delta_load,
+    bench_video_replay
 );
 criterion_main!(hot_path);

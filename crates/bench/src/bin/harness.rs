@@ -2,7 +2,7 @@
 //! the ShiDianNao evaluation.
 //!
 //! ```text
-//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|tune|cascade|all|bench]
+//! harness [table1|table3|table4|fig7|fig17|fig18|fig19|reuse|framerate|sweep|faults|serve|cluster|tune|cascade|video|all|bench]
 //! ```
 //!
 //! `harness bench` times the harness itself — each experiment serially
@@ -70,11 +70,28 @@
 //! certification, or (in smoke mode) if the frozen escalation count
 //! drifted.
 //!
-//! The six gated subcommands share one exit-code policy: the summary
+//! `harness video [--smoke]` runs the temporal-reuse video experiment:
+//! three camera motion classes (static, mostly-static, panning) through
+//! the motion-gated video pipeline — clean regions replay cached results
+//! at calibrated compare-only cost, dirty regions recompute through the
+//! cross-frame delta-load path — plus a fourth run gating dirty regions
+//! through the PR-9 binarized front-end, plus a multi-camera serve leg
+//! driving dozens of deterministic `VideoStream` tenants through the
+//! inference service with per-stream deadline SLOs. It writes
+//! `BENCH_video.json` and fails if the document is not byte-identical
+//! across three evaluations (one pinned to a single rayon worker), if
+//! the static or mostly-static scene misses strict cycle (2x) and
+//! energy savings over frame-independent processing, if any computed
+//! region diverges from a direct `Session::infer`, if warm recomputes
+//! save no NBin rows, if the serve leg varies across worker counts or
+//! its ledgers fail to balance, or (in smoke mode) if the frozen
+//! skip/compute ledgers drifted.
+//!
+//! The seven gated subcommands share one exit-code policy: the summary
 //! goes to stdout, every gate violation goes to stderr, and the process
 //! exits nonzero iff at least one gate failed.
 
-use shidiannao_bench::{cascade, cluster, faults, perf, report, serve, tune};
+use shidiannao_bench::{cascade, cluster, faults, perf, report, serve, tune, video};
 use std::env;
 use std::process::ExitCode;
 
@@ -196,6 +213,7 @@ fn main() -> ExitCode {
         "cluster" => Some(run_cluster(smoke_flag())),
         "tune" => Some(tune::run_tune(smoke_flag())),
         "cascade" => Some(cascade::run_cascade(smoke_flag())),
+        "video" => Some(video::run_video(smoke_flag())),
         _ => None,
     };
     if let Some((out, errors)) = gated {
@@ -256,7 +274,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster tune cascade calib bench all"
+                "unknown experiment '{other}'; expected one of: table1 table3 table4 fig7 fig17 fig18 fig19 reuse framerate sweep faults serve cluster tune cascade video calib bench all"
             );
             return ExitCode::FAILURE;
         }

@@ -17,6 +17,7 @@ pub mod perf;
 pub mod report;
 pub mod serve;
 pub mod tune;
+pub mod video;
 
 /// Every binary, bench, and test linking this crate counts heap
 /// allocations, so `harness bench` can certify the zero-allocation
@@ -37,6 +38,7 @@ pub use serve::{serve_report, ServeBenchReport};
 pub use tune::{
     run_tune, tuned_shard_specs, tuned_shard_specs_for, TenantPick, TunePoint, TuneReport,
 };
+pub use video::{run_video, VideoBenchReport};
 
 /// Geometric mean of a non-empty slice.
 ///

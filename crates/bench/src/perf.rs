@@ -47,6 +47,15 @@
 //!   interleaved best-of passes, with per-pass elimination counters
 //!   copied from the prepared network's [`shidiannao_core::OptReport`].
 //!
+//! * **Delta-load rows** — per benchmark, the cross-frame NBin residency
+//!   path (`Session::infer_delta`) is certified as the eighth execution
+//!   path: a cold call must stream every input row and agree bit-for-bit
+//!   with a plain `infer`, and an immediately repeated call on the same
+//!   input must stream zero rows, report a zero-cycle Load phase, and
+//!   still agree bit-for-bit — the dirty set is derived from content
+//!   hashes, so bit-identity holds by construction and only the Load
+//!   accounting may shrink.
+//!
 //! `smoke_errors` distills the rows into the CI gate: seed-frozen
 //! `sim_cycles_per_inference` for all ten networks (fast and
 //! instrumented paths alike — any scheduled-path cycle drift fails CI),
@@ -60,7 +69,9 @@
 use crate::experiments::{self, compute_paper_runs, SEED};
 use crate::json::{comma, json_f64, json_opt_f64};
 use shidiannao_cnn::zoo;
-use shidiannao_core::{Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, SramProtection};
+use shidiannao_core::{
+    Accelerator, AcceleratorConfig, FaultConfig, FaultPlan, NbResidency, SramProtection,
+};
 use std::time::Instant;
 
 /// Sides used for the sweep when timing it (a subset of the full render
@@ -327,6 +338,16 @@ pub struct ThroughputRow {
     pub opt_sb_accesses_coalesced: u64,
     /// Modeled cycles folded out by the `fifo_fold` pass.
     pub opt_cycles_saved: u64,
+    /// Input rows a cold delta-load streamed (must equal the total).
+    pub delta_rows_total: u64,
+    /// Input rows the warm repeat of the same input streamed (must be 0).
+    pub delta_warm_rows: u64,
+    /// Load-phase cycles reported by the warm repeat (must be 0).
+    pub delta_warm_load_cycles: u64,
+    /// Whether the cold and warm delta-load runs agreed bit-for-bit with
+    /// a plain `infer` on outputs, and the cold run streamed every row
+    /// (the certificate's eighth execution path).
+    pub delta_bit_identical: bool,
 }
 
 impl ThroughputRow {
@@ -476,6 +497,7 @@ impl PerfReport {
                 && t.instr_paths_bit_identical
                 && t.batch_bit_identical
                 && t.opt_paths_bit_identical
+                && t.delta_bit_identical
         })
     }
 
@@ -560,7 +582,10 @@ impl PerfReport {
                  \"opt_nb_reads_eliminated\": {}, \"opt_modes_reselected\": {}, \
                  \"opt_sb_bytes_coalesced\": {}, \
                  \"opt_sb_accesses_coalesced\": {}, \
-                 \"opt_cycles_saved\": {}}}{}\n",
+                 \"opt_cycles_saved\": {}, \
+                 \"delta_rows_total\": {}, \"delta_warm_rows\": {}, \
+                 \"delta_warm_load_cycles\": {}, \
+                 \"delta_bit_identical\": {}}}{}\n",
                 t.name,
                 json_f64(t.prepare_s),
                 t.inferences,
@@ -604,6 +629,10 @@ impl PerfReport {
                 t.opt_sb_bytes_coalesced,
                 t.opt_sb_accesses_coalesced,
                 t.opt_cycles_saved,
+                t.delta_rows_total,
+                t.delta_warm_rows,
+                t.delta_warm_load_cycles,
+                t.delta_bit_identical,
                 comma(i, self.throughput.len()),
             );
         }
@@ -705,6 +734,18 @@ impl PerfReport {
                 } else {
                     "NO"
                 },
+            );
+        }
+        out += "\nDelta-load path (cross-frame NBin residency, warm repeat of one input)\n\
+                CNN          rows total  warm rows  warm load cycles  8-path\n";
+        for t in &self.throughput {
+            out += &format!(
+                "{:<12} {:>10} {:>10} {:>17}  {}\n",
+                t.name,
+                t.delta_rows_total,
+                t.delta_warm_rows,
+                t.delta_warm_load_cycles,
+                if t.delta_bit_identical { "yes" } else { "NO" },
             );
         }
         let (nb, modes, sb, cycles) = self.optimizer_totals();
@@ -1046,6 +1087,22 @@ fn measure_one(
         opt_baseline_wall_s = opt_baseline_wall_s.min(start.elapsed().as_secs_f64());
     }
 
+    // Eighth path of the certificate: the delta-load staging path. A
+    // cold `infer_delta` must stream every input row and agree with a
+    // plain `infer`; an immediately repeated call on the same input must
+    // stream zero rows, report a zero-cycle Load phase, and still agree.
+    let mut delta_session = prepared.session();
+    let mut residency = NbResidency::new();
+    let (cold, d_cold) = delta_session
+        .infer_delta(&input, &mut residency)
+        .expect("cold delta-load");
+    let cold_ok = cold.output() == inf.output() && d_cold.rows_streamed == d_cold.rows_total;
+    let (warm, d_warm) = delta_session
+        .infer_delta(&input, &mut residency)
+        .expect("warm delta-load");
+    let delta_warm_load_cycles = warm.stats().layers()[0].cycles;
+    let delta_bit_identical = cold_ok && warm.output() == inf.output();
+
     ThroughputRow {
         name: net.name().to_string(),
         prepare_s,
@@ -1080,6 +1137,10 @@ fn measure_one(
         opt_sb_bytes_coalesced: opt_report.sb_bytes_coalesced,
         opt_sb_accesses_coalesced: opt_report.sb_accesses_coalesced,
         opt_cycles_saved: opt_report.cycles_saved,
+        delta_rows_total: d_cold.rows_total as u64,
+        delta_warm_rows: d_warm.rows_streamed as u64,
+        delta_warm_load_cycles,
+        delta_bit_identical,
     }
 }
 
@@ -1210,6 +1271,19 @@ pub fn smoke_errors(rows: &[ThroughputRow]) -> Vec<String> {
                 row.name, row.opt_allocs
             ));
         }
+        if !row.delta_bit_identical {
+            errors.push(format!(
+                "{}: delta-load path diverged from plain inference",
+                row.name
+            ));
+        }
+        if row.delta_warm_rows != 0 || row.delta_warm_load_cycles != 0 {
+            errors.push(format!(
+                "{}: warm delta-load streamed {} rows / {} load cycles on an \
+                 unchanged input (0 expected)",
+                row.name, row.delta_warm_rows, row.delta_warm_load_cycles
+            ));
+        }
     }
     if let Some(row) = rows.iter().find(|r| r.name == "LeNet-5") {
         if row.instr_speedup() < INSTR_SPEEDUP_GATE {
@@ -1296,6 +1370,10 @@ mod tests {
             opt_sb_bytes_coalesced: 64,
             opt_sb_accesses_coalesced: 8,
             opt_cycles_saved: 1,
+            delta_rows_total: 32,
+            delta_warm_rows: 0,
+            delta_warm_load_cycles: 0,
+            delta_bit_identical: true,
         }
     }
 
@@ -1371,6 +1449,10 @@ mod tests {
             "\"opt_sb_bytes_coalesced\"",
             "\"opt_sb_accesses_coalesced\"",
             "\"opt_cycles_saved\"",
+            "\"delta_rows_total\"",
+            "\"delta_warm_rows\"",
+            "\"delta_warm_load_cycles\"",
+            "\"delta_bit_identical\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1429,9 +1511,11 @@ mod tests {
         bad[0].opt_cycles_per_inference += 10;
         bad[1].opt_paths_bit_identical = false;
         bad[2].opt_allocs = 4;
+        bad[4].delta_bit_identical = false;
+        bad[5].delta_warm_rows = 6;
         bad.pop();
         let errors = smoke_errors(&bad);
-        assert_eq!(errors.len(), 12, "{errors:?}");
+        assert_eq!(errors.len(), 14, "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("seed-frozen")));
         assert!(errors.iter().any(|e| e.contains("diverged (legacy")));
         assert!(errors.iter().any(|e| e.contains("fast path allocated")));
@@ -1453,6 +1537,12 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| e.contains("optimized replay allocated")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("delta-load path diverged")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("warm delta-load streamed")));
         assert!(errors.iter().any(|e| e.contains("missing")));
     }
 

@@ -501,6 +501,7 @@ impl PreparedNetwork {
             optimized: false,
             overlays: Vec::new(),
             overlays_valid: false,
+            pending_delta_bytes: None,
             recorder: None,
         }
     }
@@ -527,6 +528,100 @@ impl PreparedNetwork {
         plan: FaultPlan,
     ) -> Result<RunOutcome, RunError> {
         self.session_with_faults(plan).run(input)
+    }
+
+    /// Whether the optimizer's `delta_load` pass armed the Load phase
+    /// for cross-frame NBin residency ([`Session::infer_delta`]). On by
+    /// default; [`PreparedNetwork::reoptimize`] with
+    /// [`crate::OptConfig::none`] disarms it.
+    pub fn delta_load_capable(&self) -> bool {
+        self.opt_report.delta_load
+    }
+}
+
+/// Caller-held cross-frame NBin residency state for
+/// [`Session::infer_delta`]: one content hash per input row, keyed by
+/// the input geometry.
+///
+/// The model (DESIGN.md §3k): the double-buffered NBin's *staging* bank
+/// — the one the sensor streams the next frame into while the compute
+/// bank runs — still holds the previous frame's rows when the same
+/// region geometry comes around again. Rows whose content is unchanged
+/// need not re-stream; only dirty rows cross the sensor→NBin link. The
+/// dirty set is **derived**, not asserted: `infer_delta` hashes every
+/// row of the presented input (the same `mix64` finalizer the schedule
+/// recorder's `AccessSet` hashes addresses with) and compares against
+/// the resident hashes, so a caller cannot under-declare. The full
+/// input values are still installed in the simulator's buffer — the
+/// resident rows are, by definition, already those values — which is
+/// why delta-load replay is bit-identical to a cold load by
+/// construction; only the Load phase's modeled cycles and NBin write
+/// traffic shrink.
+///
+/// One residency tracks one stream of same-geometry inputs (e.g. one
+/// region slot of a video grid). Geometry changes reset it to cold.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NbResidency {
+    /// Geometry the hashes describe: `(maps, width, height)`.
+    dims: (usize, usize, usize),
+    /// One content hash per `(map, row)`, map-major.
+    rows: Vec<u64>,
+}
+
+impl NbResidency {
+    /// Fresh (cold) residency: the first delta run streams every row.
+    pub fn new() -> NbResidency {
+        NbResidency::default()
+    }
+
+    /// Drops the resident state: the next delta run streams every row.
+    pub fn invalidate(&mut self) {
+        self.dims = (0, 0, 0);
+        self.rows.clear();
+    }
+
+    /// `true` once a run has populated the resident hashes.
+    pub fn is_warm(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// Rows tracked (`maps × height`; 0 when cold).
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Hashes one input row's exact bit content with the schedule
+/// recorder's `mix64` chain, four 16-bit words per mix.
+fn hash_row(row: &[Fx]) -> u64 {
+    let mut h = schedule::mix64(0x000D_E17A ^ row.len() as u64);
+    for chunk in row.chunks(4) {
+        let mut word = 0u64;
+        for (i, v) in chunk.iter().enumerate() {
+            word |= (v.to_bits() as u16 as u64) << (16 * i);
+        }
+        h = schedule::mix64(h ^ word);
+    }
+    h
+}
+
+/// Load-phase accounting of one [`Session::infer_delta`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaLoad {
+    /// Input rows the network geometry carries (`maps × height`).
+    pub rows_total: usize,
+    /// Rows that differed from the resident state and streamed.
+    pub rows_streamed: usize,
+    /// Bytes the Load phase streamed (`rows_streamed × width × 2`).
+    pub bytes_streamed: u64,
+    /// Bytes a cold load streams.
+    pub bytes_total: u64,
+}
+
+impl DeltaLoad {
+    /// `true` when residency saved at least one row's stream.
+    pub fn any_saved(&self) -> bool {
+        self.rows_streamed < self.rows_total
     }
 }
 
@@ -572,6 +667,10 @@ pub struct Session<'p> {
     /// first faulted run after a plan change, then reused run after run.
     overlays: Vec<LayerOverlay>,
     overlays_valid: bool,
+    /// Load-phase bytes staged by [`Session::infer_delta`] for the next
+    /// run; `None` means cold (full) load. Consumed at the top of
+    /// `execute_inner`, so it can never leak across runs.
+    pending_delta_bytes: Option<u64>,
     /// Attached only by `prepare()`'s recording run.
     recorder: Option<Box<ScheduleRecorder>>,
 }
@@ -723,6 +822,95 @@ impl<'p> Session<'p> {
         })
     }
 
+    /// Executes one inference with a **delta load**: rows of `input`
+    /// whose content matches the caller-held [`NbResidency`] state are
+    /// served from the double-buffered NBin's resident copy, and only
+    /// dirty rows stream over the sensor→NBin link — the Load phase's
+    /// cycles and NBin write traffic shrink proportionally. Everything
+    /// after the Load phase (outputs, per-layer statistics, fault
+    /// behaviour) is **bit-identical** to [`Session::infer`] by
+    /// construction (see [`NbResidency`] for why), and `residency` is
+    /// updated to describe `input` either way.
+    ///
+    /// Requires the prepared network's optimizer to have the
+    /// `delta_load` pass armed ([`crate::OptConfig`], on by default);
+    /// with the pass off, the run cold-loads and the report shows every
+    /// row streamed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Session::infer`]'s.
+    pub fn infer_delta(
+        &mut self,
+        input: &MapStack<Fx>,
+        residency: &mut NbResidency,
+    ) -> Result<(Inference, DeltaLoad), RunError> {
+        let delta = self.stage_delta(input, residency);
+        let inference = self.infer(input)?;
+        Ok((inference, delta))
+    }
+
+    /// The borrowed-result form of [`Session::infer_delta`]: zero heap
+    /// allocations in steady state, like [`Session::infer_ref`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Session::infer`]'s.
+    pub fn infer_delta_ref(
+        &mut self,
+        input: &MapStack<Fx>,
+        residency: &mut NbResidency,
+    ) -> Result<(InferenceRef<'_>, DeltaLoad), RunError> {
+        let delta = self.stage_delta(input, residency);
+        let inference = self.infer_ref(input)?;
+        Ok((inference, delta))
+    }
+
+    /// Hashes `input`'s rows against `residency`, updates the resident
+    /// state, and (when the `delta_load` pass is armed) stages the
+    /// dirty-byte count for the next run's Load phase.
+    fn stage_delta(&mut self, input: &MapStack<Fx>, residency: &mut NbResidency) -> DeltaLoad {
+        let maps = input.len();
+        let (w, h) = (input.width(), input.height());
+        let rows_total = maps * h;
+        let bytes_total = (input.neuron_count() * 2) as u64;
+        let dims = (maps, w, h);
+        let warm = residency.dims == dims && residency.rows.len() == rows_total;
+        if !warm {
+            residency.dims = dims;
+            residency.rows.clear();
+            residency.rows.resize(rows_total, 0);
+        }
+        let mut streamed = 0usize;
+        for (m, map) in input.iter().enumerate() {
+            for y in 0..h {
+                let hash = hash_row(map.row(y));
+                let slot = &mut residency.rows[m * h + y];
+                if !warm || *slot != hash {
+                    streamed += 1;
+                    *slot = hash;
+                }
+            }
+        }
+        let delta = DeltaLoad {
+            rows_total,
+            rows_streamed: streamed,
+            bytes_streamed: streamed as u64 * (w * 2) as u64,
+            bytes_total,
+        };
+        if self.prepared.opt_report.delta_load {
+            self.pending_delta_bytes = Some(delta.bytes_streamed);
+            delta
+        } else {
+            // Pass disarmed: the run cold-loads; report it honestly.
+            DeltaLoad {
+                rows_streamed: rows_total,
+                bytes_streamed: bytes_total,
+                ..delta
+            }
+        }
+    }
+
     /// Executes a batch of inferences through **one** schedule replay:
     /// lane 0 runs the full instrumented path (charging control,
     /// statistics, energy, and fault counters once — they are
@@ -848,6 +1036,9 @@ impl<'p> Session<'p> {
         input: &MapStack<Fx>,
         mut trace: Option<&mut Vec<MapStack<Fx>>>,
     ) -> Result<(), RunError> {
+        // Consume any staged delta-load immediately so an aborted or
+        // shape-rejected run cannot leak it into the next one.
+        let staged_delta_bytes = self.pending_delta_bytes.take();
         let network = &self.prepared.network;
         let expected = (
             network.input_maps(),
@@ -900,14 +1091,21 @@ impl<'p> Session<'p> {
         }
 
         // Load phase: the sensor/host streams the image into NBin at one
-        // bank-width write per cycle.
+        // bank-width write per cycle. A staged delta-load
+        // ([`Session::infer_delta`]) streams only the dirty rows; the
+        // resident rows are already in the staging bank, so the full
+        // values are installed either way and everything downstream is
+        // bit-identical to a cold load.
         let load = self.stats.begin_layer("Load");
         hfsm.enter(FirstState::Load).expect("HFSM: load");
         self.ib.fetch(load);
         self.faults.filter_word(FaultSite::Ib, 0, [0, 0, 0])?;
         let input_bytes = input.neuron_count() * 2;
-        load.cycles = input_bytes.div_ceil(cfg.nb_bank_width_bytes()) as u64;
-        load.nbin.write(input_bytes as u64);
+        let streamed_bytes = staged_delta_bytes.unwrap_or(input_bytes as u64);
+        load.cycles = streamed_bytes.div_ceil(cfg.nb_bank_width_bytes() as u64);
+        if streamed_bytes > 0 {
+            load.nbin.write(streamed_bytes);
+        }
         self.nbin.load_from(input)?;
 
         if let Some(outputs) = trace.as_deref_mut() {

@@ -66,7 +66,8 @@ mod schedule;
 mod stats;
 
 pub use accel::{
-    Accelerator, BatchRef, Inference, InferenceRef, PreparedNetwork, RunError, RunOutcome, Session,
+    Accelerator, BatchRef, DeltaLoad, Inference, InferenceRef, NbResidency, PreparedNetwork,
+    RunError, RunOutcome, Session,
 };
 pub use alu::Alu;
 pub use buffer::{

@@ -74,6 +74,15 @@ pub struct OptConfig {
     pub sb_coalesce: bool,
     /// Fold per-block drain cycles into the next block's fill.
     pub fifo_fold: bool,
+    /// Arm the Load phase for cross-frame delta loading: sessions over
+    /// this prepared network may replace the recorded full-input stream
+    /// with a delta of only dirty input rows against caller-held
+    /// [`NbResidency`](crate::NbResidency) state
+    /// ([`Session::infer_delta`](crate::Session::infer_delta)). Unlike
+    /// the four schedule-rewrite passes this one touches no recorded
+    /// layer — the Load phase is synthesized, not recorded — so it does
+    /// not count toward [`OptConfig::any`].
+    pub delta_load: bool,
 }
 
 impl Default for OptConfig {
@@ -83,6 +92,7 @@ impl Default for OptConfig {
             mode_select: true,
             sb_coalesce: true,
             fifo_fold: true,
+            delta_load: true,
         }
     }
 }
@@ -95,10 +105,12 @@ impl OptConfig {
             mode_select: false,
             sb_coalesce: false,
             fifo_fold: false,
+            delta_load: false,
         }
     }
 
-    /// `true` when at least one pass is enabled.
+    /// `true` when at least one schedule-rewrite pass is enabled
+    /// (`delta_load` is a load-phase capability, not a rewrite).
     pub fn any(&self) -> bool {
         self.nb_dedup || self.mode_select || self.sb_coalesce || self.fifo_fold
     }
@@ -124,6 +136,10 @@ pub struct OptReport {
     pub energy_saved_nj: f64,
     /// Replayable layers any pass changed.
     pub layers_optimized: usize,
+    /// The `delta_load` pass armed the Load phase for cross-frame NBin
+    /// residency (its savings accrue per run, in the sessions'
+    /// [`DeltaLoad`](crate::DeltaLoad) reports, not here).
+    pub delta_load: bool,
 }
 
 impl OptReport {
@@ -145,7 +161,10 @@ pub fn optimize(
     model: &EnergyModel,
     opt: &OptConfig,
 ) -> (NetworkSchedule, OptReport) {
-    let mut report = OptReport::default();
+    let mut report = OptReport {
+        delta_load: opt.delta_load,
+        ..OptReport::default()
+    };
     let layers = recorded
         .layers()
         .iter()

@@ -171,11 +171,12 @@ impl NetworkSchedule {
 
 // ----- recording ------------------------------------------------------
 
-/// The 64-bit finalizer of `splitmix64`, used only to hash recorded
-/// addresses (the fault layer has its own copy; the two never need to
-/// agree).
+/// The 64-bit finalizer of `splitmix64`, used to hash recorded
+/// addresses and — via [`crate::accel::NbResidency`] — resident NBin
+/// row contents (the fault layer has its own copy; the two never need
+/// to agree).
 #[inline]
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;

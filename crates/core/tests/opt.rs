@@ -25,6 +25,7 @@ fn pass_subsets() -> impl Strategy<Value = OptConfig> {
             mode_select,
             sb_coalesce,
             fifo_fold,
+            ..OptConfig::none()
         },
     )
 }

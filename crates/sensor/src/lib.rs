@@ -17,7 +17,10 @@
 //! * [`RegionGrid`] / [`RegionStream`] — the overlapping-region tiling,
 //! * [`RowBuffer`] — the partial-frame row buffer and its §10.2 sizing
 //!   argument ("a few tens of pixel rows"),
-//! * [`frames_per_second`] — the fps arithmetic.
+//! * [`frames_per_second`] — the fps arithmetic,
+//! * [`video`] — the temporal front-end: deterministic video sources
+//!   ([`VideoSensor`]) and the per-region frame differencer
+//!   ([`FrameDelta`]) producing per-stream dirty-region bitmaps.
 
 // Streaming paths report failures as typed [`StreamError`]s; the
 // `assert!`-based contract checks on the legacy panicking APIs remain.
@@ -27,6 +30,10 @@ use core::fmt;
 use shidiannao_faults::{FaultPlan, ScanlineFault};
 use shidiannao_fixed::Fx;
 use shidiannao_tensor::{FeatureMap, MapStack};
+
+pub mod video;
+
+pub use video::{DirtyBitmap, DirtyMap, FrameDelta, Motion, MovingObject, VideoSensor};
 
 /// A failure on the sensor streaming path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -394,6 +401,16 @@ impl RegionGrid {
     /// Region dimensions.
     pub fn region_dims(&self) -> (usize, usize) {
         self.region
+    }
+
+    /// Frame dimensions the grid tiles.
+    pub fn frame_dims(&self) -> (usize, usize) {
+        self.frame
+    }
+
+    /// Tiling stride.
+    pub fn stride(&self) -> (usize, usize) {
+        self.stride
     }
 
     /// The origin of region `(i, j)`, clamped so the region stays inside

@@ -55,7 +55,7 @@ use shidiannao_faults::{
 };
 
 use crate::health::{backoff, HealthConfig, ShardHealth, ShardState};
-use crate::loadgen::{InputSource, TenantGen, TenantSpec, Traffic};
+use crate::loadgen::{TenantGen, TenantSpec, Traffic};
 use crate::queue::{BoundedQueue, Request};
 use crate::scheduler::FairScheduler;
 use crate::service::{Job, Outcome, ServeError};
@@ -427,7 +427,7 @@ impl Cluster {
                     return Err(fail("closed-loop traffic needs at least one client"));
                 }
             }
-            if let InputSource::Stream { frame, stride, .. } = spec.source {
+            if let Some((frame, stride)) = spec.source.stream_geometry() {
                 let dims = spec.network.input_dims();
                 if frame.0 < dims.0 || frame.1 < dims.1 {
                     return Err(fail("streaming frame smaller than network input"));

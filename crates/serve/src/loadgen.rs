@@ -10,7 +10,10 @@
 use shidiannao_cnn::Network;
 use shidiannao_faults::{FaultConfig, FaultPlan};
 use shidiannao_fixed::Fx;
-use shidiannao_sensor::{FaultySensor, FrameSource, RegionGrid, StreamError, SyntheticSensor};
+use shidiannao_sensor::{
+    FaultySensor, FrameSource, Motion, MovingObject, RegionGrid, StreamError, SyntheticSensor,
+    VideoSensor,
+};
 use shidiannao_tensor::MapStack;
 
 use crate::splitmix64;
@@ -90,6 +93,37 @@ pub enum InputSource {
         /// Region tiling stride `(x, y)`.
         stride: (usize, usize),
     },
+    /// Regions tiled out of a deterministic **video** camera
+    /// ([`VideoSensor`]) — a temporally coherent scene whose frames
+    /// differ only where the camera or an object moved, the tenant class
+    /// the motion-gated video pipeline serves. Same `seq` mapping and
+    /// scanline-fault model as [`InputSource::Stream`].
+    VideoStream {
+        /// Sensor seed (drives the persistent world texture).
+        seed: u64,
+        /// Sensor frame dimensions `(width, height)`.
+        frame: (usize, usize),
+        /// Region tiling stride `(x, y)`.
+        stride: (usize, usize),
+        /// Camera motion of the scene.
+        motion: Motion,
+        /// Optional moving object crossing the scene.
+        object: Option<MovingObject>,
+    },
+}
+
+impl InputSource {
+    /// The `(frame, stride)` geometry of a streaming source, `None` for
+    /// [`InputSource::Random`] — one validation path for every stream
+    /// flavour.
+    pub fn stream_geometry(&self) -> Option<((usize, usize), (usize, usize))> {
+        match *self {
+            InputSource::Random { .. } => None,
+            InputSource::Stream { frame, stride, .. }
+            | InputSource::BinarizedStream { frame, stride, .. }
+            | InputSource::VideoStream { frame, stride, .. } => Some((frame, stride)),
+        }
+    }
 }
 
 /// One tenant of the service: a network plus traffic, SLO, fault
@@ -204,6 +238,19 @@ impl TenantSpec {
                 frame,
                 stride,
             } => self.stream_region(seed, frame, stride, seq, true),
+            InputSource::VideoStream {
+                seed,
+                frame,
+                stride,
+                motion,
+                object,
+            } => {
+                let mut cam = VideoSensor::new(frame.0, frame.1, seed, motion);
+                if let Some(o) = object {
+                    cam = cam.with_object(o);
+                }
+                self.stream_region_from(cam, frame, stride, seq, false)
+            }
         }
     }
 
@@ -212,6 +259,20 @@ impl TenantSpec {
     fn stream_region(
         &self,
         seed: u64,
+        frame: (usize, usize),
+        stride: (usize, usize),
+        seq: u64,
+        binarize: bool,
+    ) -> Result<MapStack<Fx>, StreamError> {
+        let cam = SyntheticSensor::new(frame.0, frame.1, seed);
+        self.stream_region_from(cam, frame, stride, seq, binarize)
+    }
+
+    /// Tiles region `seq % regions` of frame `seq / regions` out of any
+    /// deterministic camera, scanline faults applied on the way in.
+    fn stream_region_from<S: FrameSource>(
+        &self,
+        camera: S,
         frame: (usize, usize),
         stride: (usize, usize),
         seq: u64,
@@ -226,9 +287,7 @@ impl TenantSpec {
         // is rare, so replay the sensor up to the frame we need.
         // Scanline faults ride the tenant's fault plan, like the
         // streaming pipeline's camera does.
-        let mut cam = FaultySensor::new(SyntheticSensor::new(frame.0, frame.1, seed), {
-            FaultPlan::new(self.faults)
-        });
+        let mut cam = FaultySensor::new(camera, FaultPlan::new(self.faults));
         let mut f = cam.next_frame();
         for _ in 0..frame_index {
             f = cam.next_frame();
@@ -452,5 +511,104 @@ mod tests {
         assert_ne!(r0.flatten(), r4.flatten());
         // Pure replay.
         assert_eq!(r0.flatten(), spec.build_input(0).expect("replay").flatten());
+    }
+
+    #[test]
+    fn video_stream_is_pure_and_tiles_regions() {
+        let net = shidiannao_cnn::zoo::gabor().build(1).expect("build gabor");
+        let dims = net.input_dims();
+        let spec = TenantSpec::new("g", net).source(InputSource::VideoStream {
+            seed: 5,
+            frame: (40, 40),
+            stride: (20, 20),
+            motion: Motion::Pan { dx: 3, dy: 1 },
+            object: None,
+        });
+        let r0 = spec.build_input(0).expect("region");
+        assert_eq!(r0.map_dims(), dims);
+        // Panning scene: the same region of the next frame has shifted.
+        let r4 = spec.build_input(4).expect("next frame, region 0");
+        assert_ne!(r0.flatten(), r4.flatten());
+        // Pure replay: sequence numbers alone determine the pixels.
+        assert_eq!(r0.flatten(), spec.build_input(0).expect("replay").flatten());
+        assert_eq!(r4.flatten(), spec.build_input(4).expect("replay").flatten());
+    }
+
+    #[test]
+    fn static_video_repeats_frames_exactly() {
+        let net = shidiannao_cnn::zoo::gabor().build(1).expect("build gabor");
+        let spec = TenantSpec::new("g", net).source(InputSource::VideoStream {
+            seed: 9,
+            frame: (40, 40),
+            stride: (20, 20),
+            motion: Motion::Static,
+            object: None,
+        });
+        // A static clean scene never changes: every frame tiles the same
+        // regions, which is exactly what motion gating exploits.
+        for region in 0..4u64 {
+            let now = spec.build_input(region).expect("frame 0").flatten();
+            let next = spec.build_input(region + 4).expect("frame 1").flatten();
+            assert_eq!(now, next, "region {region}");
+        }
+    }
+
+    #[test]
+    fn video_stream_composes_with_scanline_faults() {
+        use shidiannao_faults::SramProtection;
+        let net = shidiannao_cnn::zoo::gabor().build(1).expect("build gabor");
+        let source = InputSource::VideoStream {
+            seed: 9,
+            frame: (40, 40),
+            stride: (20, 20),
+            motion: Motion::Static,
+            object: None,
+        };
+        let clean = TenantSpec::new("g", net.clone()).source(source);
+        let noisy = TenantSpec::new("g", net)
+            .source(source)
+            .faults(FaultConfig::uniform(7, 0.5, SramProtection::None));
+        // Heavy scanline faults corrupt at least one region, but the
+        // corruption itself replays deterministically.
+        let differs = (0..8u64).any(|seq| {
+            clean.build_input(seq).expect("clean").flatten()
+                != noisy.build_input(seq).expect("noisy").flatten()
+        });
+        assert!(differs, "50% scanline faults left all regions untouched");
+        for seq in 0..8u64 {
+            assert_eq!(
+                noisy.build_input(seq).expect("noisy").flatten(),
+                noisy.build_input(seq).expect("replay").flatten(),
+            );
+        }
+    }
+
+    #[test]
+    fn stream_geometry_covers_every_streaming_source() {
+        let geom = ((40, 40), (20, 20));
+        let video = InputSource::VideoStream {
+            seed: 1,
+            frame: geom.0,
+            stride: geom.1,
+            motion: Motion::Static,
+            object: Some(MovingObject {
+                size: (8, 8),
+                speed: (3, 2),
+            }),
+        };
+        let stream = InputSource::Stream {
+            seed: 1,
+            frame: geom.0,
+            stride: geom.1,
+        };
+        let binarized = InputSource::BinarizedStream {
+            seed: 1,
+            frame: geom.0,
+            stride: geom.1,
+        };
+        for src in [video, stream, binarized] {
+            assert_eq!(src.stream_geometry(), Some(geom));
+        }
+        assert_eq!(InputSource::Random { seed: 1 }.stream_geometry(), None);
     }
 }

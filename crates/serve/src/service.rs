@@ -25,7 +25,7 @@ use shidiannao_core::{Accelerator, AcceleratorConfig, PreparedNetwork, RunError,
 use shidiannao_faults::{FaultPlan, FaultStats};
 use shidiannao_sensor::StreamError;
 
-use crate::loadgen::{InputSource, TenantGen, TenantSpec, Traffic};
+use crate::loadgen::{TenantGen, TenantSpec, Traffic};
 use crate::queue::{BoundedQueue, Request};
 use crate::scheduler::FairScheduler;
 use crate::splitmix64;
@@ -332,7 +332,7 @@ impl InferenceService {
                     return Err(fail("closed-loop traffic needs at least one client"));
                 }
             }
-            if let InputSource::Stream { frame, stride, .. } = spec.source {
+            if let Some((frame, stride)) = spec.source.stream_geometry() {
                 let dims = spec.network.input_dims();
                 if frame.0 < dims.0 || frame.1 < dims.1 {
                     return Err(fail("streaming frame smaller than network input"));
@@ -852,7 +852,7 @@ pub(crate) fn run_batch<'p>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loadgen::Traffic;
+    use crate::loadgen::{InputSource, Traffic};
     use shidiannao_cnn::zoo;
     use shidiannao_faults::{FaultConfig, SramProtection};
 

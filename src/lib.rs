@@ -42,6 +42,7 @@
 //! ```
 
 pub mod pipeline;
+pub mod video;
 
 pub use shidiannao_baseline as baseline;
 pub use shidiannao_cnn as cnn;
@@ -58,7 +59,7 @@ pub mod prelude {
     pub use crate::baseline::{CpuModel, DianNao, DianNaoConfig, GpuModel};
     pub use crate::cnn::{zoo, Layer, Network, NetworkBuilder};
     pub use crate::fixed::{Accum, Fx, Pla};
-    pub use crate::pipeline::{DegradePolicy, StreamingPipeline};
+    pub use crate::pipeline::{DegradePolicy, RegionLedger, StreamingPipeline};
     pub use crate::quant::{CascadeConfig, QuantizedNetwork, WeightPrecision};
     pub use crate::sensor::{FrameSource, RegionStream};
     pub use crate::serve::{
@@ -70,4 +71,5 @@ pub mod prelude {
         SramProtection,
     };
     pub use crate::tensor::{FeatureMap, MapStack, WindowGrid};
+    pub use crate::video::{MotionGate, VideoConfig, VideoPipeline};
 }

@@ -26,6 +26,8 @@ pub enum PipelineError {
     Run(RunError),
     /// The sensor stream rejected the frame.
     Stream(StreamError),
+    /// A motion-gate stage could not be built or run.
+    Gate(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -38,6 +40,7 @@ impl fmt::Display for PipelineError {
             ),
             PipelineError::Run(e) => e.fmt(f),
             PipelineError::Stream(e) => e.fmt(f),
+            PipelineError::Gate(e) => write!(f, "motion gate: {e}"),
         }
     }
 }
@@ -53,6 +56,42 @@ impl From<RunError> for PipelineError {
 impl From<StreamError> for PipelineError {
     fn from(e: StreamError) -> PipelineError {
         PipelineError::Stream(e)
+    }
+}
+
+/// The shared region-outcome ledger: every frame report — plain,
+/// degraded, or video — accounts for each grid region exactly once, so
+/// the four counters always balance to the grid size. Hosts read one
+/// vocabulary regardless of which pipeline produced the frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionLedger {
+    /// Regions run through the accelerator this frame.
+    pub computed: usize,
+    /// Regions whose cached result was replayed (motion-gated skip).
+    pub skipped: usize,
+    /// Regions that completed only after fault retries.
+    pub degraded: usize,
+    /// Regions dropped (faulted out or over budget) with no output.
+    pub dropped: usize,
+}
+
+impl RegionLedger {
+    /// Total regions accounted for — the grid size when balanced.
+    pub fn total(&self) -> usize {
+        self.computed + self.skipped + self.degraded + self.dropped
+    }
+
+    /// Regions that produced an output (everything but dropped).
+    pub fn covered(&self) -> usize {
+        self.computed + self.skipped + self.degraded
+    }
+
+    /// Fraction of regions that produced an output (1.0 when empty).
+    pub fn coverage(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        self.covered() as f64 / self.total() as f64
     }
 }
 
@@ -123,6 +162,15 @@ impl FrameReport {
     pub fn energy_nj(&self) -> f64 {
         self.energy_nj
     }
+
+    /// The region-outcome ledger: every region of a plain frame is
+    /// computed, so the ledger is all-`computed`.
+    pub fn ledger(&self) -> RegionLedger {
+        RegionLedger {
+            computed: self.results.len(),
+            ..RegionLedger::default()
+        }
+    }
 }
 
 /// A deployed recognition pipeline: a network on an accelerator, fed by a
@@ -184,6 +232,12 @@ impl StreamingPipeline {
     /// The grid driving the pipeline.
     pub fn grid(&self) -> &RegionGrid {
         &self.grid
+    }
+
+    /// The prepared network backing the pipeline (compiled schedule,
+    /// banked synapse store, optimizer report).
+    pub fn prepared(&self) -> &PreparedNetwork {
+        &self.prepared
     }
 
     /// The network being served.
@@ -394,10 +448,19 @@ impl DegradedFrameReport {
 
     /// Fraction of regions that produced an output.
     pub fn coverage(&self) -> f64 {
-        if self.results.is_empty() {
-            return 1.0;
+        self.ledger().coverage()
+    }
+
+    /// The region-outcome ledger shared with [`FrameReport::ledger`] and
+    /// the video pipeline: `computed`/`degraded`/`dropped` balance to the
+    /// grid size (a degraded frame never skips).
+    pub fn ledger(&self) -> RegionLedger {
+        RegionLedger {
+            computed: self.ok_regions(),
+            skipped: 0,
+            degraded: self.degraded_regions(),
+            dropped: self.dropped_regions(),
         }
-        (self.ok_regions() + self.degraded_regions()) as f64 / self.results.len() as f64
     }
 
     /// Total cycles spent, including failed attempts.

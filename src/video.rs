@@ -1,0 +1,598 @@
+//! The temporal-reuse video datapath: motion-gated region scheduling
+//! over the streaming pipeline (DESIGN.md §3k).
+//!
+//! §10.2 tiles each frame into a grid of overlapping regions and runs
+//! every one through the accelerator — correct, but wasteful on video,
+//! where most of a surveillance-style scene does not change between
+//! frames. A [`VideoPipeline`] puts a frame-differencing comparator on
+//! the sensor side (the [`crate::sensor::FrameDelta`] dirty-region
+//! bitmaps): **clean** regions skip inference entirely and replay the
+//! cached result at the calibrated compare-only cost, while **dirty**
+//! regions run the normal path — with the Load phase shrunk to the
+//! changed input rows by the cross-frame NBin residency of
+//! [`crate::sim::Session::infer_delta`]. A periodic full refresh and a
+//! per-region staleness bound keep cached results from drifting
+//! unboundedly, and an every-region oracle prices what the gating
+//! actually costs (`stale_results`, `missed_detections`) the same way
+//! the early-exit cascade prices declined escalations.
+//!
+//! Everything is a pure function of the construction inputs and the
+//! frame sequence: same sensor seed, same config, same reports.
+
+use crate::cnn::{ConvSpec, FcSpec, Network, NetworkBuilder, PoolSpec};
+use crate::fixed::Fx;
+use crate::pipeline::{PipelineError, RegionLedger, RegionResult, StreamingPipeline};
+use crate::quant::quantize_network;
+use crate::sensor::{Frame, FrameDelta, RegionGrid};
+use crate::serve::binarize_pixel;
+use crate::sim::{
+    Accelerator, AcceleratorConfig, LayerStats, NbResidency, PreparedNetwork, WeightPrecision,
+};
+use crate::tensor::MapStack;
+
+/// How a dirty region is confirmed before full-precision compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MotionGate {
+    /// Frame differencing alone: every dirty region computes.
+    Diff,
+    /// Dirty regions are re-scored by a tiny W1-binarized front-end
+    /// (the early-exit cascade's sensor-side stage); only regions the
+    /// front confirms escalate to full compute, the rest replay their
+    /// cached result. The front's cycles and W1-scaled energy are
+    /// charged per gate decision.
+    DiffThenBinaryFront {
+        /// Escalate iff the front's score is `≥ threshold`.
+        threshold: Fx,
+        /// Weight seed of the front network.
+        seed: u64,
+    },
+}
+
+/// Motion-gated scheduling parameters of a [`VideoPipeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VideoConfig {
+    /// Per-pixel differencing threshold: a region is dirty when any
+    /// pixel moved by at least this much. `0` disables gating entirely —
+    /// the pipeline reduces *exactly* to frame-independent
+    /// [`StreamingPipeline::process_frame`].
+    pub dirty_threshold: u8,
+    /// Every `refresh_interval`-th frame recomputes all regions
+    /// regardless of motion (`0` = never force a refresh).
+    pub refresh_interval: u64,
+    /// A cached result older than this many frames is recomputed even
+    /// if its region stays clean (`0` = no bound).
+    pub staleness_bound: u64,
+    /// The gate confirming dirty regions.
+    pub gate: MotionGate,
+    /// Detection threshold the oracle prices misses against: a region
+    /// is *positive* iff its max output is `≥ decision`.
+    pub decision: Fx,
+    /// Run the every-region oracle (golden reference on every region)
+    /// to certify computed outputs and price skipped ones. Costs host
+    /// time only — never accelerator cycles.
+    pub oracle: bool,
+}
+
+impl Default for VideoConfig {
+    fn default() -> VideoConfig {
+        VideoConfig {
+            dirty_threshold: 8,
+            refresh_interval: 16,
+            staleness_bound: 0,
+            gate: MotionGate::Diff,
+            decision: Fx::from_bits(12),
+            oracle: true,
+        }
+    }
+}
+
+/// One region's cached recognition output and when it was computed.
+#[derive(Clone, Debug)]
+struct CachedRegion {
+    output: Vec<Fx>,
+    computed_at: u64,
+}
+
+/// The prepared binarized front-end of
+/// [`MotionGate::DiffThenBinaryFront`], priced at the W1 energy scaling
+/// (same topology family as the cascade's `BinaryFront`, sized to the
+/// pipeline's region).
+#[derive(Clone, Debug)]
+struct FrontGate {
+    prepared: PreparedNetwork,
+    threshold: Fx,
+}
+
+impl FrontGate {
+    fn build(region: (usize, usize), threshold: Fx, seed: u64) -> Result<FrontGate, PipelineError> {
+        let net = NetworkBuilder::new("VideoFront", 1, region)
+            .conv(ConvSpec::new(4, (5, 5)).with_stride((2, 2)))
+            .pool(PoolSpec::max((2, 2)))
+            .fc(FcSpec::new(1))
+            .build(seed)
+            .map_err(|e| PipelineError::Gate(format!("front topology: {e}")))?;
+        let quantized = quantize_network(&net, WeightPrecision::W1)
+            .map_err(|e| PipelineError::Gate(format!("front quantization: {e}")))?;
+        let mut accel = Accelerator::new(AcceleratorConfig::paper());
+        let w1 = accel
+            .energy_model()
+            .with_weight_precision(WeightPrecision::W1);
+        accel.set_energy_model(w1);
+        let prepared = accel.prepare(&quantized.network)?;
+        Ok(FrontGate {
+            prepared,
+            threshold,
+        })
+    }
+}
+
+/// Timing, energy, and accounting of one motion-gated frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VideoFrameReport {
+    frame_index: u64,
+    results: Vec<RegionResult>,
+    ledger: RegionLedger,
+    compute_cycles: u64,
+    load_cycles: u64,
+    compare_cycles: u64,
+    front_cycles: u64,
+    energy_nj: f64,
+    compare_energy_nj: f64,
+    front_energy_nj: f64,
+    baseline_cycles: u64,
+    baseline_energy_nj: f64,
+    rows_streamed: usize,
+    rows_total: usize,
+    front_runs: usize,
+    front_rejected: usize,
+    stale_results: usize,
+    missed_detections: usize,
+    bit_identical: bool,
+    frequency_ghz: f64,
+}
+
+impl VideoFrameReport {
+    /// Position of this frame in the pipeline's sequence.
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Per-region outputs in grid order — computed or cache-replayed,
+    /// every region present.
+    pub fn results(&self) -> &[RegionResult] {
+        &self.results
+    }
+
+    /// The shared region-outcome ledger; balances to the grid size.
+    pub fn ledger(&self) -> RegionLedger {
+        self.ledger
+    }
+
+    /// Accelerator cycles spent computing dirty regions (loads
+    /// excluded).
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// Cycles streaming dirty input rows into NBin (delta loads).
+    pub fn load_cycles(&self) -> u64 {
+        self.load_cycles
+    }
+
+    /// Cycles of the sensor-side differencing comparator.
+    pub fn compare_cycles(&self) -> u64 {
+        self.compare_cycles
+    }
+
+    /// Cycles of the binarized front gate (0 under [`MotionGate::Diff`]).
+    pub fn front_cycles(&self) -> u64 {
+        self.front_cycles
+    }
+
+    /// Total cycles of the gated frame, all stages.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.load_cycles + self.compare_cycles + self.front_cycles
+    }
+
+    /// Accelerator energy of the computed regions, nJ.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_nj
+    }
+
+    /// Energy of the differencing comparator (NB-style reads), nJ.
+    pub fn compare_energy_nj(&self) -> f64 {
+        self.compare_energy_nj
+    }
+
+    /// Energy of the front gate at the W1 scaling, nJ.
+    pub fn front_energy_nj(&self) -> f64 {
+        self.front_energy_nj
+    }
+
+    /// Total energy of the gated frame, nJ.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy_nj + self.compare_energy_nj + self.front_energy_nj
+    }
+
+    /// Cycles frame-independent processing would have spent on this
+    /// frame (every region computed, cold loads).
+    pub fn baseline_cycles(&self) -> u64 {
+        self.baseline_cycles
+    }
+
+    /// Energy frame-independent processing would have spent, nJ.
+    pub fn baseline_energy_nj(&self) -> f64 {
+        self.baseline_energy_nj
+    }
+
+    /// Input rows actually streamed over the sensor→NBin link across
+    /// the frame's computed regions.
+    pub fn rows_streamed(&self) -> usize {
+        self.rows_streamed
+    }
+
+    /// Input rows the computed regions carry in total.
+    pub fn rows_total(&self) -> usize {
+        self.rows_total
+    }
+
+    /// Front-gate inferences run this frame.
+    pub fn front_runs(&self) -> usize {
+        self.front_runs
+    }
+
+    /// Dirty regions the front gate sent back to cache replay.
+    pub fn front_rejected(&self) -> usize {
+        self.front_rejected
+    }
+
+    /// Skipped regions whose replayed output differs from what a fresh
+    /// compute would produce (oracle-priced; 0 when the oracle is off).
+    pub fn stale_results(&self) -> usize {
+        self.stale_results
+    }
+
+    /// Skipped regions that are oracle-positive but whose replayed
+    /// output is not — detections the gating delayed.
+    pub fn missed_detections(&self) -> usize {
+        self.missed_detections
+    }
+
+    /// Every computed region matched the fixed-point golden reference
+    /// (vacuously `true` when the oracle is off).
+    pub fn bit_identical(&self) -> bool {
+        self.bit_identical
+    }
+
+    /// Frame latency in seconds (serial stages).
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles() as f64 / (self.frequency_ghz * 1e9)
+    }
+}
+
+/// A [`StreamingPipeline`] with motion-gated region scheduling and
+/// cross-frame NBin residency (see [the module](self)).
+///
+/// # Examples
+///
+/// ```
+/// use shidiannao::prelude::*;
+/// use shidiannao::sensor::{FrameSource, Motion, RegionGrid, VideoSensor};
+/// use shidiannao::video::{VideoConfig, VideoPipeline};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = zoo::gabor().build(1)?; // 20×20 input
+/// let grid = RegionGrid::new((40, 40), (20, 20), (20, 20));
+/// let mut pipe = VideoPipeline::new(
+///     Accelerator::new(AcceleratorConfig::paper()),
+///     net,
+///     grid,
+///     VideoConfig::default(),
+/// )?;
+/// let mut cam = VideoSensor::new(40, 40, 7, Motion::Static);
+/// let cold = pipe.process_frame(&cam.next_frame())?;
+/// let warm = pipe.process_frame(&cam.next_frame())?;
+/// // A static scene: the second frame skips every region.
+/// assert_eq!(cold.ledger().computed, 4);
+/// assert_eq!(warm.ledger().skipped, 4);
+/// assert!(warm.total_cycles() < cold.total_cycles());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct VideoPipeline {
+    inner: StreamingPipeline,
+    config: VideoConfig,
+    delta: FrameDelta,
+    front: Option<FrontGate>,
+    cache: Vec<Option<CachedRegion>>,
+    residency: Vec<NbResidency>,
+    frames_seen: u64,
+    per_region_cycles: u64,
+    per_region_energy_nj: f64,
+}
+
+impl VideoPipeline {
+    /// Assembles a motion-gated pipeline over `accel`/`network`/`grid`
+    /// and calibrates the frame-independent baseline cost with one
+    /// probe inference (per-region cycles and energy are
+    /// data-independent, so one probe prices every region).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`StreamingPipeline::new`] rejects, plus
+    /// [`PipelineError::Gate`] when the front-end of
+    /// [`MotionGate::DiffThenBinaryFront`] cannot be built for the
+    /// grid's region size.
+    pub fn new(
+        accel: Accelerator,
+        network: Network,
+        grid: RegionGrid,
+        config: VideoConfig,
+    ) -> Result<VideoPipeline, PipelineError> {
+        let inner = StreamingPipeline::new(accel, network, grid)?;
+        let front = match config.gate {
+            MotionGate::Diff => None,
+            MotionGate::DiffThenBinaryFront { threshold, seed } => {
+                Some(FrontGate::build(grid.region_dims(), threshold, seed)?)
+            }
+        };
+        let probe = inner.network().random_input(0x71DE0);
+        let run = inner.prepared().session().infer(&probe)?;
+        let count = grid.count();
+        Ok(VideoPipeline {
+            per_region_cycles: run.stats().cycles(),
+            per_region_energy_nj: run.energy().total_nj(),
+            delta: FrameDelta::new(grid, config.dirty_threshold),
+            front,
+            cache: vec![None; count],
+            residency: vec![NbResidency::new(); count],
+            frames_seen: 0,
+            inner,
+            config,
+        })
+    }
+
+    /// The underlying frame-independent pipeline.
+    pub fn pipeline(&self) -> &StreamingPipeline {
+        &self.inner
+    }
+
+    /// The grid driving the pipeline.
+    pub fn grid(&self) -> &RegionGrid {
+        self.inner.grid()
+    }
+
+    /// The network being served.
+    pub fn network(&self) -> &Network {
+        self.inner.network()
+    }
+
+    /// The scheduling parameters.
+    pub fn config(&self) -> &VideoConfig {
+        &self.config
+    }
+
+    /// Frames processed so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Calibrated frame-independent cost of one region (cycles, nJ).
+    pub fn per_region_cost(&self) -> (u64, f64) {
+        (self.per_region_cycles, self.per_region_energy_nj)
+    }
+
+    /// Drops all temporal state — differencing history, cached results,
+    /// NBin residency. The next frame behaves like the first.
+    pub fn reset(&mut self) {
+        self.delta.reset();
+        for c in &mut self.cache {
+            *c = None;
+        }
+        for r in &mut self.residency {
+            r.invalidate();
+        }
+        self.frames_seen = 0;
+    }
+
+    /// Processes one frame under motion gating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Stream`] on a frame/grid mismatch and
+    /// [`PipelineError::Run`]/[`PipelineError::Gate`] if a compute or
+    /// gate run fails (cannot happen after a successful
+    /// [`VideoPipeline::new`]).
+    pub fn process_frame(&mut self, frame: &Frame) -> Result<VideoFrameReport, PipelineError> {
+        let seq = self.frames_seen;
+        let count = self.inner.grid().count();
+        let baseline_cycles = self.per_region_cycles * count as u64;
+        let baseline_energy_nj = self.per_region_energy_nj * count as f64;
+        let frequency_ghz = self.inner.prepared().config().frequency_ghz;
+
+        // Threshold 0: exact reduction to frame-independent processing —
+        // no differencing, no residency, cold loads, identical cycles,
+        // energy, and outputs.
+        if self.config.dirty_threshold == 0 {
+            let report = self.inner.process_frame(frame)?;
+            self.frames_seen += 1;
+            for (ri, r) in report.results().iter().enumerate() {
+                self.cache[ri] = Some(CachedRegion {
+                    output: r.output.clone(),
+                    computed_at: seq,
+                });
+            }
+            let maps = self.inner.network().input_maps();
+            let rows = count * maps * self.inner.grid().region_dims().1;
+            return Ok(VideoFrameReport {
+                frame_index: seq,
+                ledger: report.ledger(),
+                compute_cycles: report.compute_cycles(),
+                load_cycles: report.load_cycles(),
+                compare_cycles: 0,
+                front_cycles: 0,
+                energy_nj: report.energy_nj(),
+                compare_energy_nj: 0.0,
+                front_energy_nj: 0.0,
+                baseline_cycles,
+                baseline_energy_nj,
+                rows_streamed: rows,
+                rows_total: rows,
+                front_runs: 0,
+                front_rejected: 0,
+                stale_results: 0,
+                missed_detections: 0,
+                bit_identical: true,
+                results: report.results().to_vec(),
+                frequency_ghz,
+            });
+        }
+
+        let dirty_map = self.delta.observe(frame)?;
+        self.frames_seen += 1;
+        let config = self.config;
+        let inner = &self.inner;
+        let front = &self.front;
+        let cache = &mut self.cache;
+        let residency = &mut self.residency;
+        let grid = inner.grid();
+        let network = inner.network();
+        let prepared = inner.prepared();
+        let maps = network.input_maps();
+
+        let mut results = Vec::with_capacity(count);
+        let mut ledger = RegionLedger::default();
+        let mut compute_cycles = 0u64;
+        let mut load_cycles = 0u64;
+        let mut front_cycles = 0u64;
+        let mut energy_nj = 0.0;
+        let mut front_energy_nj = 0.0;
+        let (mut rows_streamed, mut rows_total) = (0usize, 0usize);
+        let (mut front_runs, mut front_rejected) = (0usize, 0usize);
+        let (mut stale_results, mut missed_detections) = (0usize, 0usize);
+        let mut bit_identical = true;
+        let refresh_due =
+            config.refresh_interval > 0 && seq.is_multiple_of(config.refresh_interval);
+
+        // One session serves the frame's computed regions; one front
+        // session serves its gate decisions. Per-region residency keeps
+        // the delta loads honest across frames.
+        let mut session = prepared.session();
+        let mut front_session = front.as_ref().map(|f| f.prepared.session());
+        let origins: Vec<_> = grid.origins().collect();
+        for ((ri, origin), raw) in origins
+            .into_iter()
+            .enumerate()
+            .zip(grid.try_stream(frame, maps)?)
+        {
+            let stale_due = cache[ri].as_ref().is_some_and(|c| {
+                config.staleness_bound > 0 && seq - c.computed_at >= config.staleness_bound
+            });
+            let forced = cache[ri].is_none() || refresh_due || stale_due;
+            let mut compute = forced;
+            if !compute && dirty_map.is_dirty(ri) {
+                match (front, &mut front_session) {
+                    (None, _) => compute = true,
+                    (Some(f), Some(fs)) => {
+                        // Second gate: the W1 front re-scores the dirty
+                        // region from its sign-binarized pixels.
+                        front_runs += 1;
+                        let mut bin = MapStack::new(raw.width(), raw.height());
+                        bin.push(raw[0].map(|&px| binarize_pixel(px)))
+                            .map_err(|e| PipelineError::Gate(e.to_string()))?;
+                        let run = fs.infer(&bin)?;
+                        front_cycles += run.stats().cycles();
+                        front_energy_nj += run.energy().total_nj();
+                        let score = run.output_flat().first().copied().unwrap_or(Fx::MIN);
+                        if score >= f.threshold {
+                            compute = true;
+                        } else {
+                            front_rejected += 1;
+                        }
+                    }
+                    (Some(_), None) => unreachable!("front gate always has a session"),
+                }
+            }
+
+            if compute {
+                let (run, dl) = session.infer_delta(&raw, &mut residency[ri])?;
+                let load = run.stats().layers()[0].cycles;
+                load_cycles += load;
+                compute_cycles += run.stats().cycles() - load;
+                energy_nj += run.energy().total_nj();
+                rows_streamed += dl.rows_streamed;
+                rows_total += dl.rows_total;
+                let output = run.output_flat();
+                if config.oracle {
+                    bit_identical &= output == network.forward_fixed(&raw).output();
+                }
+                cache[ri] = Some(CachedRegion {
+                    output: output.clone(),
+                    computed_at: seq,
+                });
+                ledger.computed += 1;
+                results.push(RegionResult { origin, output });
+            } else if let Some(c) = &cache[ri] {
+                // Clean (or front-rejected) region: replay the cached
+                // result; its cost is the frame-level compare pass.
+                if config.oracle {
+                    let golden = network.forward_fixed(&raw).output();
+                    if golden != c.output {
+                        stale_results += 1;
+                        let oracle_positive =
+                            golden.iter().copied().fold(Fx::MIN, Fx::max) >= config.decision;
+                        let emitted_positive =
+                            c.output.iter().copied().fold(Fx::MIN, Fx::max) >= config.decision;
+                        if oracle_positive && !emitted_positive {
+                            missed_detections += 1;
+                        }
+                    }
+                }
+                ledger.skipped += 1;
+                results.push(RegionResult {
+                    origin,
+                    output: c.output.clone(),
+                });
+            } else {
+                unreachable!("uncached regions are always computed");
+            }
+        }
+
+        // The differencing comparator consumes one NB bank width of
+        // pixels per cycle and is priced as NB-style reads — the same
+        // calibration `hot_path` pins.
+        let bank = prepared.config().nb_bank_width_bytes() as u64;
+        let compared = dirty_map.compared_pixels();
+        let compare_cycles = compared.div_ceil(bank);
+        let compare_energy_nj = {
+            let mut ls = LayerStats::default();
+            ls.nbin.read_accesses = compare_cycles;
+            ls.nbin.read_bytes = compared;
+            prepared.energy_model().charge(&ls).total_nj()
+        };
+
+        Ok(VideoFrameReport {
+            frame_index: seq,
+            results,
+            ledger,
+            compute_cycles,
+            load_cycles,
+            compare_cycles,
+            front_cycles,
+            energy_nj,
+            compare_energy_nj,
+            front_energy_nj,
+            baseline_cycles,
+            baseline_energy_nj,
+            rows_streamed,
+            rows_total,
+            front_runs,
+            front_rejected,
+            stale_results,
+            missed_detections,
+            bit_identical,
+            frequency_ghz,
+        })
+    }
+}
